@@ -1,0 +1,123 @@
+// Ablation **A3**: the biophysics design choices behind Wi-R (paper Sec.
+// IV-A/B). (a) Termination: the same body channel measured with a legacy
+// 50-ohm load vs the high-impedance capacitive termination Wi-R uses — the
+// historical misconception the EQS-HBC literature corrected. (b) Distance:
+// "body as a wire" flatness vs the around-body RF rolloff. (c) Return-path
+// sensitivity: how the ground capacitance (wearable size) moves the flat-
+// band loss. (d) Safety: ICNIRP compliance margin across the EQS band
+// (paper ref [19]).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "phy/eqs_channel.hpp"
+#include "phy/rf_channel.hpp"
+#include "phy/safety.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+void print_termination() {
+  phy::EqsChannel ch;
+  common::print_banner("A3a — Termination ablation: high-Z (Wi-R) vs legacy 50-ohm");
+  common::Table t({"frequency", "gain, high-Z termination", "gain, 50-ohm termination",
+                   "50-ohm penalty"});
+  for (const double f : {100.0 * kHz, 316.0 * kHz, 1.0 * MHz, 3.16 * MHz, 10.0 * MHz,
+                         30.0 * MHz}) {
+    const double hi = ch.gain_db(f, 1.0, phy::Termination::kHighImpedance);
+    const double fifty = ch.gain_db(f, 1.0, phy::Termination::kFiftyOhm);
+    t.add_row({common::si_format(f, "Hz"), common::fixed(hi, 1) + " dB",
+               common::fixed(fifty, 1) + " dB", common::fixed(hi - fifty, 1) + " dB"});
+  }
+  t.print();
+  common::print_note("high-Z: flat channel across the whole EQS band (corner at " +
+                     common::si_format(ch.corner_frequency_hz(), "Hz") + ")");
+  common::print_note("50-ohm: rises 20 dB/decade — the measurement artifact that long made");
+  common::print_note("HBC look unusable at low frequency (Sec. IV-A)");
+}
+
+void print_distance() {
+  phy::EqsChannel eqs;
+  phy::RfChannel rf;
+  common::print_banner("A3b — 'Body as a wire': EQS vs around-body RF distance behaviour");
+  common::Table t({"on-body distance", "EQS gain @ 1 MHz", "RF on-body loss @ 2.4 GHz"});
+  for (const double d : {0.1, 0.3, 0.6, 1.0, 1.5, 1.8}) {
+    t.add_row({common::si_format(d, "m"), common::fixed(eqs.gain_db(1.0 * MHz, d), 1) + " dB",
+               common::fixed(-rf.on_body_path_loss_db(d), 1) + " dB"});
+  }
+  t.print();
+  common::print_note("EQS varies < 3 dB head-to-ankle; RF loses ~10 dB per distance doubling");
+}
+
+void print_return_path() {
+  common::print_banner("A3c — Return-path sensitivity: device ground capacitance");
+  common::Table t({"device class (ground size)", "C_return", "flat-band gain", "Wi-R link SNR "
+                   "margin vs OOK 1e-6"});
+  struct Case {
+    const char* name;
+    double c_ret_pf;
+  };
+  for (const Case c : {Case{"tiny earbud", 0.1}, Case{"patch node", 0.3},
+                       Case{"wrist wearable", 1.0}, Case{"chest hub", 3.0}}) {
+    phy::EqsChannelParams p;
+    p.c_return_f = c.c_ret_pf * pF;
+    phy::EqsChannel ch(p);
+    t.add_row({c.name, common::fixed(c.c_ret_pf, 1) + " pF",
+               common::fixed(ch.flat_band_gain_db(), 1) + " dB",
+               common::fixed(ch.flat_band_gain_db() + 66.0, 1) + " dB"});
+  }
+  t.print();
+  common::print_note("smaller devices couple less return current: the leaf-node form factor");
+  common::print_note("costs ~10-20 dB, which the high-Z receiver's margin absorbs");
+}
+
+void print_safety() {
+  phy::HbcSafetyModel safety;
+  common::print_banner("A3d — ICNIRP safety compliance across the EQS band (ref [19])");
+  common::Table t({"frequency", "tissue current @ 1 V", "in-situ field", "ICNIRP field limit",
+                   "margin", "max safe swing"});
+  for (const double f : {100.0 * kHz, 1.0 * MHz, 10.0 * MHz, 30.0 * MHz}) {
+    t.add_row({common::si_format(f, "Hz"), common::si_format(safety.tissue_current_a(1.0, f), "A"),
+               common::si_format(safety.in_situ_field_v_per_m(1.0, f), "V/m"),
+               common::si_format(phy::HbcSafetyModel::icnirp_field_limit_v_per_m(f), "V/m"),
+               common::fixed(safety.compliance_margin_db(1.0, f), 1) + " dB",
+               common::si_format(safety.max_safe_tx_voltage_v(f), "V")});
+  }
+  t.print();
+  common::print_note("EQS-HBC at a 1 V swing sits >20 dB under every ICNIRP restriction —");
+  common::print_note("the safety result of Maity et al. [19] the paper builds on");
+}
+
+void BM_EqsChannelGain(benchmark::State& state) {
+  phy::EqsChannel ch;
+  double f = 1e5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.voltage_gain(f, 1.0));
+    f = f < 3e7 ? f * 1.01 : 1e5;
+  }
+}
+BENCHMARK(BM_EqsChannelGain);
+
+void BM_SafetyMargin(benchmark::State& state) {
+  phy::HbcSafetyModel safety;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(safety.compliance_margin_db(1.0, 1e6));
+  }
+}
+BENCHMARK(BM_SafetyMargin);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_termination();
+  print_distance();
+  print_return_path();
+  print_safety();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

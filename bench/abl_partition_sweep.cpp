@@ -1,0 +1,101 @@
+// Ablation **A1**: DNN split-point sweep across leaf/hub for the three
+// reference wearable-AI models under Wi-R vs BLE transfer costs. This is
+// the paper's architectural argument made quantitative: the optimizer's
+// chosen split flips from "all on leaf" (BLE) to "full offload" (Wi-R),
+// and the crossover link-energy sits between the two technologies.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "comm/ble_link.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/explorer.hpp"
+#include "nn/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+partition::CostModel cost_for(const comm::Link& link, double offered_bps) {
+  partition::CostModel cm;
+  cm.leaf_hub = partition::CostModel::leg_from_link(link, offered_bps);
+  cm.hub_cloud = partition::CostModel::default_uplink();
+  return cm;
+}
+
+void sweep_model(const nn::Model& m) {
+  comm::WiRLink wir;
+  comm::BleLink ble;
+  const partition::Partitioner p_wir(m, cost_for(wir, 100e3));
+  const partition::Partitioner p_ble(m, cost_for(ble, 100e3));
+
+  std::cout << "[" << m.name() << ": " << m.total_macs() << " MACs, input "
+            << m.input_bytes_i8() << " B]\n";
+  common::Table t({"split s1 (layers on leaf)", "boundary bytes", "leaf E (Wi-R)",
+                   "leaf E (BLE)", "latency (Wi-R)"});
+  const std::size_t n = m.layer_count();
+  for (std::size_t s1 = 0; s1 <= n; ++s1) {
+    const auto plan_w = p_wir.evaluate(s1, n);
+    const auto plan_b = p_ble.evaluate(s1, n);
+    const std::string boundary =
+        s1 == n ? "-" : common::si_format(static_cast<double>(plan_w.bytes_leaf_to_hub), "B");
+    t.add_row({std::to_string(s1) + (s1 == 0 ? " (full offload)" : s1 == n ? " (all local)" : ""),
+               boundary, common::si_format(plan_w.leaf_energy_j(), "J"),
+               common::si_format(plan_b.leaf_energy_j(), "J"),
+               common::si_format(plan_w.latency_s, "s")});
+  }
+  std::cout << t.to_string();
+
+  const auto opt_w = p_wir.optimize(partition::Objective::kLeafEnergy);
+  const auto opt_b = p_ble.optimize(partition::Objective::kLeafEnergy);
+  common::print_note("optimal on Wi-R: " + opt_w.describe(m) + " | leaf " +
+                     common::si_format(opt_w.leaf_energy_j(), "J"));
+  common::print_note("optimal on BLE:  " + opt_b.describe(m) + " | leaf " +
+                     common::si_format(opt_b.leaf_energy_j(), "J"));
+
+  partition::CostModel base = cost_for(wir, 100e3);
+  const double cross = core::offload_crossover_energy_per_bit_j(m, base);
+  common::print_note("offload-crossover link energy: " + common::si_format(cross, "J/b") +
+                     "  (Wi-R 100 pJ/b is below it; BLE ~15 nJ/b is above)");
+  std::cout << "\n";
+}
+
+void print_sweeps() {
+  common::print_banner("A1 — DNN partitioning sweep: leaf/hub split vs link technology");
+  sweep_model(nn::make_ecg_cnn1d());
+  sweep_model(nn::make_kws_dscnn());
+  sweep_model(nn::make_vww_micronet());
+}
+
+void BM_OptimizePartition(benchmark::State& state) {
+  const nn::Model m = nn::make_kws_dscnn();
+  comm::WiRLink wir;
+  const partition::Partitioner part(m, cost_for(wir, 100e3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.optimize(partition::Objective::kLeafEnergy));
+  }
+}
+BENCHMARK(BM_OptimizePartition)->Unit(benchmark::kMicrosecond);
+
+void BM_CrossoverBisection(benchmark::State& state) {
+  const nn::Model m = nn::make_ecg_cnn1d();
+  comm::WiRLink wir;
+  partition::CostModel base = cost_for(wir, 100e3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::offload_crossover_energy_per_bit_j(m, base));
+  }
+}
+BENCHMARK(BM_CrossoverBisection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweeps();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

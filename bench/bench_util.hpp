@@ -1,0 +1,25 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared scaffolding for the bench binaries: every bench prints its
+/// figure/table reproduction first, then runs its google-benchmark
+/// microbenchmarks (kernel throughput numbers that back the model's
+/// latency assumptions).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace iob::bench {
+
+/// Print the reproduction, then hand over to google-benchmark.
+/// Call from main() after emitting the figure.
+inline int run_microbenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::printf("\n--- microbenchmarks (kernel costs behind the model) ---\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace iob::bench

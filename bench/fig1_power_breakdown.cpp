@@ -1,0 +1,85 @@
+// Reproduces **Fig. 1** of the paper: per-component power of today's IoB
+// nodes (sensors ~100s uW + CPU ~mW + radio ~10s mW) versus human-inspired
+// IoB nodes (sensors 10-50 uW + ISA ~100 uW + Wi-R ~100 uW), evaluated by
+// the platform power model over the three Sec.-II workload classes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "comm/ble_link.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/comparison.hpp"
+#include "core/platform_power.hpp"
+#include "core/report.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/tensor.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+void print_figure() {
+  comm::BleLink ble;
+  comm::WiRLink wir;
+  core::PlatformPowerModel model(ble, wir);
+  core::ArchitectureComparison cmp(model, energy::Battery::coin_cell_1000mah());
+
+  common::print_banner(
+      "Fig. 1 — Today's IoB node vs Human-Inspired IoB node: power breakdown");
+  std::cout << core::render_comparison(cmp.compare_reference_suite());
+
+  common::print_note("paper Fig. 1 left:  sensors ~100s uW | CPU ~mW | radio ~10s of mW");
+  common::print_note("paper Fig. 1 right: sensors 10-50 uW | ISA ~100 uW | Wi-R ~100 uW");
+  common::print_note("conventional = local inference on node CPU + BLE reporting;");
+  common::print_note("human-inspired = ULP AFE + ISA only + Wi-R streaming to wearable brain");
+
+  // Also show the hub-side cost the offload induces, proving it is a system
+  // win rather than cost shifting.
+  common::Table hub({"workload", "leaf saving", "hub-induced", "net system win"});
+  for (const auto& w : {core::ecg_patch_workload(), core::audio_pendant_workload(),
+                        core::camera_node_workload()}) {
+    const auto conv = model.evaluate(core::NodeArchitecture::kConventional, w);
+    const auto hi = model.evaluate(core::NodeArchitecture::kHumanInspired, w);
+    const double saving = conv.node_total_w() - hi.node_total_w();
+    hub.add_row({w.name, common::si_format(saving, "W"),
+                 common::si_format(hi.hub_induced_w, "W"),
+                 common::si_format(saving - hi.hub_induced_w, "W")});
+  }
+  std::cout << "\n" << hub.to_string();
+}
+
+// Microbenchmark: the actual on-node inference cost the conventional
+// architecture pays (DS-CNN forward pass).
+void BM_KwsForwardPass(benchmark::State& state) {
+  const nn::Model kws = nn::make_kws_dscnn();
+  nn::Tensor x(kws.input_shape(), 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kws.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kws.total_macs()));
+}
+BENCHMARK(BM_KwsForwardPass)->Unit(benchmark::kMillisecond);
+
+void BM_PowerModelEvaluate(benchmark::State& state) {
+  comm::BleLink ble;
+  comm::WiRLink wir;
+  core::PlatformPowerModel model(ble, wir);
+  const auto w = core::audio_pendant_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(core::NodeArchitecture::kHumanInspired, w));
+  }
+}
+BENCHMARK(BM_PowerModelEvaluate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,58 @@
+// Reproduces **Fig. 2** of the paper: "Typical Battery Life for Wearable
+// Technologies" — battery life of pre-2024 wearables and the 2024
+// wearable-AI boom devices, recomputed from the encoded capacity/power
+// survey and bucketed with the paper's own vocabulary.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "energy/lifetime.hpp"
+#include "net/device_library.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+void print_figure() {
+  common::print_banner("Fig. 2 — Typical battery life of wearable technologies");
+
+  for (const auto era : {net::DeviceEra::kPre2024, net::DeviceEra::kWearableAi2024}) {
+    std::cout << "[" << net::to_string(era) << "]\n";
+    common::Table t({"device", "battery", "platform power", "battery life", "bucket",
+                     "paper label"});
+    for (const auto& d : net::device_survey()) {
+      if (d.era != era) continue;
+      const double life_s = d.battery_life_s();
+      t.add_row({d.name, common::fixed(d.battery_mah, 0) + " mAh @ " +
+                             common::fixed(d.battery_v, 2) + " V",
+                 common::si_format(d.platform_power_w, "W"),
+                 common::fixed(d.battery_life_hours(), 1) + " h",
+                 energy::to_string(energy::classify(life_s)), d.paper_battery_label});
+    }
+    std::cout << t.to_string() << "\n";
+  }
+  common::print_note("bucket == paper label for every device (asserted in tests/net_test.cpp)");
+  common::print_note(
+      "AI augmentation pushes device power up: smart glasses & MR headsets land at 3-5 hr");
+}
+
+void BM_SurveyClassification(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& d : iob::net::device_survey()) {
+      benchmark::DoNotOptimize(iob::energy::classify(d.battery_life_s()));
+    }
+  }
+}
+BENCHMARK(BM_SurveyClassification);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

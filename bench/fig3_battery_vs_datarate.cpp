@@ -1,0 +1,86 @@
+// Reproduces **Fig. 3** of the paper: "Projected battery life of wearables
+// with respect to data rate using Wi-R" — 1000 mAh battery, 100 pJ/bit
+// Wi-R, sensing power from the literature survey, negligible computation.
+// Prints the full curve, the perpetual-operability boundary, the paper's
+// device-class markers, and the harvesting view (10-200 uW indoor window).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/explorer.hpp"
+#include "core/report.hpp"
+#include "energy/harvester.hpp"
+#include "energy/sensing_power.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+void print_figure() {
+  core::DesignSpaceExplorer ex(energy::Battery::coin_cell_1000mah());
+
+  common::print_banner("Fig. 3 — Projected battery life vs data rate (Wi-R, 1000 mAh)");
+  common::print_note("assumptions: 1000 mAh @ 3 V battery; Wi-R at 100 pJ/bit; sensing power");
+  common::print_note("from the survey fit (DESIGN.md Sec. 4); computation considered negligible");
+  std::cout << "\n" << core::render_fig3(ex.sweep(100.0, 10.0 * Mbps, 2));
+
+  const double boundary = ex.perpetual_boundary_bps();
+  std::cout << "\nPerpetually-operable region (>1 yr): data rate <= "
+            << common::si_format(boundary, "b/s") << "\n\n";
+
+  // The figure's device-class annotations.
+  common::Table marks({"device class (Fig. 3 annotation)", "data rate", "battery life",
+                       "bucket", "harvest needed for charge-free"});
+  for (const auto& cls : {energy::kBiopotentialPatch, energy::kSmartRing, energy::kAudioNode,
+                          energy::kExgArray, energy::kVideoNode}) {
+    const auto p = ex.point(cls.data_rate_bps);
+    marks.add_row({cls.name, common::si_format(cls.data_rate_bps, "b/s"),
+                   common::fixed(p.life_days, 1) + " d", energy::to_string(p.life_class),
+                   common::si_format(ex.required_harvest_w(cls.data_rate_bps), "W")});
+  }
+  std::cout << marks.to_string();
+  common::print_note("paper: biopotential patches + rings/trackers -> perpetually operable;");
+  common::print_note("audio-input AI (pins/assistants/ExG) -> all-week; AI video nodes -> all-day");
+  common::print_note("indoor harvesting window 10-200 uW covers every perpetual-class node");
+
+  // Contrast: the same curve with BLE-class energy/bit — the reason Wi-R
+  // (not radio) is the artificial nervous system.
+  core::DesignSpaceExplorer ble(energy::Battery::coin_cell_1000mah(), {}, 10e-9);
+  common::Table contrast({"data rate", "life (Wi-R 100 pJ/b)", "life (BLE-class 10 nJ/b)",
+                          "Wi-R advantage"});
+  for (const double r : {1.0 * kbps, 10.0 * kbps, 100.0 * kbps, 1.0 * Mbps, 4.0 * Mbps}) {
+    const double wir_d = ex.point(r).life_days;
+    const double ble_d = ble.point(r).life_days;
+    contrast.add_row({common::si_format(r, "b/s"), common::fixed(wir_d, 1) + " d",
+                      common::fixed(ble_d, 1) + " d", common::fixed(wir_d / ble_d, 1) + "x"});
+  }
+  std::cout << "\n" << contrast.to_string();
+}
+
+void BM_SweepFullCurve(benchmark::State& state) {
+  core::DesignSpaceExplorer ex(energy::Battery::coin_cell_1000mah());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.sweep(100.0, 10e6, 8));
+  }
+}
+BENCHMARK(BM_SweepFullCurve);
+
+void BM_PerpetualBoundaryBisection(benchmark::State& state) {
+  core::DesignSpaceExplorer ex(energy::Battery::coin_cell_1000mah());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.perpetual_boundary_bps());
+  }
+}
+BENCHMARK(BM_PerpetualBoundaryBisection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,99 @@
+// Reproduces claim **T1** (Sec. I / IV-B): Wi-R is ">10x faster than BLE"
+// and "<100x lower power than BLE". Side-by-side link comparison of the
+// three fundamental around-body modalities the paper names: radiative RF
+// (BLE), magnetic (NFMI), and electro-quasistatic (Wi-R).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "comm/ble_link.hpp"
+#include "comm/nfmi_link.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+void print_table() {
+  comm::WiRLink wir;
+  comm::BleLink ble;
+  comm::NfmiLink nfmi;
+
+  common::print_banner("T1 — Wi-R vs BLE vs NFMI link comparison");
+
+  common::Table t({"metric", "Wi-R (EQS-HBC)", "BLE (2.4 GHz)", "NFMI (magnetic)"});
+  auto row = [&](const std::string& name, auto fn) {
+    t.add_row({name, fn(wir), fn(ble), fn(nfmi)});
+  };
+  row("PHY rate", [](const comm::Link& l) { return common::si_format(l.spec().phy_rate_bps, "b/s"); });
+  row("app throughput (240 B frames)",
+      [](const comm::Link& l) { return common::si_format(l.app_throughput_bps(240), "b/s"); });
+  row("TX energy / bit",
+      [](const comm::Link& l) { return common::si_format(l.spec().tx_energy_per_bit_j, "J/b"); });
+  row("TX+RX energy / bit", [](const comm::Link& l) {
+    return common::si_format(l.spec().tx_energy_per_bit_j + l.spec().rx_energy_per_bit_j, "J/b");
+  });
+  row("active TX power",
+      [](const comm::Link& l) { return common::si_format(l.spec().tx_power_w, "W"); });
+  row("stream power @ 10 kb/s",
+      [](const comm::Link& l) { return common::si_format(l.stream_tx_power_w(10e3), "W"); });
+  row("stream power @ 256 kb/s",
+      [](const comm::Link& l) { return common::si_format(l.stream_tx_power_w(256e3), "W"); });
+  row("effective energy/bit @ 10 kb/s", [](const comm::Link& l) {
+    return common::si_format(l.effective_energy_per_app_bit_j(10e3), "J/b");
+  });
+  row("1 kB transfer latency",
+      [](const comm::Link& l) { return common::si_format(l.frame_time_s(1000), "s"); });
+  row("operating SNR",
+      [](const comm::Link& l) { return common::fixed(l.spec().link_snr_db, 1) + " dB"; });
+  row("frame error rate (240 B)", [](const comm::Link& l) {
+    const double fer = l.frame_error_rate(240);
+    return fer < 1e-12 ? std::string("<1e-12") : common::si_format(fer, "");
+  });
+  std::cout << t.to_string();
+
+  const double rate_x = wir.app_throughput_bps(240) / ble.app_throughput_bps(240);
+  const double raw_e_x = (ble.spec().tx_energy_per_bit_j + ble.spec().rx_energy_per_bit_j) /
+                         (wir.spec().tx_energy_per_bit_j + wir.spec().rx_energy_per_bit_j);
+  const double eff_e_x =
+      ble.effective_energy_per_app_bit_j(10e3) / wir.effective_energy_per_app_bit_j(10e3);
+
+  std::cout << "\nclaim check:\n";
+  common::print_note("paper: Wi-R > 10x faster than BLE     | measured app-throughput ratio: " +
+                     common::fixed(rate_x, 1) + "x (4x PHY + BLE protocol overheads)");
+  common::print_note("paper: Wi-R < 100x lower power than BLE| measured raw energy/bit ratio: " +
+                     common::fixed(raw_e_x, 0) + "x");
+  common::print_note("at ULP rates (10 kb/s) the effective gap grows to " +
+                     common::fixed(eff_e_x, 0) + "x (BLE connection-event overheads)");
+}
+
+void BM_WiRFrameMath(benchmark::State& state) {
+  comm::WiRLink wir;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wir.frame_tx_energy_j(240));
+    benchmark::DoNotOptimize(wir.frame_time_s(240));
+  }
+}
+BENCHMARK(BM_WiRFrameMath);
+
+void BM_BleStreamPowerModel(benchmark::State& state) {
+  comm::BleLink ble;
+  double rate = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ble.stream_tx_power_w(rate));
+    rate = rate < 1e6 ? rate * 1.1 : 100.0;
+  }
+}
+BENCHMARK(BM_BleStreamPowerModel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

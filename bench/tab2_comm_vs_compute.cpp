@@ -1,0 +1,91 @@
+// Reproduces claim **T2** (Sec. I): "the energy consumption for radio
+// communication per bit far exceeds that of computing per bit by several
+// orders of magnitude" — and shows how Wi-R collapses that gap, which is
+// what makes offloading (the human-inspired architecture) rational.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "comm/ble_link.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+void print_table() {
+  comm::WiRLink wir;
+  comm::BleLink ble;
+
+  constexpr double kLeafMac = 20e-12;   // MCU-class J/MAC
+  constexpr double kHubMac = 5e-12;     // app-processor J/MAC
+
+  common::print_banner("T2 — Communication energy/bit vs computation energy/op");
+
+  common::Table t({"technology", "energy", "vs leaf MAC (20 pJ)", "break-even ops/bit"});
+  auto add = [&](const std::string& name, double e_bit) {
+    t.add_row({name, common::si_format(e_bit, "J/b"),
+               common::fixed(e_bit / kLeafMac, 1) + "x",
+               common::fixed(e_bit / kLeafMac, 0)});
+  };
+  add("BLE radio (TX+RX)",
+      ble.spec().tx_energy_per_bit_j + ble.spec().rx_energy_per_bit_j);
+  add("BLE effective @ 10 kb/s", ble.effective_energy_per_app_bit_j(10e3));
+  add("NFMI-class (~2 nJ/b)", 2e-9);
+  add("Wi-R (TX+RX)", wir.spec().tx_energy_per_bit_j + wir.spec().rx_energy_per_bit_j);
+  add("Wi-R effective @ 100 kb/s", wir.effective_energy_per_app_bit_j(100e3));
+  std::cout << t.to_string();
+
+  common::print_note("break-even ops/bit: local compute only pays off if it removes more than");
+  common::print_note("this many operations' worth of traffic per transmitted bit saved.");
+
+  // Per-model verdicts: compute-vs-ship for each wearable-AI model.
+  common::Table v({"model", "MACs/inference", "input (int8)", "local compute E",
+                   "ship-over-BLE E", "ship-over-Wi-R E", "verdict on Wi-R"});
+  for (const auto& m : {nn::make_kws_dscnn(), nn::make_ecg_cnn1d(), nn::make_vww_micronet()}) {
+    const double local = static_cast<double>(m.total_macs()) * kLeafMac;
+    const double bits = static_cast<double>(m.input_bytes_i8()) * 8.0;
+    const double ship_ble = bits * ble.effective_energy_per_app_bit_j(100e3);
+    const double ship_wir = bits * wir.effective_energy_per_app_bit_j(100e3);
+    v.add_row({m.name(), std::to_string(m.total_macs()),
+               common::si_format(static_cast<double>(m.input_bytes_i8()), "B"),
+               common::si_format(local, "J"), common::si_format(ship_ble, "J"),
+               common::si_format(ship_wir, "J"),
+               ship_wir < local ? "offload to hub" : "compute locally"});
+  }
+  std::cout << "\n" << v.to_string();
+  common::print_note("hub runs the same MACs at " + common::si_format(kHubMac, "J/MAC") +
+                     " — offload also wins at the system level");
+}
+
+void BM_EffectiveEnergyPerBit(benchmark::State& state) {
+  comm::WiRLink wir;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wir.effective_energy_per_app_bit_j(1e5));
+  }
+}
+BENCHMARK(BM_EffectiveEnergyPerBit);
+
+void BM_EcgForwardPass(benchmark::State& state) {
+  const nn::Model m = nn::make_ecg_cnn1d();
+  nn::Tensor x(m.input_shape(), 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.total_macs()));
+}
+BENCHMARK(BM_EcgForwardPass)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

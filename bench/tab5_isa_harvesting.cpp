@@ -1,0 +1,202 @@
+// Reproduces **T5** (Sec. V): (a) ISA/data-compression ablation — "The ULP
+// nodes in some cases may use low power in-sensor analytics (ISA) or data
+// compression (example MJPEG compression for video) to reduce the data
+// volume" — with the *actual* codecs measuring the actual ratios; and
+// (b) the energy-harvesting view: which node classes the 10-200 uW indoor
+// window makes charging-free.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "energy/battery.hpp"
+#include "energy/lifetime.hpp"
+#include "isa/adpcm.hpp"
+#include "isa/bio_codec.hpp"
+#include "isa/mjpeg.hpp"
+#include "isa/mjpeg_delta.hpp"
+#include "partition/isa_chooser.hpp"
+#include "sim/rng.hpp"
+#include "workload/audio.hpp"
+#include "workload/ecg.hpp"
+#include "workload/video.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+/// Measure real compression ratios from the actual codecs on the actual
+/// synthetic workloads.
+struct MeasuredRatios {
+  double ecg;
+  double audio;
+  double video;
+  double video_delta;  ///< inter-frame codec on the same stream
+};
+
+MeasuredRatios measure() {
+  sim::Rng rng(42);
+  workload::EcgGenerator ecg_gen;
+  const auto ecg_adc = ecg_gen.generate_adc(20.0, rng);
+  const double ecg_ratio = isa::BioCodec(true).compression_ratio(ecg_adc);
+
+  workload::AudioGenerator audio_gen;
+  const auto pcm = audio_gen.generate_pcm(2.0, rng);
+  const auto enc = isa::AdpcmCodec::encode(pcm);
+  const double audio_ratio =
+      static_cast<double>(pcm.size() * 2) / static_cast<double>(enc.size_bytes());
+
+  workload::VideoGenerator video_gen;
+  isa::MjpegCodec mjpeg(50);
+  isa::MjpegDeltaEncoder delta(50, 30);
+  double video_ratio = 0.0;
+  std::size_t raw_bytes = 0, delta_bytes = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto frame = video_gen.next_frame(rng);
+    if (i < 3) video_ratio += mjpeg.compression_ratio(frame);
+    raw_bytes += frame.size_bytes();
+    delta_bytes += delta.encode_next(frame).size_bytes();
+  }
+  video_ratio /= 3.0;
+  const double delta_ratio = static_cast<double>(raw_bytes) / static_cast<double>(delta_bytes);
+  return {ecg_ratio, audio_ratio, video_ratio, delta_ratio};
+}
+
+void print_isa_ablation(const MeasuredRatios& ratios) {
+  comm::WiRLink wir;
+  const energy::Battery batt = energy::Battery::coin_cell_1000mah();
+
+  struct Stream {
+    const char* name;
+    double raw_bps;
+    double sense_w;
+    std::vector<partition::IsaMode> modes;
+  };
+  const std::vector<Stream> streams = {
+      {"ECG patch (360 Hz x 16 b)", 5760.0, 8e-6,
+       {{"raw", 5760.0, 0.0},
+        {"delta+varint+huffman (measured)", 5760.0 / ratios.ecg, 0.05e6},
+        {"beat features only", 200.0, 0.2e6},
+        {"local arrhythmia CNN", 40.0, 0.25e6}}},
+      {"audio pendant (16 kHz x 16 b)", 256e3, 150e-6,
+       {{"raw PCM", 256e3, 0.0},
+        {"ADPCM 4:1 (measured)", 256e3 / ratios.audio, 0.5e6},
+        {"MFCC features", 16e3, 1.2e6},
+        {"local KWS DS-CNN", 100.0, 2.7e6}}},
+      {"camera node (QVGA 15 fps)", 9.216e6, 25e-3,
+       {{"raw luma", 9.216e6, 0.0},
+        {"MJPEG q50 (measured)", 9.216e6 / ratios.video, 3e6},
+        {"MJPEG+delta (measured)", 9.216e6 / ratios.video_delta, 4e6},
+        {"local visual-wake-words CNN", 60.0, 60e6}}},
+  };
+
+  common::print_banner("T5a — ISA / data-compression ablation (Wi-R leaf, measured codecs)");
+  for (const auto& s : streams) {
+    std::cout << "[" << s.name << "]\n";
+    partition::IsaChooser chooser(wir, 20e-12, s.sense_w);
+    const auto evals = chooser.evaluate_all(s.modes);
+    const std::size_t best = chooser.best_index(s.modes);
+    common::Table t({"ISA mode", "output rate", "sense", "ISA compute", "Wi-R comm",
+                     "node total", "battery life", "chosen"});
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      const auto& e = evals[i];
+      const double life = energy::battery_life_days(batt, e.total_power_w());
+      t.add_row({e.mode.name, common::si_format(e.mode.output_rate_bps, "b/s"),
+                 common::si_format(e.sense_power_w, "W"),
+                 common::si_format(e.compute_power_w, "W"),
+                 common::si_format(e.comm_power_w, "W"),
+                 common::si_format(e.total_power_w(), "W"), common::fixed(life, 1) + " d",
+                 i == best ? "<== best" : ""});
+    }
+    std::cout << t.to_string() << "\n";
+  }
+  common::print_note("measured ratios: ECG " + common::fixed(ratios.ecg, 2) + ":1, ADPCM " +
+                     common::fixed(ratios.audio, 2) + ":1, MJPEG " +
+                     common::fixed(ratios.video, 1) + ":1, MJPEG+delta " +
+                     common::fixed(ratios.video_delta, 1) + ":1");
+  common::print_note("with Wi-R's ULP comm, raw streaming is already optimal for kb/s nodes;");
+  common::print_note("light compression pays from ~100 kb/s up; heavyweight local inference");
+  common::print_note("never wins on the leaf — exactly the paper's ISA-as-option stance");
+}
+
+void print_harvesting() {
+  const energy::Battery batt = energy::Battery::coin_cell_1000mah();
+  common::print_banner("T5b — Energy harvesting vs node class (indoor window 10-200 uW)");
+
+  struct NodeClass {
+    const char* name;
+    double platform_w;
+  };
+  const NodeClass classes[] = {
+      {"biopotential patch (ISA + Wi-R)", 12e-6},
+      {"smart ring / tracker", 55e-6},
+      {"ExG array node", 180e-6},
+      {"audio node (ADPCM + Wi-R)", 160e-6},
+      {"video node (MJPEG + Wi-R)", 25e-3},
+  };
+  common::Table t({"node class", "platform power", "harvest needed", "10 uW PV", "50 uW PV",
+                   "200 uW TEG+PV"});
+  for (const auto& c : classes) {
+    auto verdict = [&](double harvest_w) {
+      const double life = energy::battery_life_s(batt, c.platform_w, harvest_w);
+      if (std::isinf(life)) return std::string("charging-free");
+      return common::fixed(life / day, 0) + " d";
+    };
+    t.add_row({c.name, common::si_format(c.platform_w, "W"),
+               common::si_format(c.platform_w, "W"), verdict(10e-6), verdict(50e-6),
+               verdict(200e-6)});
+  }
+  std::cout << t.to_string();
+  common::print_note("paper Sec. V: 10-200 uW indoor harvesting + Wi-R -> perpetual ULP nodes;");
+  common::print_note("video nodes remain battery-bound (camera sensor power dominates)");
+}
+
+void BM_MjpegEncodeQvga(benchmark::State& state) {
+  workload::VideoGenerator gen;
+  sim::Rng rng(1);
+  const auto frame = gen.next_frame(rng);
+  isa::MjpegCodec codec(50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(frame));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size_bytes()));
+}
+BENCHMARK(BM_MjpegEncodeQvga)->Unit(benchmark::kMillisecond);
+
+void BM_AdpcmEncodeSecond(benchmark::State& state) {
+  workload::AudioGenerator gen;
+  sim::Rng rng(2);
+  const auto pcm = gen.generate_pcm(1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::AdpcmCodec::encode(pcm));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pcm.size() * 2));
+}
+BENCHMARK(BM_AdpcmEncodeSecond)->Unit(benchmark::kMicrosecond);
+
+void BM_BioCodecEncodeSecond(benchmark::State& state) {
+  workload::EcgGenerator gen;
+  sim::Rng rng(3);
+  const auto adc = gen.generate_adc(1.0, rng);
+  isa::BioCodec codec(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(adc));
+  }
+}
+BENCHMARK(BM_BioCodecEncodeSecond)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const MeasuredRatios ratios = measure();
+  print_isa_ablation(ratios);
+  print_harvesting();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,110 @@
+// AR / visual-assistant scenario (paper Sec. II-C): camera smart glasses as
+// a leaf node. Real synthetic frames are MJPEG-compressed by the ISA block
+// (measuring the true ratio), the partition optimizer decides where the
+// visual-wake-words CNN should run (leaf vs wearable brain vs cloud) under
+// a real-time latency budget, and the chosen configuration is simulated on
+// the Wi-R body bus — then contrasted with BLE.
+//
+//   $ ./ar_assistant
+
+#include <iostream>
+
+#include "comm/ble_link.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/report.hpp"
+#include "isa/metrics.hpp"
+#include "isa/mjpeg.hpp"
+#include "net/network_sim.hpp"
+#include "nn/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/rng.hpp"
+#include "workload/video.hpp"
+
+int main() {
+  using namespace iob;
+  using namespace iob::units;
+
+  // --- Stage 1: what does the ISA video codec really achieve? ----------------
+  sim::Rng rng(99);
+  workload::VideoGenerator camera;  // QVGA @ 15 fps
+  isa::MjpegCodec mjpeg(50);
+  double ratio = 0.0, psnr = 0.0;
+  const int probe_frames = 4;
+  for (int i = 0; i < probe_frames; ++i) {
+    const isa::GrayFrame f = camera.next_frame(rng);
+    const isa::MjpegEncoded enc = mjpeg.encode(f);
+    ratio += static_cast<double>(f.size_bytes()) / static_cast<double>(enc.size_bytes());
+    psnr += isa::psnr_db(f, mjpeg.decode(enc));
+  }
+  ratio /= probe_frames;
+  psnr /= probe_frames;
+  const double raw_bps = camera.raw_data_rate_bps();
+  const double coded_bps = raw_bps / ratio;
+  std::cout << "MJPEG ISA: " << common::fixed(ratio, 1) << ":1 at "
+            << common::fixed(psnr, 1) << " dB PSNR ("
+            << common::si_format(raw_bps, "b/s") << " -> "
+            << common::si_format(coded_bps, "b/s") << ")\n\n";
+
+  // --- Stage 2: where should the vision model run? ---------------------------
+  const nn::Model vww = nn::make_vww_micronet();
+  std::cout << vww.summary() << "\n";
+
+  const double frame_deadline_s = 1.0 / camera.params().fps;  // real-time budget
+  common::Table t({"link", "optimal split", "leaf energy/frame", "latency/frame",
+                   "meets 15 fps?"});
+  for (const bool use_wir : {true, false}) {
+    comm::WiRLink wir;
+    comm::BleLink ble;
+    const comm::Link& link = use_wir ? static_cast<const comm::Link&>(wir)
+                                     : static_cast<const comm::Link&>(ble);
+    partition::CostModel cm;
+    cm.leaf_hub = partition::CostModel::leg_from_link(link, coded_bps);
+    cm.hub_cloud = partition::CostModel::default_uplink();
+    const partition::Partitioner part(vww, cm);
+    const auto plan = part.optimize(partition::Objective::kLeafEnergy, frame_deadline_s);
+    t.add_row({link.spec().name, plan.describe(vww),
+               common::si_format(plan.leaf_energy_j(), "J"),
+               common::si_format(plan.latency_s, "s"),
+               plan.feasible ? "yes" : "NO (deadline violated)"});
+  }
+  t.print();
+  std::cout << "\n";
+
+  // --- Stage 3: simulate the chosen (Wi-R, full-offload) configuration -------
+  comm::WiRLink wir;
+  net::NetworkSim network(wir, net::NetworkConfig{/*seed=*/3});
+  net::NodeConfig glasses;
+  glasses.name = "smart-glasses-cam";
+  glasses.location = net::BodyLocation::kHead;
+  glasses.stream = "video";
+  glasses.sense_power_w = 2.0 * mW;   // ULP image sensor (HM01B0 class)
+  glasses.isa_power_w = 60.0 * uW;    // MJPEG blocks
+  glasses.output_rate_bps = coded_bps;
+  glasses.frame_bytes = 400;          // sized to the 1 ms TDMA slot
+  glasses.slot_weight = 2;            // rate-proportional slot allocation
+  glasses.battery_mah = 154.0;        // Ray-Ban-class frame battery
+  glasses.battery_v = 3.7;
+  network.add_node(glasses);
+
+  net::SessionConfig session;
+  session.stream = "video";
+  session.macs_per_inference = vww.total_macs();
+  session.bytes_per_inference =
+      static_cast<std::uint64_t>(coded_bps / 8.0 / camera.params().fps);  // per frame
+  network.add_session(session);
+
+  const net::NetworkReport report = network.run(60.0);
+  std::cout << "=== 60 s simulation: camera glasses -> wearable brain over Wi-R ===\n\n"
+            << core::render_network_report(report);
+  std::cout << "\nhub ran " << network.hub().session("video").inferences
+            << " visual-wake-words inferences ("
+            << common::fixed(static_cast<double>(network.hub().session("video").inferences) /
+                                 60.0,
+                             1)
+            << " fps effective)\n";
+  std::cout << "\npaper takeaway: offloading vision turns a 3-5 hr glasses battery into a\n"
+               "multi-day one, while the hub absorbs the compute at 4x better efficiency.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Design-space exploration walkthrough: everything a platform architect
+// would ask the library — the Fig. 3 landscape, the perpetual boundary,
+// harvesting requirements, the BLE counterfactual, and the offload
+// crossover for each model — in one runnable tour of `core::`.
+//
+//   $ ./design_space
+
+#include <iostream>
+
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/explorer.hpp"
+#include "core/report.hpp"
+#include "energy/sensing_power.hpp"
+#include "nn/model_zoo.hpp"
+#include "partition/partitioner.hpp"
+
+int main() {
+  using namespace iob;
+  using namespace iob::units;
+
+  const energy::Battery coin = energy::Battery::coin_cell_1000mah();
+  core::DesignSpaceExplorer wir_space(coin);
+
+  std::cout << "=== 1. The Fig. 3 landscape (1000 mAh, Wi-R 100 pJ/b) ===\n\n"
+            << core::render_fig3(wir_space.sweep(1.0 * kbps, 10.0 * Mbps, 2));
+
+  const double boundary = wir_space.perpetual_boundary_bps();
+  std::cout << "\n=== 2. Perpetual-operability boundary ===\n\n"
+            << "  any node producing <= " << common::si_format(boundary, "b/s")
+            << " runs > 1 year on the coin cell\n"
+            << "  power budget at 1 year: "
+            << common::si_format(energy::power_budget_w(coin, year), "W") << "\n";
+
+  std::cout << "\n=== 3. Harvest power for charging-free operation ===\n\n";
+  common::Table h({"node class", "data rate", "required harvest", "in 10-200 uW window?"});
+  for (const auto& cls : {energy::kBiopotentialPatch, energy::kSmartRing, energy::kAudioNode}) {
+    const double req = wir_space.required_harvest_w(cls.data_rate_bps);
+    h.add_row({cls.name, common::si_format(cls.data_rate_bps, "b/s"),
+               common::si_format(req, "W"), req <= 200.0 * uW ? "yes" : "no"});
+  }
+  h.print();
+
+  std::cout << "\n=== 4. The BLE counterfactual ===\n\n";
+  core::DesignSpaceExplorer ble_space(coin, {}, 10e-9);
+  std::cout << "  perpetual boundary with BLE-class 10 nJ/b: "
+            << common::si_format(ble_space.perpetual_boundary_bps(), "b/s") << " vs Wi-R "
+            << common::si_format(boundary, "b/s") << "\n";
+
+  std::cout << "\n=== 5. Offload crossover per wearable-AI model ===\n\n";
+  comm::WiRLink wir;
+  partition::CostModel base;
+  base.leaf_hub = partition::CostModel::leg_from_link(wir, 100.0 * kbps);
+  base.hub_cloud = partition::CostModel::default_uplink();
+  common::Table x({"model", "MACs", "crossover link energy", "Wi-R verdict", "BLE verdict"});
+  for (const auto& m : {nn::make_ecg_cnn1d(), nn::make_kws_dscnn(), nn::make_vww_micronet()}) {
+    const double cross = core::offload_crossover_energy_per_bit_j(m, base);
+    x.add_row({m.name(), std::to_string(m.total_macs()), common::si_format(cross, "J/b"),
+               100e-12 < cross ? "offload" : "local", 15e-9 < cross ? "offload" : "local"});
+  }
+  x.print();
+
+  std::cout << "\nthe human-inspired architecture is exactly the region where the link\n"
+               "energy sits below every model's crossover — Wi-R is in it, BLE is not.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Health-monitoring scenario (paper Sec. II-A/II-D): a full-body suite of
+// perpetually-operable biopotential nodes — ECG chest patch, EMG wrist
+// band, ankle IMU, PPG ring — with real synthetic signals pushed through
+// the real ISA codec, streamed over Wi-R to the hub, which runs the 1-D
+// CNN arrhythmia classifier and forwards alerts to the cloud. Includes an
+// energy-harvesting variant showing charging-free operation.
+//
+//   $ ./health_monitor
+
+#include <iostream>
+
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/report.hpp"
+#include "isa/bio_codec.hpp"
+#include "net/network_sim.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/rng.hpp"
+#include "workload/ecg.hpp"
+
+int main() {
+  using namespace iob;
+  using namespace iob::units;
+
+  // --- Stage 1: measure the actual ISA compression on actual ECG ------------
+  sim::Rng rng(2024);
+  workload::EcgGenerator ecg_gen;
+  const auto adc = ecg_gen.generate_adc(30.0, rng);
+  isa::BioCodec codec(/*use_huffman=*/true);
+  const double ratio = codec.compression_ratio(adc);
+  const double raw_bps = 2.0 * ecg_gen.data_rate_bps(16);  // 2-lead patch
+  const double coded_bps = raw_bps / ratio;
+  std::cout << "ECG ISA codec: " << common::fixed(ratio, 2) << ":1 lossless ("
+            << common::si_format(raw_bps, "b/s") << " -> "
+            << common::si_format(coded_bps, "b/s") << ")\n";
+
+  // --- Stage 2: the body-area network ---------------------------------------
+  comm::WiRLink wir;
+  net::NetworkSim network(wir, net::NetworkConfig{/*seed=*/7});
+
+  auto leaf = [](const char* name, net::BodyLocation loc, double rate_bps, double sense_w,
+                 double isa_w) {
+    net::NodeConfig n;
+    n.name = name;
+    n.location = loc;
+    n.stream = name;
+    n.sense_power_w = sense_w;
+    n.isa_power_w = isa_w;
+    n.output_rate_bps = rate_bps;
+    return n;
+  };
+  network.add_node(leaf("ecg", net::BodyLocation::kChest, coded_bps, 8.0 * uW, 1.5 * uW));
+  network.add_node(leaf("emg", net::BodyLocation::kWristLeft, 8.0 * kbps, 9.0 * uW, 1.5 * uW));
+  network.add_node(leaf("imu", net::BodyLocation::kAnkleLeft, 4.8 * kbps, 5.0 * uW, 0.5 * uW));
+  network.add_node(leaf("ppg", net::BodyLocation::kFingerLeft, 1.6 * kbps, 40.0 * uW, 0.5 * uW));
+
+  // Hub: arrhythmia CNN on every second of ECG, alerts uplinked.
+  const nn::Model ecg_model = nn::make_ecg_cnn1d();
+  net::SessionConfig session;
+  session.stream = "ecg";
+  session.macs_per_inference = ecg_model.total_macs();
+  session.bytes_per_inference = static_cast<std::uint64_t>(coded_bps / 8.0);  // ~1 s windows
+  session.forward_to_cloud = true;
+  network.add_session(session);
+
+  const net::NetworkReport report = network.run(120.0);
+
+  std::cout << "\n=== 2-minute simulation: human-inspired health-monitoring BAN ===\n\n"
+            << core::render_network_report(report);
+  std::cout << "\nhub: " << network.hub().session("ecg").inferences << " arrhythmia inferences, "
+            << common::si_format(network.hub().session("ecg").compute_energy_j, "J")
+            << " compute, "
+            << common::si_format(network.hub().session("ecg").uplink_energy_j, "J")
+            << " cloud uplink\n";
+
+  // --- Stage 3: the harvesting variant (paper Sec. V) ------------------------
+  comm::WiRLink wir2;
+  net::NetworkSim harvested(wir2, net::NetworkConfig{/*seed=*/8});
+  energy::HarvesterParams pv;
+  pv.source = energy::HarvestSource::kIndoorPhotovoltaic;
+  pv.mean_power_w = 50.0 * uW;
+  pv.availability = 0.7;
+  for (const char* name : {"ecg", "emg", "imu", "ppg"}) {
+    net::NodeConfig n = leaf(name, net::BodyLocation::kChest, 5.0 * kbps, 8.0 * uW, 1.0 * uW);
+    n.harvester = pv;
+    harvested.add_node(n);
+  }
+  const net::NetworkReport hreport = harvested.run(120.0);
+
+  std::cout << "\n=== with 50 uW indoor-PV harvesting (10-200 uW window, Sec. V) ===\n\n";
+  common::Table t({"node", "avg power", "harvest avg", "projected life"});
+  for (std::size_t i = 0; i < hreport.nodes.size(); ++i) {
+    const auto& n = hreport.nodes[i];
+    t.add_row({n.name, common::si_format(n.average_power_w, "W"),
+               common::si_format(50.0 * uW * 0.7, "W"),
+               std::isinf(n.projected_life_days) ? "charging-free (perpetual)"
+                                                 : common::fixed(n.projected_life_days, 0) + " d"});
+  }
+  t.print();
+  return 0;
+}

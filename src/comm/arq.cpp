@@ -1,0 +1,53 @@
+#include "comm/arq.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::comm {
+
+Arq::Arq(const Link& link, ArqPolicy policy) : link_(link), policy_(policy) {
+  IOB_EXPECTS(policy_.max_attempts >= 1, "ARQ needs at least one attempt");
+  IOB_EXPECTS(policy_.ack_timeout_s >= 0.0, "ACK timeout must be non-negative");
+}
+
+double Arq::expected_attempts(std::uint32_t payload_bytes) const {
+  const double p_fail = link_.frame_error_rate(payload_bytes);
+  const double p_ok = 1.0 - p_fail;
+  if (p_ok <= 0.0) return policy_.max_attempts;
+  // Truncated geometric: E[attempts | delivered or exhausted].
+  const unsigned n = policy_.max_attempts;
+  double expected = 0.0;
+  double p_reach = 1.0;  // probability attempt k happens
+  for (unsigned k = 1; k <= n; ++k) {
+    expected += p_reach;  // attempt k occurs with prob p_reach
+    p_reach *= p_fail;
+  }
+  return expected;
+}
+
+double Arq::delivery_probability(std::uint32_t payload_bytes) const {
+  const double p_fail = link_.frame_error_rate(payload_bytes);
+  return 1.0 - std::pow(p_fail, static_cast<double>(policy_.max_attempts));
+}
+
+double Arq::expected_tx_energy_j(std::uint32_t payload_bytes) const {
+  return expected_attempts(payload_bytes) * link_.frame_tx_energy_j(payload_bytes);
+}
+
+double Arq::expected_latency_s(std::uint32_t payload_bytes) const {
+  const double attempts = expected_attempts(payload_bytes);
+  const double per_try = link_.frame_time_s(payload_bytes);
+  // Every failed attempt additionally waits out the ACK timeout.
+  return attempts * per_try + (attempts - 1.0) * policy_.ack_timeout_s;
+}
+
+unsigned Arq::sample_attempts(sim::Rng& rng, std::uint32_t payload_bytes) const {
+  const double p_fail = link_.frame_error_rate(payload_bytes);
+  for (unsigned k = 1; k <= policy_.max_attempts; ++k) {
+    if (!rng.bernoulli(p_fail)) return k;
+  }
+  return policy_.max_attempts + 1;  // dropped
+}
+
+}  // namespace iob::comm

@@ -1,0 +1,49 @@
+#pragma once
+/// \file arq.hpp
+/// Stop-and-wait ARQ over a lossy link: analytic expectations (for the
+/// platform power model) and stochastic per-frame attempt sampling (for the
+/// DES). Retransmissions multiply both airtime and energy, so reliability
+/// feeds directly into the paper's energy story.
+
+#include <cstdint>
+
+#include "comm/link.hpp"
+#include "sim/rng.hpp"
+
+namespace iob::comm {
+
+struct ArqPolicy {
+  unsigned max_attempts = 8;    ///< frame dropped after this many tries
+  double ack_timeout_s = 1e-3;  ///< wait before a retry
+};
+
+class Arq {
+ public:
+  Arq(const Link& link, ArqPolicy policy = {});
+
+  /// Expected number of transmissions per delivered frame (geometric mean,
+  /// truncated at max_attempts).
+  [[nodiscard]] double expected_attempts(std::uint32_t payload_bytes) const;
+
+  /// Probability the frame is delivered within max_attempts.
+  [[nodiscard]] double delivery_probability(std::uint32_t payload_bytes) const;
+
+  /// Expected TX energy per delivered frame (J), counting failed attempts.
+  [[nodiscard]] double expected_tx_energy_j(std::uint32_t payload_bytes) const;
+
+  /// Expected latency per delivered frame (s): attempts * (airtime + timeout
+  /// on failures).
+  [[nodiscard]] double expected_latency_s(std::uint32_t payload_bytes) const;
+
+  /// Sample the number of attempts for one frame (>= 1; == max_attempts+1
+  /// encodes a drop).
+  unsigned sample_attempts(sim::Rng& rng, std::uint32_t payload_bytes) const;
+
+  [[nodiscard]] const ArqPolicy& policy() const { return policy_; }
+
+ private:
+  const Link& link_;
+  ArqPolicy policy_;
+};
+
+}  // namespace iob::comm

@@ -1,0 +1,67 @@
+#include "comm/ble_link.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/units.hpp"
+#include "phy/noise.hpp"
+
+namespace iob::comm {
+
+LinkSpec BleLink::make_spec(const BleLinkParams& p, const phy::RfChannel& ch) {
+  LinkSpec s;
+  s.name = "BLE (2.4 GHz radio)";
+  s.phy_rate_bps = p.phy_rate_bps;
+  s.tx_energy_per_bit_j = p.tx_power_w / p.phy_rate_bps;
+  s.rx_energy_per_bit_j = p.rx_power_w / p.phy_rate_bps;
+  s.tx_power_w = p.tx_power_w;
+  s.rx_power_w = p.rx_power_w;
+  s.idle_power_w = p.idle_power_w;
+  s.sleep_power_w = p.sleep_power_w;
+  s.wake_energy_j = p.wake_energy_j;
+  s.wake_time_s = p.wake_time_s;
+  s.frame_overhead_bits = p.frame_overhead_bits;
+  s.per_frame_turnaround_s = p.per_frame_turnaround_s;
+  s.protocol_efficiency = p.protocol_efficiency;
+  s.modulation = phy::Modulation::kGfsk;
+
+  // Link budget over the around-body path.
+  const double pl_db = ch.on_body_path_loss_db(p.channel_distance_m);
+  const double rx_w = phy::RfChannel::received_power_w(units::from_dbm(p.tx_power_dbm), pl_db);
+  const phy::Receiver rx{p.phy_rate_bps /* ~1 MHz BW */, 8.0, 290.0};
+  s.link_snr_db = rx.snr_db(rx_w);
+  return s;
+}
+
+BleLink::BleLink(BleLinkParams params)
+    : Link(make_spec(params, phy::RfChannel(params.channel))),
+      params_(params),
+      channel_(params.channel) {}
+
+double BleLink::stream_tx_power_w(double offered_bps, std::uint32_t payload_bytes) const {
+  IOB_EXPECTS(offered_bps >= 0, "offered load must be non-negative");
+  IOB_EXPECTS(payload_bytes > 0, "payload must be non-empty");
+  const double capacity = app_throughput_bps(payload_bytes);
+  const double carried = std::min(offered_bps, capacity);
+  const double frames_per_s = carried / (static_cast<double>(payload_bytes) * 8.0);
+
+  // Airtime cost of the data frames themselves.
+  const double tx = frames_per_s * frame_tx_energy_j(payload_bytes);
+  const double airtime_frac =
+      std::min(1.0, frames_per_s * static_cast<double>(on_air_bits(payload_bytes)) /
+                        spec_.phy_rate_bps);
+
+  // Connection events: the radio must wake every connection interval even
+  // when little data is pending (keep-alive), paying crystal/PLL startup
+  // plus an empty-packet exchange; this is the ULP-rate killer.
+  const double events_per_s = 1.0 / params_.connection_interval_s;
+  const double empty_event_airtime_s = 2.0 * (80.0 / spec_.phy_rate_bps);  // 2 x 80-bit PDUs
+  const double event_overhead_w =
+      events_per_s * (spec_.wake_energy_j +
+                      empty_event_airtime_s * (params_.tx_power_w + params_.rx_power_w) / 2.0);
+
+  const double idle = spec_.idle_power_w * (1.0 - airtime_frac);
+  return tx + event_overhead_w + idle;
+}
+
+}  // namespace iob::comm

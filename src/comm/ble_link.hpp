@@ -1,0 +1,51 @@
+#pragma once
+/// \file ble_link.hpp
+/// Bluetooth Low Energy link — the radiative baseline the paper argues
+/// against (Sec. III-B: RF radiates a room-scale bubble, costs 1-10 mW, and
+/// is energy-inefficient for 1-2 m on-body channels). Parameters are
+/// BLE-4/5-class: 1 Mb/s PHY, ~15 mW active radio, connection-event duty
+/// cycling with its per-event wake cost, and GFSK at the SNR given by the
+/// on-body RF path-loss model.
+
+#include "comm/link.hpp"
+#include "phy/rf_channel.hpp"
+
+namespace iob::comm {
+
+struct BleLinkParams {
+  double phy_rate_bps = 1e6;            ///< BLE 1M PHY
+  double tx_power_w = 15e-3;            ///< active TX (radio + PA)
+  double rx_power_w = 13e-3;            ///< active RX
+  double idle_power_w = 20e-6;          ///< connection maintained, no data
+  double sleep_power_w = 2e-6;
+  double wake_energy_j = 30e-6;         ///< crystal + PLL + ramp per event
+  double wake_time_s = 1.5e-3;
+  double connection_interval_s = 30e-3; ///< typical streaming interval
+  std::uint32_t frame_overhead_bits = 176;  ///< preamble+AA+header+MIC+CRC
+  double per_frame_turnaround_s = 150e-6;   ///< T_IFS
+  double protocol_efficiency = 0.55;    ///< L2CAP/ATT + IFS overhead
+  double tx_power_dbm = 0.0;            ///< radiated power for link budget
+  double channel_distance_m = 1.5;      ///< around-body path
+  phy::RfChannelParams channel{};
+};
+
+class BleLink final : public Link {
+ public:
+  explicit BleLink(BleLinkParams params = {});
+
+  /// Average TX-side power including connection-event wake costs — this is
+  /// where BLE loses at ULP rates even with aggressive duty cycling.
+  [[nodiscard]] double stream_tx_power_w(double offered_bps,
+                                         std::uint32_t payload_bytes = 240) const override;
+
+  [[nodiscard]] const BleLinkParams& params() const { return params_; }
+  [[nodiscard]] const phy::RfChannel& channel() const { return channel_; }
+
+ private:
+  static LinkSpec make_spec(const BleLinkParams& p, const phy::RfChannel& ch);
+
+  BleLinkParams params_;
+  phy::RfChannel channel_;
+};
+
+}  // namespace iob::comm

@@ -1,0 +1,15 @@
+#include "comm/frame.hpp"
+
+namespace iob::comm {
+
+const char* to_string(FrameKind k) {
+  switch (k) {
+    case FrameKind::kData: return "data";
+    case FrameKind::kAck: return "ack";
+    case FrameKind::kPoll: return "poll";
+    case FrameKind::kBeacon: return "beacon";
+  }
+  return "?";
+}
+
+}  // namespace iob::comm

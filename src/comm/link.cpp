@@ -1,0 +1,74 @@
+#include "comm/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "common/units.hpp"
+
+namespace iob::comm {
+
+Link::Link(LinkSpec spec) : spec_(std::move(spec)) {
+  IOB_EXPECTS(spec_.phy_rate_bps > 0, "link rate must be positive");
+  IOB_EXPECTS(spec_.tx_energy_per_bit_j >= 0 && spec_.rx_energy_per_bit_j >= 0,
+              "per-bit energies must be non-negative");
+  IOB_EXPECTS(spec_.protocol_efficiency > 0 && spec_.protocol_efficiency <= 1.0,
+              "protocol efficiency must be in (0, 1]");
+}
+
+std::uint64_t Link::on_air_bits(std::uint32_t payload_bytes) const {
+  return static_cast<std::uint64_t>(payload_bytes) * 8 + spec_.frame_overhead_bits;
+}
+
+double Link::frame_time_s(std::uint32_t payload_bytes) const {
+  return static_cast<double>(on_air_bits(payload_bytes)) / spec_.phy_rate_bps +
+         spec_.per_frame_turnaround_s;
+}
+
+double Link::frame_tx_energy_j(std::uint32_t payload_bytes) const {
+  return static_cast<double>(on_air_bits(payload_bytes)) * spec_.tx_energy_per_bit_j;
+}
+
+double Link::frame_rx_energy_j(std::uint32_t payload_bytes) const {
+  return static_cast<double>(on_air_bits(payload_bytes)) * spec_.rx_energy_per_bit_j;
+}
+
+double Link::app_throughput_bps(std::uint32_t payload_bytes) const {
+  IOB_EXPECTS(payload_bytes > 0, "payload must be non-empty");
+  const double app_bits = static_cast<double>(payload_bytes) * 8.0;
+  return app_bits / frame_time_s(payload_bytes) * spec_.protocol_efficiency;
+}
+
+double Link::bit_error_rate() const {
+  return phy::bit_error_rate(spec_.modulation, units::from_db(spec_.link_snr_db));
+}
+
+double Link::frame_error_rate(std::uint32_t payload_bytes) const {
+  const double per_ok = phy::packet_success_probability(
+      bit_error_rate(), static_cast<unsigned>(on_air_bits(payload_bytes)));
+  return 1.0 - per_ok;
+}
+
+double Link::stream_tx_power_w(double offered_bps, std::uint32_t payload_bytes) const {
+  IOB_EXPECTS(offered_bps >= 0, "offered load must be non-negative");
+  IOB_EXPECTS(payload_bytes > 0, "payload must be non-empty");
+  const double capacity = app_throughput_bps(payload_bytes);
+  const double carried = std::min(offered_bps, capacity);
+  const double frames_per_s = carried / (static_cast<double>(payload_bytes) * 8.0);
+  const double airtime_frac =
+      std::min(1.0, frames_per_s * static_cast<double>(on_air_bits(payload_bytes)) /
+                        spec_.phy_rate_bps);
+  const double tx = frames_per_s * frame_tx_energy_j(payload_bytes);
+  const double idle = spec_.idle_power_w * (1.0 - airtime_frac);
+  return tx + idle;
+}
+
+double Link::effective_energy_per_app_bit_j(double offered_bps,
+                                            std::uint32_t payload_bytes) const {
+  IOB_EXPECTS(offered_bps > 0, "offered load must be positive");
+  const double carried = std::min(offered_bps, app_throughput_bps(payload_bytes));
+  return stream_tx_power_w(offered_bps, payload_bytes) / carried;
+}
+
+}  // namespace iob::comm

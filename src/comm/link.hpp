@@ -1,0 +1,81 @@
+#pragma once
+/// \file link.hpp
+/// Link abstraction: rate, per-bit energy, per-frame overheads, reliability.
+/// Concrete links (Wi-R, BLE, NFMI) fill a `LinkSpec` from their PHY models;
+/// everything downstream (MAC, partitioner, platform power model) consumes
+/// the same interface, which is what makes the paper's BLE-vs-Wi-R
+/// comparisons one-line swaps in benches and examples.
+
+#include <cstdint>
+#include <string>
+
+#include "phy/modulation.hpp"
+
+namespace iob::comm {
+
+struct LinkSpec {
+  std::string name;
+  double phy_rate_bps = 1e6;        ///< raw on-air bit rate
+  double tx_energy_per_bit_j = 0;   ///< transmitter energy per on-air bit
+  double rx_energy_per_bit_j = 0;   ///< receiver energy per on-air bit
+  double tx_power_w = 0;            ///< active TX power (= rate * e/bit)
+  double rx_power_w = 0;            ///< active RX power
+  double idle_power_w = 0;          ///< powered-but-quiet floor
+  double sleep_power_w = 0;         ///< deep-sleep floor
+  double wake_energy_j = 0;         ///< sleep->active transition energy
+  double wake_time_s = 0;           ///< sleep->active transition time
+  std::uint32_t frame_overhead_bits = 0;  ///< preamble + header + CRC
+  double per_frame_turnaround_s = 0;      ///< inter-frame spacing / turnaround
+  double protocol_efficiency = 1.0;       ///< fraction of airtime usable for app data
+  phy::Modulation modulation = phy::Modulation::kOok;
+  double link_snr_db = 30.0;        ///< operating per-bit SNR at the intended RX
+};
+
+/// Analytic per-frame and sustained-stream link calculations shared by all
+/// link types. Time/energy include the frame overhead bits; sustained
+/// throughput includes protocol efficiency.
+class Link {
+ public:
+  explicit Link(LinkSpec spec);
+  virtual ~Link() = default;
+
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+
+  /// On-air bits for a payload (payload + frame overhead).
+  [[nodiscard]] std::uint64_t on_air_bits(std::uint32_t payload_bytes) const;
+
+  /// Time (s) to move one frame of `payload_bytes` (airtime + turnaround).
+  [[nodiscard]] double frame_time_s(std::uint32_t payload_bytes) const;
+
+  /// TX-side energy (J) for one frame.
+  [[nodiscard]] double frame_tx_energy_j(std::uint32_t payload_bytes) const;
+
+  /// RX-side energy (J) for one frame.
+  [[nodiscard]] double frame_rx_energy_j(std::uint32_t payload_bytes) const;
+
+  /// Sustained application-level throughput (bps) with `payload_bytes`
+  /// frames back-to-back.
+  [[nodiscard]] double app_throughput_bps(std::uint32_t payload_bytes = 240) const;
+
+  /// Bit error rate at the operating SNR.
+  [[nodiscard]] double bit_error_rate() const;
+
+  /// Frame error rate for a payload size at the operating SNR.
+  [[nodiscard]] double frame_error_rate(std::uint32_t payload_bytes) const;
+
+  /// Average TX-side power (W) to sustain `offered_bps` of application data
+  /// in `payload_bytes` frames, duty-cycling between frames. Includes frame
+  /// overheads and the idle/sleep floor. Saturates at link capacity.
+  [[nodiscard]] virtual double stream_tx_power_w(double offered_bps,
+                                                 std::uint32_t payload_bytes = 240) const;
+
+  /// Effective delivered energy per application bit (J/bit) at a given
+  /// offered load — the figure-of-merit the paper quotes (100 pJ/b Wi-R).
+  [[nodiscard]] double effective_energy_per_app_bit_j(double offered_bps,
+                                                      std::uint32_t payload_bytes = 240) const;
+
+ protected:
+  LinkSpec spec_;
+};
+
+}  // namespace iob::comm

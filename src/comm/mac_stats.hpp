@@ -1,0 +1,49 @@
+#pragma once
+/// \file mac_stats.hpp
+/// Shared accounting structures for MAC protocols (TDMA, polling).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace iob::comm {
+
+struct MacNodeStats {
+  std::string name;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_retried = 0;
+  std::uint64_t bytes_delivered = 0;
+  sim::Accumulator latency_s;     ///< creation -> delivery (uplink)
+  double tx_energy_j = 0.0;       ///< node-side transmit energy
+  double rx_energy_j = 0.0;       ///< node-side receive energy (beacons/polls)
+  std::uint64_t queue_overflows = 0;
+  // Downlink (hub -> this node: actuation/audio-out traffic).
+  std::uint64_t downlink_frames = 0;
+  std::uint64_t downlink_bytes = 0;
+  sim::Accumulator downlink_latency_s;
+};
+
+struct MacStats {
+  std::vector<MacNodeStats> nodes;
+  double hub_tx_energy_j = 0.0;   ///< beacons / polls / acks
+  double hub_rx_energy_j = 0.0;   ///< data reception
+  double busy_airtime_s = 0.0;    ///< medium occupied
+  double elapsed_s = 0.0;
+
+  [[nodiscard]] double utilization() const {
+    return elapsed_s > 0.0 ? busy_airtime_s / elapsed_s : 0.0;
+  }
+  [[nodiscard]] std::uint64_t total_bytes_delivered() const {
+    std::uint64_t sum = 0;
+    for (const auto& n : nodes) sum += n.bytes_delivered;
+    return sum;
+  }
+  [[nodiscard]] double aggregate_goodput_bps() const {
+    return elapsed_s > 0.0 ? static_cast<double>(total_bytes_delivered()) * 8.0 / elapsed_s : 0.0;
+  }
+};
+
+}  // namespace iob::comm

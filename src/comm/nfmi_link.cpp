@@ -1,0 +1,36 @@
+#include "comm/nfmi_link.hpp"
+
+#include "common/units.hpp"
+#include "phy/noise.hpp"
+
+namespace iob::comm {
+
+LinkSpec NfmiLink::make_spec(const NfmiLinkParams& p, const phy::NfmiChannel& ch) {
+  LinkSpec s;
+  s.name = "NFMI (magnetic)";
+  s.phy_rate_bps = p.phy_rate_bps;
+  s.tx_energy_per_bit_j = p.tx_power_w / p.phy_rate_bps;
+  s.rx_energy_per_bit_j = p.rx_power_w / p.phy_rate_bps;
+  s.tx_power_w = p.tx_power_w;
+  s.rx_power_w = p.rx_power_w;
+  s.idle_power_w = p.idle_power_w;
+  s.sleep_power_w = p.sleep_power_w;
+  s.wake_energy_j = p.wake_energy_j;
+  s.wake_time_s = p.wake_time_s;
+  s.frame_overhead_bits = p.frame_overhead_bits;
+  s.per_frame_turnaround_s = p.per_frame_turnaround_s;
+  s.protocol_efficiency = p.protocol_efficiency;
+  s.modulation = phy::Modulation::kGfsk;
+
+  const double rx_w = p.tx_power_w * units::from_db(ch.gain_db(p.channel_distance_m));
+  const phy::Receiver rx{p.phy_rate_bps, 10.0, 290.0};
+  s.link_snr_db = rx.snr_db(rx_w);
+  return s;
+}
+
+NfmiLink::NfmiLink(NfmiLinkParams params)
+    : Link(make_spec(params, phy::NfmiChannel(params.channel))),
+      params_(params),
+      channel_(params.channel) {}
+
+}  // namespace iob::comm

@@ -1,0 +1,40 @@
+#pragma once
+/// \file nfmi_link.hpp
+/// NFMI link — the magnetic third modality (paper Sec. I). Moderate power
+/// (hearing-aid class), short range, modest rates; included so benches can
+/// place all three fundamental modalities side by side.
+
+#include "comm/link.hpp"
+#include "phy/nfmi_channel.hpp"
+
+namespace iob::comm {
+
+struct NfmiLinkParams {
+  double phy_rate_bps = 596e3;      ///< NFMI-class (e.g. hearing aid links)
+  double tx_power_w = 1.2e-3;
+  double rx_power_w = 1.0e-3;
+  double idle_power_w = 10e-6;
+  double sleep_power_w = 1e-6;
+  double wake_energy_j = 5e-6;
+  double wake_time_s = 0.5e-3;
+  std::uint32_t frame_overhead_bits = 128;
+  double per_frame_turnaround_s = 100e-6;
+  double protocol_efficiency = 0.7;
+  double channel_distance_m = 0.3;  ///< coil-to-coil
+  phy::NfmiChannelParams channel{};
+};
+
+class NfmiLink final : public Link {
+ public:
+  explicit NfmiLink(NfmiLinkParams params = {});
+
+  [[nodiscard]] const NfmiLinkParams& params() const { return params_; }
+
+ private:
+  static LinkSpec make_spec(const NfmiLinkParams& p, const phy::NfmiChannel& ch);
+
+  NfmiLinkParams params_;
+  phy::NfmiChannel channel_;
+};
+
+}  // namespace iob::comm

@@ -1,0 +1,177 @@
+#include "comm/tdma.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::comm {
+
+TdmaBus::TdmaBus(sim::Simulator& sim, const Link& link, TdmaConfig config, sim::TraceSink* trace)
+    : sim_(sim), link_(link), config_(config), trace_(trace), rng_(sim.rng().fork(0x7d0a)) {
+  IOB_EXPECTS(config_.slot_s > 0.0, "slot duration must be positive");
+  IOB_EXPECTS(config_.guard_s >= 0.0, "guard time must be non-negative");
+  const double min_frame = link_.frame_time_s(1);
+  IOB_EXPECTS(config_.slot_s >= min_frame, "slot must fit at least a minimal frame");
+}
+
+NodeId TdmaBus::add_node(std::string name, unsigned slot_weight) {
+  IOB_EXPECTS(slot_weight >= 1, "slot weight must be at least 1");
+  IOB_EXPECTS(!running_, "cannot add nodes while the bus is running");
+  nodes_.push_back(NodeState{slot_weight, {}, 0});
+  MacNodeStats s;
+  s.name = std::move(name);
+  stats_.nodes.push_back(std::move(s));
+  return static_cast<NodeId>(nodes_.size());  // 1-based
+}
+
+bool TdmaBus::enqueue(NodeId node, Frame frame) {
+  IOB_EXPECTS(node >= 1 && node <= nodes_.size(), "unknown node id");
+  IOB_EXPECTS(link_.frame_time_s(frame.payload_bytes) <= config_.slot_s,
+              "frame exceeds slot duration and could never transmit");
+  auto& st = nodes_[node - 1];
+  if (st.queue.size() >= config_.max_queue_frames) {
+    ++stats_.nodes[node - 1].queue_overflows;
+    return false;
+  }
+  frame.src = node;
+  frame.dst = kHubId;
+  st.queue.push_back(std::move(frame));
+  return true;
+}
+
+bool TdmaBus::enqueue_downlink(NodeId dst, Frame frame) {
+  IOB_EXPECTS(dst >= 1 && dst <= nodes_.size(), "unknown destination node");
+  IOB_EXPECTS(config_.downlink_slot_s > 0.0, "downlink window disabled in TdmaConfig");
+  IOB_EXPECTS(link_.frame_time_s(frame.payload_bytes) <= config_.downlink_slot_s,
+              "downlink frame exceeds its window");
+  if (downlink_queue_.size() >= config_.max_queue_frames) return false;
+  frame.src = kHubId;
+  frame.dst = dst;
+  downlink_queue_.push_back(std::move(frame));
+  return true;
+}
+
+double TdmaBus::superframe_duration_s() const {
+  const double beacon = link_.frame_time_s(config_.beacon_bytes);
+  unsigned total_slots = 0;
+  for (const auto& n : nodes_) total_slots += n.weight;
+  return beacon + config_.downlink_slot_s +
+         static_cast<double>(total_slots) * (config_.slot_s + config_.guard_s);
+}
+
+void TdmaBus::start(sim::Time t0) {
+  IOB_EXPECTS(!nodes_.empty(), "TDMA bus needs at least one node");
+  running_ = true;
+  started_at_ = t0;
+  sim_.at(t0, [this] { run_superframe(); });
+}
+
+std::size_t TdmaBus::queue_depth(NodeId node) const {
+  IOB_EXPECTS(node >= 1 && node <= nodes_.size(), "unknown node id");
+  return nodes_[node - 1].queue.size();
+}
+
+void TdmaBus::run_superframe() {
+  if (!running_) return;
+  const sim::Time t0 = sim_.now();
+
+  // Beacon: hub transmits, every leaf listens to resynchronize.
+  const double beacon_air = link_.frame_time_s(config_.beacon_bytes);
+  stats_.hub_tx_energy_j += link_.frame_tx_energy_j(config_.beacon_bytes);
+  for (auto& ns : stats_.nodes) ns.rx_energy_j += link_.frame_rx_energy_j(config_.beacon_bytes);
+  stats_.busy_airtime_s += beacon_air;
+  if (trace_) trace_->emit(t0, "tdma", "beacon", "");
+
+  // Downlink (actuation) window, if configured.
+  sim::Time cursor = t0 + beacon_air;
+  if (config_.downlink_slot_s > 0.0) {
+    stats_.busy_airtime_s += run_downlink(cursor);
+    cursor += config_.downlink_slot_s;
+  }
+
+  // Slots, in node order, weight slots each.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (unsigned s = 0; s < nodes_[i].weight; ++s) {
+      const double used = run_slot(i, cursor);
+      stats_.busy_airtime_s += used;
+      cursor += config_.slot_s + config_.guard_s;
+    }
+  }
+
+  stats_.elapsed_s = (cursor - started_at_);
+  sim_.at(cursor, [this] { run_superframe(); });
+}
+
+double TdmaBus::run_downlink(sim::Time window_start) {
+  double used = 0.0;
+  while (!downlink_queue_.empty()) {
+    Frame& head = downlink_queue_.front();
+    const double air = link_.frame_time_s(head.payload_bytes);
+    if (used + air > config_.downlink_slot_s) break;
+
+    used += air;
+    stats_.hub_tx_energy_j += link_.frame_tx_energy_j(head.payload_bytes);
+    auto& ns = stats_.nodes[head.dst - 1];
+    ns.rx_energy_j += link_.frame_rx_energy_j(head.payload_bytes);
+
+    const bool lost = rng_.bernoulli(link_.frame_error_rate(head.payload_bytes));
+    if (!lost) {
+      const sim::Time delivered_at = window_start + used;
+      ++ns.downlink_frames;
+      ns.downlink_bytes += head.payload_bytes;
+      ns.downlink_latency_s.add(delivered_at - head.created_s);
+      if (trace_) {
+        trace_->emit(delivered_at, "tdma", "downlink",
+                     ns.name + " bytes=" + std::to_string(head.payload_bytes));
+      }
+      if (on_downlink_) on_downlink_(head, delivered_at);
+      downlink_queue_.pop_front();
+    }
+    // Lost downlink frames stay at the head and retry next superframe; the
+    // hub is not energy-constrained, so no retry cap is enforced here.
+  }
+  return used;
+}
+
+double TdmaBus::run_slot(std::size_t node_idx, sim::Time slot_start) {
+  auto& node = nodes_[node_idx];
+  auto& ns = stats_.nodes[node_idx];
+  double used = 0.0;
+
+  while (!node.queue.empty()) {
+    Frame& head = node.queue.front();
+    const double air = link_.frame_time_s(head.payload_bytes);
+    if (used + air > config_.slot_s) break;  // does not fit in the remainder
+
+    used += air;
+    ns.tx_energy_j += link_.frame_tx_energy_j(head.payload_bytes);
+    stats_.hub_rx_energy_j += link_.frame_rx_energy_j(head.payload_bytes);
+
+    const bool lost = rng_.bernoulli(link_.frame_error_rate(head.payload_bytes));
+    if (lost) {
+      ++ns.frames_retried;
+      if (++node.head_retries > config_.max_retries) {
+        ++ns.frames_dropped;
+        node.queue.pop_front();
+        node.head_retries = 0;
+      }
+      continue;  // retry (same or next slot)
+    }
+
+    // Delivered at the end of its airtime within this slot.
+    const sim::Time delivered_at = slot_start + used;
+    ++ns.frames_delivered;
+    ns.bytes_delivered += head.payload_bytes;
+    ns.latency_s.add(delivered_at - head.created_s);
+    if (trace_) {
+      trace_->emit(delivered_at, "tdma", "deliver",
+                   ns.name + " bytes=" + std::to_string(head.payload_bytes));
+    }
+    if (on_delivery_) on_delivery_(head, delivered_at);
+    node.queue.pop_front();
+    node.head_retries = 0;
+  }
+  return used;
+}
+
+}  // namespace iob::comm

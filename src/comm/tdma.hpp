@@ -1,0 +1,103 @@
+#pragma once
+/// \file tdma.hpp
+/// Hub-coordinated TDMA over the shared body bus (paper Sec. V).
+///
+/// EQS-HBC turns the whole body into *one* broadcast medium — electrically a
+/// shared wire — so medium access is the hub's job, exactly like the nervous
+/// system's time-multiplexed afferent pathways. The hub emits a beacon at
+/// each superframe start (all leaves listen briefly to resynchronize), then
+/// each leaf transmits in its assigned slot(s). Leaves sleep outside their
+/// slots, which is what keeps the leaf radio budget at the ~uW level the
+/// paper's Fig. 1 (right) requires.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/frame.hpp"
+#include "comm/link.hpp"
+#include "comm/mac_stats.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace iob::comm {
+
+struct TdmaConfig {
+  double slot_s = 1e-3;          ///< per-slot duration
+  double guard_s = 20e-6;        ///< inter-slot guard
+  std::uint32_t beacon_bytes = 8;
+  unsigned max_retries = 8;      ///< per-frame retransmissions before drop
+  std::size_t max_queue_frames = 4096;
+  /// Reserved hub->leaf (actuation) window after the beacon; 0 disables the
+  /// downlink phase entirely (pure-uplink sensing networks).
+  double downlink_slot_s = 0.0;
+};
+
+class TdmaBus {
+ public:
+  using DeliveryHandler = std::function<void(const Frame&, sim::Time)>;
+
+  /// \param link the shared body-bus link model (energy/time per frame)
+  TdmaBus(sim::Simulator& sim, const Link& link, TdmaConfig config = {},
+          sim::TraceSink* trace = nullptr);
+
+  /// Register a leaf node; heavier `slot_weight` grants more slots per
+  /// superframe (rate-proportional allocation). Returns the node's id
+  /// (1-based; 0 is the hub).
+  NodeId add_node(std::string name, unsigned slot_weight = 1);
+
+  /// Queue an uplink frame at the node. Returns false (and counts an
+  /// overflow) if the node queue is full.
+  bool enqueue(NodeId node, Frame frame);
+
+  /// Queue a hub->leaf (actuation) frame for transmission in the downlink
+  /// window. Requires `downlink_slot_s > 0` and a frame that fits it.
+  bool enqueue_downlink(NodeId dst, Frame frame);
+
+  /// Invoked at the hub for every delivered frame.
+  void set_delivery_handler(DeliveryHandler handler) { on_delivery_ = std::move(handler); }
+
+  /// Invoked at the destination leaf for every delivered downlink frame.
+  void set_downlink_handler(DeliveryHandler handler) { on_downlink_ = std::move(handler); }
+
+  /// Begin the superframe schedule at sim-time `t0`.
+  void start(sim::Time t0 = 0.0);
+
+  /// Stop issuing superframes (pending one finishes).
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+  [[nodiscard]] double superframe_duration_s() const;
+  [[nodiscard]] std::size_t queue_depth(NodeId node) const;
+  [[nodiscard]] const Link& link() const { return link_; }
+
+ private:
+  struct NodeState {
+    unsigned weight = 1;
+    std::deque<Frame> queue;
+    unsigned head_retries = 0;
+  };
+
+  void run_superframe();
+  /// Transmit from `node` inside its slot window; returns airtime used.
+  double run_slot(std::size_t node_idx, sim::Time slot_start);
+  /// Drain the hub downlink queue inside its window; returns airtime used.
+  double run_downlink(sim::Time window_start);
+
+  sim::Simulator& sim_;
+  const Link& link_;
+  TdmaConfig config_;
+  sim::TraceSink* trace_;
+  std::vector<NodeState> nodes_;
+  std::deque<Frame> downlink_queue_;
+  MacStats stats_;
+  DeliveryHandler on_delivery_;
+  DeliveryHandler on_downlink_;
+  bool running_ = false;
+  sim::Rng rng_;
+  sim::Time started_at_ = 0.0;
+};
+
+}  // namespace iob::comm

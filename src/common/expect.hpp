@@ -1,0 +1,42 @@
+#pragma once
+/// \file expect.hpp
+/// Precondition / invariant checking (Core Guidelines I.5/I.7 style).
+///
+/// `IOB_EXPECTS(cond, msg)` throws `std::invalid_argument` on a violated
+/// precondition; `IOB_ENSURES(cond, msg)` throws `std::logic_error` on a
+/// violated postcondition/invariant. Both are always-on: the library models
+/// physical systems where silently propagating a NaN or a negative power is
+/// far more expensive than the branch.
+
+#include <stdexcept>
+#include <string>
+
+namespace iob::detail {
+
+[[noreturn]] inline void fail_expects(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                              std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void fail_ensures(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("invariant failed: ") + cond + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace iob::detail
+
+#define IOB_EXPECTS(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::iob::detail::fail_expects(#cond, __FILE__, __LINE__, msg); \
+    }                                                             \
+  } while (false)
+
+#define IOB_ENSURES(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::iob::detail::fail_ensures(#cond, __FILE__, __LINE__, msg); \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace iob::common {
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string si_format(double value, const std::string& unit, int digits) {
+  if (value == 0.0) return "0 " + unit;
+  if (!std::isfinite(value)) return (value > 0 ? "inf " : "-inf ") + unit;
+
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+
+  const double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9999999 || p.scale == 1e-15) {
+      const double scaled = value / p.scale;
+      // Significant digits: decimals = digits - (integer digits of |scaled|).
+      const double abs_scaled = std::fabs(scaled);
+      int int_digits = abs_scaled < 1.0 ? 1 : static_cast<int>(std::floor(std::log10(abs_scaled))) + 1;
+      int decimals = std::max(0, digits - int_digits);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*f %s%s", decimals, scaled, p.prefix, unit.c_str());
+      return buf;
+    }
+  }
+  return fixed(value, digits) + " " + unit;  // unreachable, defensive
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  IOB_EXPECTS(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  IOB_EXPECTS(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+  auto render_rule = [&] {
+    std::ostringstream os;
+    os << "+";
+    for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(widths[c] + 2, '-') << "+";
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream out;
+  out << render_rule() << render_row(headers_) << render_rule();
+  for (const auto& row : rows_) {
+    out << (row.empty() ? render_rule() : render_row(row));
+  }
+  out << render_rule();
+  return out.str();
+}
+
+void Table::print() const { std::cout << to_string(); }
+
+void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+void print_note(const std::string& note) { std::cout << "  * " << note << "\n"; }
+
+}  // namespace iob::common

@@ -1,0 +1,55 @@
+#pragma once
+/// \file table.hpp
+/// Console table rendering for bench harnesses and reports.
+///
+/// Every bench binary regenerates one of the paper's figures/tables as rows
+/// on stdout; this printer keeps them aligned and consistent. It also
+/// provides engineering-notation formatting (`si_format`) so values read
+/// like the paper ("415 nW", "100 pJ/b", "4 Mb/s").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iob::common {
+
+/// Format `value` with an SI prefix and `digits` significant digits,
+/// e.g. si_format(4.15e-7, "W") -> "415 nW". Handles zero, negatives and
+/// out-of-prefix-range magnitudes gracefully.
+std::string si_format(double value, const std::string& unit, int digits = 3);
+
+/// Fixed-point formatting helper (std::format is not guaranteed in the
+/// offline toolchain).
+std::string fixed(double value, int decimals);
+
+/// A simple left/right aligned console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a data row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal rule row (rendered as dashes).
+  void add_rule();
+
+  /// Render with box-drawing-free ASCII (pipe-delimited, padded).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Print a section banner: "=== title ===" with surrounding blank lines.
+void print_banner(const std::string& title);
+
+/// Print an indented "key: value" annotation line (figure footnotes).
+void print_note(const std::string& note);
+
+}  // namespace iob::common

@@ -1,0 +1,98 @@
+#pragma once
+/// \file units.hpp
+/// SI unit helpers and conversions used across the library.
+///
+/// Convention: all physical quantities are `double` in base SI units
+/// (seconds, watts, joules, hertz, bits-per-second, meters, volts, farads),
+/// with the unit spelled out in the variable name when it is not obvious
+/// (e.g. `power_w`, `energy_j`, `rate_bps`). These constexpr helpers make
+/// call sites read like the paper's numbers: `100.0 * pico * 1.0` ->
+/// `100.0 * units::pJ`.
+
+#include <cmath>
+
+namespace iob::units {
+
+// ---- SI prefixes -----------------------------------------------------------
+inline constexpr double tera = 1e12;
+inline constexpr double giga = 1e9;
+inline constexpr double mega = 1e6;
+inline constexpr double kilo = 1e3;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+
+// ---- Time ------------------------------------------------------------------
+inline constexpr double second = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double minute = 60.0;
+inline constexpr double hour = 3600.0;
+inline constexpr double day = 86400.0;
+inline constexpr double week = 7.0 * day;
+/// Julian year, the "perpetual operability" threshold unit (paper Sec. V).
+inline constexpr double year = 365.25 * day;
+
+// ---- Power / energy --------------------------------------------------------
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+
+// ---- Data ------------------------------------------------------------------
+inline constexpr double bit = 1.0;
+inline constexpr double byte = 8.0;
+inline constexpr double kbit = 1e3;
+inline constexpr double Mbit = 1e6;
+inline constexpr double bps = 1.0;
+inline constexpr double kbps = 1e3;
+inline constexpr double Mbps = 1e6;
+
+// ---- Frequency / electrical --------------------------------------------------
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double uV = 1e-6;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+inline constexpr double Mohm = 1e6;
+
+// ---- Conversions -----------------------------------------------------------
+
+/// Battery capacity in mAh at a nominal voltage -> stored energy in joules.
+constexpr double battery_energy_j(double capacity_mah, double nominal_v) {
+  return capacity_mah * 1e-3 * nominal_v * hour;
+}
+
+/// Power ratio -> decibels. Requires ratio > 0.
+inline double to_db(double power_ratio) { return 10.0 * std::log10(power_ratio); }
+
+/// Decibels -> power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Voltage (amplitude) ratio -> decibels.
+inline double to_db_voltage(double v_ratio) { return 20.0 * std::log10(v_ratio); }
+
+/// Decibels -> voltage (amplitude) ratio.
+inline double from_db_voltage(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Watts -> dBm.
+inline double to_dbm(double power_w) { return 10.0 * std::log10(power_w / mW); }
+
+/// dBm -> watts.
+inline double from_dbm(double dbm) { return mW * std::pow(10.0, dbm / 10.0); }
+
+}  // namespace iob::units

@@ -1,0 +1,39 @@
+#include "core/comparison.hpp"
+
+#include "common/units.hpp"
+
+namespace iob::core {
+
+ArchitectureComparison::ArchitectureComparison(const PlatformPowerModel& model,
+                                               energy::Battery battery)
+    : model_(model), battery_(std::move(battery)) {}
+
+ComparisonRow ArchitectureComparison::compare(const WorkloadSpec& workload) const {
+  ComparisonRow row;
+  row.workload = workload.name;
+  row.conventional = model_.evaluate(NodeArchitecture::kConventional, workload);
+  row.human_inspired = model_.evaluate(NodeArchitecture::kHumanInspired, workload);
+  row.reduction_factor = row.conventional.node_total_w() / row.human_inspired.node_total_w();
+
+  const double conv_life = energy::battery_life_s(battery_, row.conventional.node_total_w());
+  const double hi_life = energy::battery_life_s(battery_, row.human_inspired.node_total_w());
+  row.conventional_life_days = conv_life / units::day;
+  row.human_inspired_life_days = hi_life / units::day;
+  row.conventional_class = energy::classify(conv_life);
+  row.human_inspired_class = energy::classify(hi_life);
+  return row;
+}
+
+std::vector<ComparisonRow> ArchitectureComparison::compare_suite(
+    const std::vector<WorkloadSpec>& workloads) const {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(workloads.size());
+  for (const auto& w : workloads) rows.push_back(compare(w));
+  return rows;
+}
+
+std::vector<ComparisonRow> ArchitectureComparison::compare_reference_suite() const {
+  return compare_suite({ecg_patch_workload(), audio_pendant_workload(), camera_node_workload()});
+}
+
+}  // namespace iob::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file comparison.hpp
+/// Architecture comparison engine: evaluates a suite of workloads under
+/// both architectures and produces the Fig.-1 rows (per-component powers,
+/// reduction factor) plus battery-life projections for each.
+
+#include <string>
+#include <vector>
+
+#include "core/platform_power.hpp"
+#include "energy/battery.hpp"
+#include "energy/lifetime.hpp"
+
+namespace iob::core {
+
+struct ComparisonRow {
+  std::string workload;
+  PowerBreakdown conventional;
+  PowerBreakdown human_inspired;
+  double reduction_factor = 0.0;
+  double conventional_life_days = 0.0;
+  double human_inspired_life_days = 0.0;
+  energy::LifeClass conventional_class{};
+  energy::LifeClass human_inspired_class{};
+};
+
+class ArchitectureComparison {
+ public:
+  ArchitectureComparison(const PlatformPowerModel& model, energy::Battery battery);
+
+  [[nodiscard]] ComparisonRow compare(const WorkloadSpec& workload) const;
+  [[nodiscard]] std::vector<ComparisonRow> compare_suite(
+      const std::vector<WorkloadSpec>& workloads) const;
+
+  /// The paper-motivated three-workload suite (Sec. II classes).
+  [[nodiscard]] std::vector<ComparisonRow> compare_reference_suite() const;
+
+ private:
+  const PlatformPowerModel& model_;
+  energy::Battery battery_;
+};
+
+}  // namespace iob::core

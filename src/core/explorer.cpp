@@ -1,0 +1,94 @@
+#include "core/explorer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/expect.hpp"
+#include "common/units.hpp"
+#include "partition/partitioner.hpp"
+
+namespace iob::core {
+
+DesignSpaceExplorer::DesignSpaceExplorer(energy::Battery battery,
+                                         energy::SensingPowerModel sensing,
+                                         double comm_energy_per_bit_j, double idle_floor_w)
+    : battery_(std::move(battery)),
+      sensing_(std::move(sensing)),
+      e_bit_j_(comm_energy_per_bit_j),
+      idle_floor_w_(idle_floor_w) {
+  IOB_EXPECTS(e_bit_j_ > 0, "comm energy per bit must be positive");
+  IOB_EXPECTS(idle_floor_w_ >= 0, "idle floor must be non-negative");
+}
+
+Fig3Point DesignSpaceExplorer::point(double rate_bps) const {
+  IOB_EXPECTS(rate_bps > 0, "rate must be positive");
+  Fig3Point p;
+  p.rate_bps = rate_bps;
+  p.sense_power_w = sensing_.power_w(rate_bps);
+  p.comm_power_w = e_bit_j_ * rate_bps;
+  p.total_power_w = p.sense_power_w + p.comm_power_w + idle_floor_w_;
+  const double life_s = energy::battery_life_s(battery_, p.total_power_w);
+  p.life_days = life_s / units::day;
+  p.life_class = energy::classify(life_s);
+  return p;
+}
+
+std::vector<Fig3Point> DesignSpaceExplorer::sweep(double min_rate_bps, double max_rate_bps,
+                                                  std::size_t points_per_decade) const {
+  IOB_EXPECTS(min_rate_bps > 0 && max_rate_bps > min_rate_bps, "invalid sweep range");
+  IOB_EXPECTS(points_per_decade >= 1, "need at least one point per decade");
+  std::vector<Fig3Point> out;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(points_per_decade));
+  for (double r = min_rate_bps; r <= max_rate_bps * 1.0000001; r *= step) {
+    out.push_back(point(r));
+  }
+  return out;
+}
+
+double DesignSpaceExplorer::perpetual_boundary_bps(double min_rate_bps,
+                                                   double max_rate_bps) const {
+  const auto perpetual_at = [this](double r) {
+    return energy::is_perpetual(point(r).life_days * units::day);
+  };
+  if (!perpetual_at(min_rate_bps)) return 0.0;
+  if (perpetual_at(max_rate_bps)) return std::numeric_limits<double>::infinity();
+  double lo = min_rate_bps, hi = max_rate_bps;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    if (perpetual_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double DesignSpaceExplorer::required_harvest_w(double rate_bps) const {
+  return point(rate_bps).total_power_w;
+}
+
+double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
+                                          double lo_j, double hi_j) {
+  IOB_EXPECTS(lo_j > 0 && hi_j > lo_j, "invalid bisection range");
+  const auto offload_wins = [&](double e_bit) {
+    partition::CostModel cm = base;
+    cm.leaf_hub.sender_energy_per_bit_j = e_bit;
+    const partition::Partitioner part(model, cm);
+    return part.full_offload().leaf_energy_j() < part.all_on_leaf().leaf_energy_j();
+  };
+  if (!offload_wins(lo_j)) return 0.0;       // offload never wins
+  if (offload_wins(hi_j)) return hi_j;        // offload always wins in range
+  double lo = lo_j, hi = hi_j;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    if (offload_wins(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace iob::core

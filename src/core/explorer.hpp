@@ -1,0 +1,71 @@
+#pragma once
+/// \file explorer.hpp
+/// Design-space exploration: the sweeps behind Fig. 3 and the ablation
+/// benches — battery life vs data rate, the perpetual-region boundary,
+/// harvesting feasibility, and the offload-crossover link energy.
+
+#include <string>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "energy/battery.hpp"
+#include "energy/lifetime.hpp"
+#include "energy/sensing_power.hpp"
+#include "nn/model.hpp"
+#include "partition/cost_model.hpp"
+
+namespace iob::core {
+
+/// One point on the Fig. 3 curve.
+struct Fig3Point {
+  double rate_bps = 0.0;
+  double sense_power_w = 0.0;
+  double comm_power_w = 0.0;
+  double total_power_w = 0.0;
+  double life_days = 0.0;  ///< +inf if harvest-covered (not used on base curve)
+  energy::LifeClass life_class{};
+};
+
+class DesignSpaceExplorer {
+ public:
+  /// \param comm_energy_per_bit_j the Wi-R figure of merit (100 pJ/bit)
+  /// \param idle_floor_w always-on platform floor added to the curve
+  DesignSpaceExplorer(energy::Battery battery, energy::SensingPowerModel sensing = {},
+                      double comm_energy_per_bit_j = 100e-12, double idle_floor_w = 0.5e-6);
+
+  /// Battery life at one data rate (the Fig. 3 model: P = P_sense(R) +
+  /// e_bit * R + floor; life = E_batt / P).
+  [[nodiscard]] Fig3Point point(double rate_bps) const;
+
+  /// Log-spaced sweep of the full curve.
+  [[nodiscard]] std::vector<Fig3Point> sweep(double min_rate_bps, double max_rate_bps,
+                                             std::size_t points_per_decade = 4) const;
+
+  /// Largest data rate still giving > 1 year battery life (the perpetual
+  /// region's right edge), by bisection. Returns 0 if even the minimum rate
+  /// fails, +inf if the maximum rate is still perpetual.
+  [[nodiscard]] double perpetual_boundary_bps(double min_rate_bps = 1.0,
+                                              double max_rate_bps = 1e9) const;
+
+  /// Smallest harvest power (W) that makes a node at `rate_bps` charging-
+  /// free (net-zero battery drain).
+  [[nodiscard]] double required_harvest_w(double rate_bps) const;
+
+  [[nodiscard]] const energy::Battery& battery() const { return battery_; }
+  [[nodiscard]] double comm_energy_per_bit_j() const { return e_bit_j_; }
+
+ private:
+  energy::Battery battery_;
+  energy::SensingPowerModel sensing_;
+  double e_bit_j_;
+  double idle_floor_w_;
+};
+
+/// Link energy/bit below which *full offload* of `model` beats all-on-leaf
+/// for leaf energy (the architectural crossover the paper's Wi-R enables).
+/// Bisects over sender energy/bit in [lo, hi]; the rest of the cost model
+/// is taken from `base`.
+double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
+                                          double lo_j = 1e-13, double hi_j = 1e-6);
+
+}  // namespace iob::core

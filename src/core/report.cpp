@@ -1,0 +1,62 @@
+#include "core/report.hpp"
+
+#include <cmath>
+
+#include "common/table.hpp"
+
+namespace iob::core {
+
+using common::fixed;
+using common::si_format;
+using common::Table;
+
+std::string render_comparison(const std::vector<ComparisonRow>& rows) {
+  Table t({"workload", "architecture", "sense", "compute", "comm", "node total", "battery life",
+           "class"});
+  for (const auto& r : rows) {
+    t.add_row({r.workload, "conventional", si_format(r.conventional.sense_w, "W"),
+               si_format(r.conventional.compute_w, "W"), si_format(r.conventional.comm_w, "W"),
+               si_format(r.conventional.node_total_w(), "W"),
+               fixed(r.conventional_life_days, 1) + " d",
+               energy::to_string(r.conventional_class)});
+    t.add_row({"", "human-inspired", si_format(r.human_inspired.sense_w, "W"),
+               si_format(r.human_inspired.compute_w, "W"), si_format(r.human_inspired.comm_w, "W"),
+               si_format(r.human_inspired.node_total_w(), "W"),
+               fixed(r.human_inspired_life_days, 1) + " d",
+               energy::to_string(r.human_inspired_class)});
+    t.add_row({"", "reduction", "", "", "", fixed(r.reduction_factor, 1) + "x", "", ""});
+    t.add_rule();
+  }
+  return t.to_string();
+}
+
+std::string render_network_report(const net::NetworkReport& report) {
+  Table t({"node", "avg power", "comm", "life", "perpetual?", "frames", "drops", "mean lat",
+           "max lat"});
+  for (const auto& n : report.nodes) {
+    const std::string life = std::isinf(n.projected_life_days)
+                                 ? "inf (harvest-covered)"
+                                 : fixed(n.projected_life_days, 1) + " d";
+    t.add_row({n.name, si_format(n.average_power_w, "W"), si_format(n.comm_power_w, "W"), life,
+               n.perpetual ? "yes" : "no", std::to_string(n.frames_delivered),
+               std::to_string(n.frames_dropped), si_format(n.mean_latency_s, "s"),
+               si_format(n.p99ish_latency_s, "s")});
+  }
+  std::string out = t.to_string();
+  out += "  hub power: " + si_format(report.hub_power_w, "W") +
+         " | goodput: " + si_format(report.aggregate_goodput_bps, "b/s") +
+         " | bus utilization: " + fixed(report.bus_utilization * 100.0, 1) + "%\n";
+  return out;
+}
+
+std::string render_fig3(const std::vector<Fig3Point>& points) {
+  Table t({"data rate", "sense power", "Wi-R power", "total power", "battery life", "class"});
+  for (const auto& p : points) {
+    t.add_row({si_format(p.rate_bps, "b/s"), si_format(p.sense_power_w, "W"),
+               si_format(p.comm_power_w, "W"), si_format(p.total_power_w, "W"),
+               fixed(p.life_days, 1) + " d", energy::to_string(p.life_class)});
+  }
+  return t.to_string();
+}
+
+}  // namespace iob::core

@@ -1,0 +1,24 @@
+#pragma once
+/// \file report.hpp
+/// Human-readable report rendering for the public API results (comparison
+/// rows, network reports, Fig. 3 sweeps) — shared by examples and benches.
+
+#include <string>
+#include <vector>
+
+#include "core/comparison.hpp"
+#include "core/explorer.hpp"
+#include "net/network_sim.hpp"
+
+namespace iob::core {
+
+/// Fig.-1-style per-component power table for a set of comparison rows.
+std::string render_comparison(const std::vector<ComparisonRow>& rows);
+
+/// Per-node power/battery/latency table for a finished network simulation.
+std::string render_network_report(const net::NetworkReport& report);
+
+/// Fig.-3-style curve table.
+std::string render_fig3(const std::vector<Fig3Point>& points);
+
+}  // namespace iob::core

@@ -1,0 +1,36 @@
+#include "energy/duty_cycle.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace iob::energy {
+
+double average_power_w(const DutyCycleSpec& spec, double duty, double wakes_per_s) {
+  IOB_EXPECTS(duty >= 0.0 && duty <= 1.0, "duty factor must be in [0, 1]");
+  IOB_EXPECTS(wakes_per_s >= 0.0, "wake rate must be non-negative");
+  return spec.active_power_w * duty + spec.sleep_power_w * (1.0 - duty) +
+         spec.wake_energy_j * wakes_per_s;
+}
+
+double required_duty(double rate_bps, double link_rate_bps) {
+  IOB_EXPECTS(rate_bps >= 0.0, "rate must be non-negative");
+  IOB_EXPECTS(link_rate_bps > 0.0, "link rate must be positive");
+  return std::clamp(rate_bps / link_rate_bps, 0.0, 1.0);
+}
+
+double radio_average_power_w(const DutyCycleSpec& spec, double rate_bps, double link_rate_bps,
+                             double event_interval_s) {
+  IOB_EXPECTS(event_interval_s > 0.0, "event interval must be positive");
+  const double duty = required_duty(rate_bps, link_rate_bps);
+  // Wake events only happen while there is traffic to move; an idle radio
+  // still wakes to keep the connection alive, which is exactly the BLE
+  // keep-alive cost — model it as one wake per interval regardless.
+  const double wakes_per_s = 1.0 / event_interval_s;
+  // Enforce the minimum burst: tiny payloads still cost min_active_s of
+  // active time per event.
+  const double min_duty = std::min(1.0, spec.min_active_s * wakes_per_s);
+  return average_power_w(spec, std::max(duty, min_duty), wakes_per_s);
+}
+
+}  // namespace iob::energy

@@ -1,0 +1,34 @@
+#pragma once
+/// \file duty_cycle.hpp
+/// Duty-cycling math for bursty components (radios especially). Today's
+/// BLE wearables survive by sleeping between connection events; the model
+/// captures the active/sleep/wake tradeoff so the conventional-architecture
+/// baseline in `core/` is charitable (it duty-cycles its radio optimally)
+/// and the Wi-R comparison remains honest.
+
+#include "common/units.hpp"
+
+namespace iob::energy {
+
+struct DutyCycleSpec {
+  double active_power_w;   ///< power while active
+  double sleep_power_w;    ///< power while sleeping (> 0: leakage, RTC)
+  double wake_energy_j;    ///< fixed energy to wake + resynchronize
+  double min_active_s;     ///< minimum useful active burst length
+};
+
+/// Average power when the component must be active a fraction `duty` of the
+/// time, waking `wakes_per_s` times per second.
+double average_power_w(const DutyCycleSpec& spec, double duty, double wakes_per_s);
+
+/// Duty factor required to move `rate_bps` of traffic over a link of
+/// `link_rate_bps` capacity (clamped to [0, 1]).
+double required_duty(double rate_bps, double link_rate_bps);
+
+/// Average power for a radio moving `rate_bps` over a `link_rate_bps` link
+/// with `event_interval_s` between wake events (BLE connection-interval
+/// style). Includes the wake-energy amortization.
+double radio_average_power_w(const DutyCycleSpec& spec, double rate_bps, double link_rate_bps,
+                             double event_interval_s);
+
+}  // namespace iob::energy

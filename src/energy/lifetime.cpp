@@ -1,0 +1,54 @@
+#include "energy/lifetime.hpp"
+
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace iob::energy {
+
+double battery_life_s(const Battery& battery, double platform_power_w, double harvest_average_w) {
+  IOB_EXPECTS(platform_power_w >= 0.0, "platform power must be non-negative");
+  IOB_EXPECTS(harvest_average_w >= 0.0, "harvest power must be non-negative");
+  const double net = platform_power_w - harvest_average_w;
+  if (net <= 0.0) return std::numeric_limits<double>::infinity();
+  return battery.usable_energy_j() / net;
+}
+
+double battery_life_days(const Battery& battery, double platform_power_w,
+                         double harvest_average_w) {
+  return battery_life_s(battery, platform_power_w, harvest_average_w) / units::day;
+}
+
+LifeClass classify(double life_s) {
+  IOB_EXPECTS(life_s >= 0.0, "life must be non-negative");
+  using namespace iob::units;
+  if (life_s > year) return LifeClass::kPerpetual;
+  if (life_s > 30.0 * day) return LifeClass::kMultiMonth;
+  if (life_s > week) return LifeClass::kAllWeek;
+  if (life_s > 2.0 * day) return LifeClass::kMultiDay;
+  if (life_s > 10.0 * hour) return LifeClass::kAllDay;
+  if (life_s > 5.0 * hour) return LifeClass::kSubDay;
+  return LifeClass::kHours3to5;
+}
+
+std::string to_string(LifeClass c) {
+  switch (c) {
+    case LifeClass::kHours3to5: return "3-5 hr";
+    case LifeClass::kSubDay: return "<10 hr";
+    case LifeClass::kAllDay: return "all-day";
+    case LifeClass::kMultiDay: return "multi-day";
+    case LifeClass::kAllWeek: return "all-week";
+    case LifeClass::kMultiMonth: return "months";
+    case LifeClass::kPerpetual: return "perpetual (>1 yr)";
+  }
+  return "?";
+}
+
+bool is_perpetual(double life_s) { return life_s > units::year; }
+
+double power_budget_w(const Battery& battery, double target_life_s) {
+  IOB_EXPECTS(target_life_s > 0.0, "target life must be positive");
+  return battery.usable_energy_j() / target_life_s;
+}
+
+}  // namespace iob::energy

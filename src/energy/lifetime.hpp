@@ -1,0 +1,50 @@
+#pragma once
+/// \file lifetime.hpp
+/// Battery-life projection and the paper's operability taxonomy.
+///
+/// Sec. V: "We further consider devices with more than a year of battery
+/// life as perpetually operable." Fig. 2/3 bucket devices into 3-5 h,
+/// <10 h, all-day, all-week, and perpetual classes; `classify()` reproduces
+/// those buckets so benches can print the same labels the figures use.
+
+#include <string>
+
+#include "common/units.hpp"
+#include "energy/battery.hpp"
+
+namespace iob::energy {
+
+enum class LifeClass {
+  kHours3to5,     ///< 3-5 h (MR headsets, smart glasses)
+  kSubDay,        ///< <10 h (smartphones under heavy use)
+  kAllDay,        ///< ~1-2 days
+  kMultiDay,      ///< 2-7 days
+  kAllWeek,       ///< ~1-4 weeks
+  kMultiMonth,    ///< 1-12 months
+  kPerpetual,     ///< > 1 year (paper's perpetual-operability threshold)
+};
+
+/// Battery life (s) at a constant platform power, optionally offset by a
+/// harvested average. If harvesting covers the load the result is +inf.
+double battery_life_s(const Battery& battery, double platform_power_w,
+                      double harvest_average_w = 0.0);
+
+/// Same in days (Fig. 3's y-axis).
+double battery_life_days(const Battery& battery, double platform_power_w,
+                         double harvest_average_w = 0.0);
+
+/// Map a battery life to the paper's bucket taxonomy.
+LifeClass classify(double life_s);
+
+/// Human-readable bucket label, matching the figure annotations
+/// ("all-week", "perpetually operable", ...).
+std::string to_string(LifeClass c);
+
+/// Paper threshold: life > 1 year.
+bool is_perpetual(double life_s);
+
+/// The platform power (W) that exactly meets a target life for a battery —
+/// used to find the perpetual-region boundary on the Fig. 3 sweep.
+double power_budget_w(const Battery& battery, double target_life_s);
+
+}  // namespace iob::energy

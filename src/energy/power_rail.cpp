@@ -1,0 +1,49 @@
+#include "energy/power_rail.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::energy {
+
+std::size_t PowerRailMonitor::add_rail(std::string name) {
+  rails_.push_back(Rail{std::move(name), {}});
+  rails_.back().series.update(0.0, 0.0);
+  return rails_.size() - 1;
+}
+
+void PowerRailMonitor::set_power(std::size_t idx, double t, double power_w) {
+  IOB_EXPECTS(idx < rails_.size(), "rail index out of range");
+  IOB_EXPECTS(power_w >= 0.0, "rail power must be non-negative");
+  rails_[idx].series.update(t, power_w);
+}
+
+double PowerRailMonitor::total_power_w() const {
+  double sum = 0.0;
+  for (const auto& r : rails_) sum += r.series.current();
+  return sum;
+}
+
+double PowerRailMonitor::rail_energy_j(std::size_t idx, double t) const {
+  IOB_EXPECTS(idx < rails_.size(), "rail index out of range");
+  return rails_[idx].series.integral_until(t);
+}
+
+double PowerRailMonitor::total_energy_j(double t) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rails_.size(); ++i) sum += rail_energy_j(i, t);
+  return sum;
+}
+
+double PowerRailMonitor::rail_average_w(std::size_t idx, double t) const {
+  IOB_EXPECTS(idx < rails_.size(), "rail index out of range");
+  IOB_EXPECTS(t > 0.0, "averaging window must be positive");
+  return rail_energy_j(idx, t) / t;
+}
+
+const std::string& PowerRailMonitor::rail_name(std::size_t idx) const {
+  IOB_EXPECTS(idx < rails_.size(), "rail index out of range");
+  return rails_[idx].name;
+}
+
+}  // namespace iob::energy

@@ -1,0 +1,47 @@
+#pragma once
+/// \file power_rail.hpp
+/// Per-component power accounting for a device platform. Each subsystem
+/// (sensor AFE, CPU/ISA, radio/Wi-R, actuator) is a named rail whose
+/// instantaneous power changes over simulation time; the monitor integrates
+/// per-rail energy so tests can assert energy conservation (battery drop ==
+/// sum of rail integrals) and benches can print Fig.-1-style breakdowns.
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace iob::energy {
+
+class PowerRailMonitor {
+ public:
+  /// Register a rail; returns its index. Rails start at 0 W at time 0.
+  std::size_t add_rail(std::string name);
+
+  /// Record that rail `idx` changed to `power_w` at time `t`.
+  void set_power(std::size_t idx, double t, double power_w);
+
+  /// Instantaneous total power (W) across rails.
+  [[nodiscard]] double total_power_w() const;
+
+  /// Energy (J) consumed by rail `idx` in [0, t].
+  [[nodiscard]] double rail_energy_j(std::size_t idx, double t) const;
+
+  /// Total energy (J) across rails in [0, t].
+  [[nodiscard]] double total_energy_j(double t) const;
+
+  /// Time-averaged power (W) of rail `idx` over [0, t].
+  [[nodiscard]] double rail_average_w(std::size_t idx, double t) const;
+
+  [[nodiscard]] const std::string& rail_name(std::size_t idx) const;
+  [[nodiscard]] std::size_t rail_count() const { return rails_.size(); }
+
+ private:
+  struct Rail {
+    std::string name;
+    sim::TimeWeighted series;
+  };
+  std::vector<Rail> rails_;
+};
+
+}  // namespace iob::energy

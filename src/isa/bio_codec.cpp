@@ -1,0 +1,116 @@
+#include "isa/bio_codec.hpp"
+
+#include <stdexcept>
+
+#include "common/expect.hpp"
+#include "isa/bitstream.hpp"
+#include "isa/huffman.hpp"
+
+namespace iob::isa {
+
+namespace {
+
+std::uint32_t zz_encode(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^ static_cast<std::uint32_t>(v >> 31);
+}
+std::int32_t zz_decode(std::uint32_t u) {
+  return static_cast<std::int32_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::int32_t v) {
+  std::uint32_t u = zz_encode(v);
+  while (u >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(u | 0x80));
+    u >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(u));
+}
+
+std::int32_t get_varint(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  std::uint32_t u = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (pos >= in.size()) throw std::runtime_error("bio codec: truncated varint");
+    const std::uint8_t b = in[pos++];
+    u |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+    if (shift > 28) throw std::runtime_error("bio codec: varint overflow");
+  }
+  return zz_decode(u);
+}
+
+}  // namespace
+
+BioEncoded BioCodec::encode(const std::vector<std::int16_t>& samples) const {
+  BioEncoded out;
+  out.sample_count = samples.size();
+  out.huffman = use_huffman_;
+  if (samples.empty()) return out;
+
+  std::vector<std::uint8_t> varints;
+  varints.reserve(samples.size());
+  std::int32_t prev = 0;
+  for (const std::int16_t s : samples) {
+    put_varint(varints, static_cast<std::int32_t>(s) - prev);
+    prev = s;
+  }
+
+  if (!use_huffman_) {
+    out.payload = std::move(varints);
+    return out;
+  }
+
+  std::vector<std::uint64_t> freqs(256, 0);
+  for (const auto b : varints) ++freqs[b];
+  const HuffmanCodec codec = HuffmanCodec::from_frequencies(freqs);
+  out.payload = codec.code_lengths();
+  for (int i = 0; i < 4; ++i) {
+    out.payload.push_back(static_cast<std::uint8_t>((varints.size() >> (8 * i)) & 0xff));
+  }
+  BitWriter bw;
+  for (const auto b : varints) codec.encode(b, bw);
+  const auto bits = bw.finish();
+  out.payload.insert(out.payload.end(), bits.begin(), bits.end());
+  return out;
+}
+
+std::vector<std::int16_t> BioCodec::decode(const BioEncoded& encoded) const {
+  std::vector<std::int16_t> samples;
+  samples.reserve(encoded.sample_count);
+  if (encoded.sample_count == 0) return samples;
+
+  std::vector<std::uint8_t> varints;
+  if (!encoded.huffman) {
+    varints = encoded.payload;
+  } else {
+    IOB_EXPECTS(encoded.payload.size() >= 260, "payload too short for Huffman header");
+    std::vector<std::uint8_t> lengths(encoded.payload.begin(), encoded.payload.begin() + 256);
+    const HuffmanCodec codec = HuffmanCodec::from_code_lengths(std::move(lengths));
+    std::size_t count = 0;
+    for (int i = 0; i < 4; ++i) {
+      count |= static_cast<std::size_t>(encoded.payload[256 + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    const std::vector<std::uint8_t> bits(encoded.payload.begin() + 260, encoded.payload.end());
+    BitReader br(bits);
+    varints.resize(count);
+    for (auto& v : varints) v = static_cast<std::uint8_t>(codec.decode(br));
+  }
+
+  std::size_t pos = 0;
+  std::int32_t prev = 0;
+  for (std::size_t i = 0; i < encoded.sample_count; ++i) {
+    prev += get_varint(varints, pos);
+    samples.push_back(static_cast<std::int16_t>(prev));
+  }
+  return samples;
+}
+
+double BioCodec::compression_ratio(const std::vector<std::int16_t>& samples) const {
+  IOB_EXPECTS(!samples.empty(), "signal must be non-empty");
+  const BioEncoded e = encode(samples);
+  return static_cast<double>(samples.size() * 2) / static_cast<double>(e.size_bytes());
+}
+
+}  // namespace iob::isa

@@ -1,0 +1,81 @@
+#pragma once
+/// \file entropy_detail.hpp
+/// Shared entropy-stage helpers for the block video codecs: signed varints
+/// over a byte token stream, and the Huffman wrap/unwrap framing
+/// (256-byte canonical code-length table + 4-byte token count + bitstream).
+/// Internal to isa/; not part of the public API.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/huffman.hpp"
+
+namespace iob::isa::detail {
+
+inline std::uint32_t zz_encode_s32(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^ static_cast<std::uint32_t>(v >> 31);
+}
+
+inline std::int32_t zz_decode_s32(std::uint32_t u) {
+  return static_cast<std::int32_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::int32_t v) {
+  std::uint32_t u = zz_encode_s32(v);
+  while (u >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(u | 0x80));
+    u >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(u));
+}
+
+inline std::int32_t get_varint(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  std::uint32_t u = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (pos >= in.size()) throw std::runtime_error("entropy: truncated varint");
+    const std::uint8_t b = in[pos++];
+    u |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+    if (shift > 28) throw std::runtime_error("entropy: varint overflow");
+  }
+  return zz_decode_s32(u);
+}
+
+/// Huffman-wrap a token byte stream: [256 B code lengths][4 B count][bits].
+inline std::vector<std::uint8_t> huffman_wrap(const std::vector<std::uint8_t>& tokens) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  for (const auto b : tokens) ++freqs[b];
+  if (tokens.empty()) freqs[0] = 1;  // degenerate but valid table
+  const HuffmanCodec codec = HuffmanCodec::from_frequencies(freqs);
+
+  std::vector<std::uint8_t> out = codec.code_lengths();
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((tokens.size() >> (8 * i)) & 0xff));
+  }
+  BitWriter bw;
+  for (const auto b : tokens) codec.encode(b, bw);
+  const auto bits = bw.finish();
+  out.insert(out.end(), bits.begin(), bits.end());
+  return out;
+}
+
+/// Inverse of huffman_wrap.
+inline std::vector<std::uint8_t> huffman_unwrap(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 260) throw std::runtime_error("entropy: payload too short");
+  std::vector<std::uint8_t> lengths(payload.begin(), payload.begin() + 256);
+  const HuffmanCodec codec = HuffmanCodec::from_code_lengths(std::move(lengths));
+  std::size_t count = 0;
+  for (int i = 0; i < 4; ++i) {
+    count |= static_cast<std::size_t>(payload[256 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  const std::vector<std::uint8_t> bits(payload.begin() + 260, payload.end());
+  BitReader br(bits);
+  std::vector<std::uint8_t> tokens(count);
+  for (auto& t : tokens) t = static_cast<std::uint8_t>(codec.decode(br));
+  return tokens;
+}
+
+}  // namespace iob::isa::detail

@@ -1,0 +1,71 @@
+#include "isa/fft.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::isa {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_core(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  IOB_EXPECTS(is_pow2(n), "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& x) { fft_core(x, false); }
+void ifft(std::vector<Complex>& x) { fft_core(x, true); }
+
+std::vector<Complex> rfft(const std::vector<float>& x) {
+  IOB_EXPECTS(!x.empty(), "signal must be non-empty");
+  std::vector<Complex> c(next_pow2(x.size()), Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex(x[i], 0.0);
+  fft(c);
+  return c;
+}
+
+std::vector<double> magnitude_spectrum(const std::vector<float>& x) {
+  const auto c = rfft(x);
+  std::vector<double> mag(c.size() / 2 + 1);
+  for (std::size_t i = 0; i < mag.size(); ++i) mag[i] = std::abs(c[i]);
+  return mag;
+}
+
+}  // namespace iob::isa

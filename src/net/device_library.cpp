@@ -1,0 +1,64 @@
+#include "net/device_library.hpp"
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace iob::net {
+
+double DeviceSpec::battery_energy_j() const {
+  return units::battery_energy_j(battery_mah, battery_v);
+}
+
+double DeviceSpec::battery_life_s() const { return battery_energy_j() / platform_power_w; }
+
+double DeviceSpec::battery_life_hours() const { return battery_life_s() / units::hour; }
+
+const std::vector<DeviceSpec>& device_survey() {
+  using namespace iob::units;
+  using L = BodyLocation;
+  static const std::vector<DeviceSpec> table = {
+      // ---- Pre-2024 wearables (Fig. 2 left) --------------------------------
+      {"smart ring", DeviceEra::kPre2024, L::kFingerLeft, 20.0, 3.7, 0.40 * mW, 40.0 * kbps,
+       "all-week"},
+      {"fitness tracker", DeviceEra::kPre2024, L::kWristLeft, 125.0, 3.7, 2.6 * mW, 40.0 * kbps,
+       "all-week"},
+      {"earbuds", DeviceEra::kPre2024, L::kEarLeft, 50.0, 3.7, 14.0 * mW, 256.0 * kbps,
+       "all-day"},
+      {"smartwatch", DeviceEra::kPre2024, L::kWristLeft, 300.0, 3.85, 60.0 * mW, 300.0 * kbps,
+       "all-day"},
+      {"headphone", DeviceEra::kPre2024, L::kHead, 600.0, 3.7, 90.0 * mW, 512.0 * kbps,
+       "all-day"},
+      {"smartphone", DeviceEra::kPre2024, L::kThighLeft, 4000.0, 3.85, 1.8 * W, 10.0 * Mbps,
+       "<10 hr"},
+      // ---- 2024 wearable-AI boom (Fig. 2 right) ----------------------------
+      {"AI pin", DeviceEra::kWearableAi2024, L::kChest, 1000.0, 3.85, 320.0 * mW, 10.0 * Mbps,
+       "all-day"},
+      {"AI pocket assistant", DeviceEra::kWearableAi2024, L::kThighLeft, 1000.0, 3.7, 300.0 * mW,
+       2.0 * Mbps, "all-day"},
+      {"AI necklace", DeviceEra::kWearableAi2024, L::kNeck, 100.0, 3.7, 12.0 * mW, 256.0 * kbps,
+       "all-day"},
+      {"smart glasses", DeviceEra::kWearableAi2024, L::kHead, 154.0, 3.7, 140.0 * mW, 10.0 * Mbps,
+       "3-5 hr"},
+      {"mixed reality headset", DeviceEra::kWearableAi2024, L::kHead, 5060.0, 3.85, 5.5 * W,
+       100.0 * Mbps, "3-5 hr"},
+  };
+  return table;
+}
+
+const DeviceSpec& find_device(const std::string& name) {
+  for (const auto& d : device_survey()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+std::string to_string(DeviceEra era) {
+  switch (era) {
+    case DeviceEra::kPre2024: return "pre-2024";
+    case DeviceEra::kWearableAi2024: return "2024 wearable-AI";
+  }
+  return "?";
+}
+
+}  // namespace iob::net

@@ -1,0 +1,69 @@
+#include "net/hub.hpp"
+
+#include <stdexcept>
+
+#include "common/expect.hpp"
+
+namespace iob::net {
+
+Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
+    : sim_(sim), bus_(bus), config_(config) {
+  IOB_EXPECTS(config_.energy_per_mac_j >= 0, "energy per MAC must be non-negative");
+  bus_.set_delivery_handler(
+      [this](const comm::Frame& f, sim::Time t) { on_frame(f, t); });
+}
+
+void Hub::add_session(SessionConfig config) {
+  IOB_EXPECTS(!config.stream.empty(), "session stream tag must be non-empty");
+  IOB_EXPECTS(config.bytes_per_inference > 0, "bytes per inference must be positive");
+  const std::string key = config.stream;
+  session_configs_[key] = std::move(config);
+  session_stats_[key];   // default-construct
+  window_bytes_[key] = 0;
+}
+
+void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
+  ++frames_received_;
+  bytes_received_ += frame.payload_bytes;
+  latency_s_.add(delivered_at - frame.created_s);
+
+  const auto cfg_it = session_configs_.find(frame.stream);
+  if (cfg_it == session_configs_.end()) return;
+  const SessionConfig& cfg = cfg_it->second;
+  SessionStats& st = session_stats_[frame.stream];
+  st.bytes_in += frame.payload_bytes;
+
+  auto& window = window_bytes_[frame.stream];
+  window += frame.payload_bytes;
+  while (window >= cfg.bytes_per_inference) {
+    window -= cfg.bytes_per_inference;
+    ++st.inferences;
+    st.compute_energy_j += static_cast<double>(cfg.macs_per_inference) * config_.energy_per_mac_j;
+    if (cfg.forward_to_cloud) {
+      st.uplink_energy_j +=
+          static_cast<double>(cfg.result_bytes) * 8.0 * config_.uplink_energy_per_bit_j;
+    }
+  }
+}
+
+const SessionStats& Hub::session(const std::string& stream) const {
+  const auto it = session_stats_.find(stream);
+  if (it == session_stats_.end()) throw std::invalid_argument("unknown session: " + stream);
+  return it->second;
+}
+
+double Hub::energy_j() const {
+  double e = bus_.stats().hub_rx_energy_j + bus_.stats().hub_tx_energy_j +
+             config_.base_power_w * sim_.now();
+  for (const auto& [stream, st] : session_stats_) {
+    e += st.compute_energy_j + st.uplink_energy_j;
+  }
+  return e;
+}
+
+double Hub::average_power_w() const {
+  const double t = sim_.now();
+  return t > 0 ? energy_j() / t : 0.0;
+}
+
+}  // namespace iob::net

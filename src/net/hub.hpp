@@ -1,0 +1,64 @@
+#pragma once
+/// \file hub.hpp
+/// The on-body hub ("wearable brain", paper Fig. 1 right): terminates the
+/// body bus, runs edge inference sessions over delivered streams, and
+/// uplinks results to fog/cloud. The hub is the one device that keeps the
+/// daily-charging battery; its energy ledger (bus RX/TX + compute + uplink)
+/// is tracked so the architecture comparison can show the *system* cost,
+/// not just the leaf savings.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/tdma.hpp"
+#include "net/session.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace iob::net {
+
+struct HubConfig {
+  double energy_per_mac_j = 5e-12;   ///< hub silicon efficiency
+  double uplink_energy_per_bit_j = 30e-9;  ///< Wi-Fi-class
+  double base_power_w = 50e-3;       ///< SoC idle/display/OS floor
+};
+
+class Hub {
+ public:
+  Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config = {});
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  /// Register an inference session for a stream tag.
+  void add_session(SessionConfig config);
+
+  [[nodiscard]] const SessionStats& session(const std::string& stream) const;
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] const sim::Accumulator& delivery_latency_s() const { return latency_s_; }
+
+  /// Total hub energy (J) up to now: bus RX/TX + sessions + base floor.
+  [[nodiscard]] double energy_j() const;
+
+  /// Average hub power (W) over the run.
+  [[nodiscard]] double average_power_w() const;
+
+  [[nodiscard]] const HubConfig& config() const { return config_; }
+
+ private:
+  void on_frame(const comm::Frame& frame, sim::Time delivered_at);
+
+  sim::Simulator& sim_;
+  comm::TdmaBus& bus_;
+  HubConfig config_;
+  std::unordered_map<std::string, SessionConfig> session_configs_;
+  std::unordered_map<std::string, SessionStats> session_stats_;
+  std::unordered_map<std::string, std::uint64_t> window_bytes_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  sim::Accumulator latency_s_;
+};
+
+}  // namespace iob::net

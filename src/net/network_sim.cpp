@@ -1,0 +1,64 @@
+#include "net/network_sim.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/expect.hpp"
+#include "common/units.hpp"
+#include "energy/lifetime.hpp"
+
+namespace iob::net {
+
+NetworkSim::NetworkSim(const comm::Link& link, NetworkConfig config)
+    : sim_(config.seed), link_(link), bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr) {
+  trace_.enable(config.trace);
+  hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
+}
+
+std::size_t NetworkSim::add_node(NodeConfig config) {
+  IOB_EXPECTS(!ran_, "cannot add nodes after run()");
+  nodes_.push_back(std::make_unique<Node>(sim_, bus_, std::move(config)));
+  return nodes_.size() - 1;
+}
+
+void NetworkSim::add_session(SessionConfig config) { hub_->add_session(std::move(config)); }
+
+NetworkReport NetworkSim::run(double duration_s) {
+  IOB_EXPECTS(!ran_, "run() may be called once");
+  IOB_EXPECTS(duration_s > 0, "duration must be positive");
+  IOB_EXPECTS(!nodes_.empty(), "network needs at least one node");
+  ran_ = true;
+
+  bus_.start(0.0);
+  sim_.run_until(duration_s);
+  bus_.stop();
+
+  NetworkReport report;
+  report.elapsed_s = sim_.now();
+  const auto& mac = bus_.stats();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = *nodes_[i];
+    const auto& ms = mac.nodes[n.mac_id() - 1];
+    NodeReport r;
+    r.name = n.config().name;
+    r.average_power_w = n.average_power_w();
+    r.comm_power_w = n.comm_power_w();
+    r.sense_power_w = n.config().sense_power_w;
+    r.isa_power_w = n.config().isa_power_w;
+    const double life = n.projected_life_s();
+    r.perpetual = energy::is_perpetual(life);
+    r.projected_life_days =
+        std::isinf(life) ? std::numeric_limits<double>::infinity() : life / units::day;
+    r.frames_delivered = ms.frames_delivered;
+    r.frames_dropped = ms.frames_dropped;
+    r.mean_latency_s = ms.latency_s.mean();
+    r.p99ish_latency_s = ms.latency_s.max();
+    report.nodes.push_back(std::move(r));
+  }
+  report.hub_power_w = hub_->average_power_w();
+  report.aggregate_goodput_bps = mac.aggregate_goodput_bps();
+  report.bus_utilization = mac.utilization();
+  return report;
+}
+
+}  // namespace iob::net

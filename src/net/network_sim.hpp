@@ -1,0 +1,84 @@
+#pragma once
+/// \file network_sim.hpp
+/// Turn-key distributed IoB network simulation (paper Sec. V): one body
+/// bus (Wi-R by default), one hub, N leaf nodes with their sensing/ISA
+/// configurations. Owns the simulator and all actors; produces a per-node
+/// and hub report after `run()`. The examples and the T4 scaling bench are
+/// thin wrappers over this class.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "comm/tdma.hpp"
+#include "net/hub.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace iob::net {
+
+struct NetworkConfig {
+  std::uint64_t seed = 42;
+  comm::TdmaConfig mac{};
+  HubConfig hub{};
+  bool trace = false;
+};
+
+/// Post-run summary for one node.
+struct NodeReport {
+  std::string name;
+  double average_power_w = 0.0;
+  double comm_power_w = 0.0;
+  double sense_power_w = 0.0;
+  double isa_power_w = 0.0;
+  double projected_life_days = 0.0;  ///< +inf encoded as huge for printing
+  bool perpetual = false;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;
+  double mean_latency_s = 0.0;
+  double p99ish_latency_s = 0.0;  ///< max observed (small samples)
+};
+
+struct NetworkReport {
+  std::vector<NodeReport> nodes;
+  double hub_power_w = 0.0;
+  double aggregate_goodput_bps = 0.0;
+  double bus_utilization = 0.0;
+  double elapsed_s = 0.0;
+};
+
+class NetworkSim {
+ public:
+  /// \param link body-bus link shared by all nodes (not owned; must outlive
+  ///        the simulation)
+  NetworkSim(const comm::Link& link, NetworkConfig config = {});
+
+  /// Add a leaf node; returns its index.
+  std::size_t add_node(NodeConfig config);
+
+  /// Add a hub inference session.
+  void add_session(SessionConfig config);
+
+  /// Run for `duration_s` simulated seconds (can be called once).
+  NetworkReport run(double duration_s);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] Hub& hub() { return *hub_; }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const comm::TdmaBus& bus() const { return bus_; }
+  [[nodiscard]] const sim::TraceSink& trace() const { return trace_; }
+
+ private:
+  sim::Simulator sim_;
+  sim::TraceSink trace_;
+  const comm::Link& link_;
+  comm::TdmaBus bus_;
+  std::unique_ptr<Hub> hub_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool ran_ = false;
+};
+
+}  // namespace iob::net

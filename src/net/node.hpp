@@ -1,0 +1,88 @@
+#pragma once
+/// \file node.hpp
+/// A leaf IoB node on the discrete-event simulation: sensor front-end +
+/// optional ISA stage + body-bus MAC attachment + battery/harvester. This
+/// is the "featherweight, perpetually operating wearable AI node" of the
+/// paper's right-hand Fig. 1 architecture, instrumented. The node settles
+/// its energy ledger periodically: sensing and ISA power integrate over
+/// wall time, communication energy is pulled from the MAC's per-node
+/// accounting, harvest energy is credited, and the battery tracks SoC.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "comm/tdma.hpp"
+#include "energy/battery.hpp"
+#include "energy/harvester.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/traffic.hpp"
+
+namespace iob::net {
+
+struct NodeConfig {
+  std::string name = "node";
+  BodyLocation location = BodyLocation::kChest;
+  std::string stream = "data";
+  double sense_power_w = 10e-6;       ///< front-end power (from survey model)
+  double isa_power_w = 0.0;           ///< in-sensor analytics power
+  double output_rate_bps = 6000.0;    ///< traffic after ISA
+  std::uint32_t frame_bytes = 240;
+  unsigned slot_weight = 1;           ///< TDMA slots per superframe (rate-proportional)
+  double battery_mah = 1000.0;        ///< Fig. 3 default coin cell
+  double battery_v = 3.0;
+  std::optional<energy::HarvesterParams> harvester;
+  double settle_period_s = 1.0;       ///< energy-ledger update cadence
+};
+
+class Node {
+ public:
+  /// Registers with the bus and begins streaming at sim start.
+  Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] comm::NodeId mac_id() const { return mac_id_; }
+  [[nodiscard]] const energy::Battery& battery() const { return battery_; }
+
+  /// Average platform power (W) over the run so far (sense + ISA + comm,
+  /// net of nothing — harvesting is accounted on the battery, not here).
+  [[nodiscard]] double average_power_w() const;
+
+  /// Communication-only average power (W).
+  [[nodiscard]] double comm_power_w() const;
+
+  /// Projected battery life (s) at the observed average power, counting the
+  /// harvester's long-run average as offset. +inf when harvest covers load.
+  [[nodiscard]] double projected_life_s() const;
+
+  [[nodiscard]] double energy_consumed_j() const { return consumed_j_; }
+  [[nodiscard]] double energy_harvested_j() const { return harvested_j_; }
+  [[nodiscard]] bool alive() const { return !battery_.depleted(); }
+
+  /// Frame payload period implied by rate and frame size.
+  [[nodiscard]] double frame_period_s() const;
+
+ private:
+  void settle();
+
+  sim::Simulator& sim_;
+  comm::TdmaBus& bus_;
+  NodeConfig config_;
+  comm::NodeId mac_id_;
+  energy::Battery battery_;
+  std::optional<energy::Harvester> harvester_;
+  std::unique_ptr<workload::PeriodicSource> source_;
+  sim::Rng rng_;
+
+  double last_settle_t_ = 0.0;
+  double settled_comm_j_ = 0.0;  ///< MAC energy already charged
+  double consumed_j_ = 0.0;
+  double harvested_j_ = 0.0;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace iob::net

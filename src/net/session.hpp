@@ -1,0 +1,28 @@
+#pragma once
+/// \file session.hpp
+/// Hub-side stream sessions: what the "wearable brain" does with each
+/// delivered stream. A session accumulates payload bytes and triggers one
+/// model inference per `bytes_per_inference` (e.g. one KWS pass per audio
+/// window), charging hub compute energy and tracking inference latency.
+
+#include <cstdint>
+#include <string>
+
+namespace iob::net {
+
+struct SessionConfig {
+  std::string stream;                 ///< stream tag this session consumes
+  std::uint64_t macs_per_inference = 0;
+  std::uint64_t bytes_per_inference = 1;  ///< window size triggering a pass
+  bool forward_to_cloud = false;      ///< uplink results (adds hub TX energy)
+  std::uint32_t result_bytes = 16;    ///< classification result size
+};
+
+struct SessionStats {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t inferences = 0;
+  double compute_energy_j = 0.0;
+  double uplink_energy_j = 0.0;
+};
+
+}  // namespace iob::net

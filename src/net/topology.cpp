@@ -1,0 +1,67 @@
+#include "net/topology.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace iob::net {
+
+namespace {
+
+struct Point3 {
+  double x, y, z;  ///< meters; x lateral, y fore-aft, z height
+};
+
+/// Stick-figure anatomy, standing, 1.75 m tall. Arms slightly out.
+Point3 position(BodyLocation loc) {
+  switch (loc) {
+    case BodyLocation::kHead: return {0.00, 0.05, 1.70};
+    case BodyLocation::kEarLeft: return {-0.09, 0.00, 1.65};
+    case BodyLocation::kEarRight: return {0.09, 0.00, 1.65};
+    case BodyLocation::kNeck: return {0.00, 0.03, 1.50};
+    case BodyLocation::kChest: return {0.00, 0.08, 1.35};
+    case BodyLocation::kWaist: return {0.00, 0.05, 1.05};
+    case BodyLocation::kWristLeft: return {-0.35, 0.10, 0.85};
+    case BodyLocation::kWristRight: return {0.35, 0.10, 0.85};
+    case BodyLocation::kFingerLeft: return {-0.38, 0.12, 0.75};
+    case BodyLocation::kFingerRight: return {0.38, 0.12, 0.75};
+    case BodyLocation::kThighLeft: return {-0.10, 0.05, 0.75};
+    case BodyLocation::kAnkleLeft: return {-0.10, 0.02, 0.10};
+    case BodyLocation::kAnkleRight: return {0.10, 0.02, 0.10};
+  }
+  return {0, 0, 0};
+}
+
+constexpr double kSurfaceRoutingFactor = 1.25;
+
+}  // namespace
+
+double euclidean_m(BodyLocation a, BodyLocation b) {
+  const Point3 pa = position(a), pb = position(b);
+  const double dx = pa.x - pb.x, dy = pa.y - pb.y, dz = pa.z - pb.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double channel_length_m(BodyLocation a, BodyLocation b) {
+  return euclidean_m(a, b) * kSurfaceRoutingFactor;
+}
+
+std::string to_string(BodyLocation loc) {
+  switch (loc) {
+    case BodyLocation::kHead: return "head";
+    case BodyLocation::kEarLeft: return "ear-L";
+    case BodyLocation::kEarRight: return "ear-R";
+    case BodyLocation::kNeck: return "neck";
+    case BodyLocation::kChest: return "chest";
+    case BodyLocation::kWaist: return "waist";
+    case BodyLocation::kWristLeft: return "wrist-L";
+    case BodyLocation::kWristRight: return "wrist-R";
+    case BodyLocation::kFingerLeft: return "finger-L";
+    case BodyLocation::kFingerRight: return "finger-R";
+    case BodyLocation::kThighLeft: return "thigh-L";
+    case BodyLocation::kAnkleLeft: return "ankle-L";
+    case BodyLocation::kAnkleRight: return "ankle-R";
+  }
+  return "?";
+}
+
+}  // namespace iob::net

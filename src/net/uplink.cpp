@@ -1,0 +1,92 @@
+#include "net/uplink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::net {
+
+CloudUplink::CloudUplink(UplinkParams params) : params_(params) {
+  IOB_EXPECTS(params_.rate_bps > 0, "uplink rate must be positive");
+  IOB_EXPECTS(params_.energy_per_bit_j >= 0, "uplink energy must be non-negative");
+  IOB_EXPECTS(params_.rtt_mean_s > 0, "RTT mean must be positive");
+}
+
+double CloudUplink::sample_round_trip_s(sim::Rng& rng, std::uint32_t bytes,
+                                        std::uint32_t response_bytes) const {
+  const double transfer =
+      static_cast<double>(bytes + response_bytes) * 8.0 / params_.rate_bps;
+  const double rtt = std::max(1e-3, rng.normal(params_.rtt_mean_s, params_.rtt_sigma_s));
+  return transfer + rtt;
+}
+
+double CloudUplink::exchange_energy_j(std::uint32_t bytes, std::uint32_t response_bytes) const {
+  return static_cast<double>(bytes + response_bytes) * 8.0 * params_.energy_per_bit_j;
+}
+
+QuerySession::QuerySession(sim::Simulator& sim, comm::TdmaBus& bus, CloudUplink uplink,
+                           QuerySessionConfig config)
+    : sim_(sim),
+      bus_(bus),
+      uplink_(std::move(uplink)),
+      config_(config),
+      rng_(sim.rng().fork(0x9e41)) {
+  IOB_EXPECTS(config_.query_rate_per_s > 0, "query rate must be positive");
+  IOB_EXPECTS(config_.leaf >= 1, "leaf id must be valid");
+  bus_.set_delivery_handler(
+      [this](const comm::Frame& f, sim::Time t) { on_uplink_frame(f, t); });
+  bus_.set_downlink_handler(
+      [this](const comm::Frame& f, sim::Time t) { on_downlink_frame(f, t); });
+}
+
+void QuerySession::start(sim::Time t0) {
+  sim_.at(t0 + rng_.exponential(1.0 / config_.query_rate_per_s), [this] { issue_query(); });
+}
+
+void QuerySession::issue_query() {
+  comm::Frame f;
+  f.kind = comm::FrameKind::kData;
+  f.stream = "query";
+  f.seq = next_seq_++;
+  f.payload_bytes = config_.query_bytes;
+  f.created_s = sim_.now();
+  created_at_[f.seq] = f.created_s;
+  ++issued_;
+  bus_.enqueue(config_.leaf, std::move(f));
+
+  sim_.after(rng_.exponential(1.0 / config_.query_rate_per_s), [this] { issue_query(); });
+}
+
+void QuerySession::on_uplink_frame(const comm::Frame& frame, sim::Time) {
+  if (frame.stream != "query") return;
+
+  // Hub-side processing + cloud consultation.
+  hub_energy_j_ += static_cast<double>(config_.hub_macs) * config_.hub_energy_per_mac_j +
+                   uplink_.exchange_energy_j(config_.cloud_request_bytes,
+                                             config_.cloud_response_bytes);
+  const double cloud_delay = uplink_.sample_round_trip_s(rng_, config_.cloud_request_bytes,
+                                                         config_.cloud_response_bytes);
+
+  const std::uint32_t seq = frame.seq;
+  sim_.after(cloud_delay, [this, seq] {
+    comm::Frame response;
+    response.kind = comm::FrameKind::kData;
+    response.stream = "query";
+    response.seq = seq;
+    response.payload_bytes = config_.response_bytes;
+    response.created_s = sim_.now();
+    bus_.enqueue_downlink(config_.leaf, std::move(response));
+  });
+}
+
+void QuerySession::on_downlink_frame(const comm::Frame& frame, sim::Time at) {
+  if (frame.stream != "query") return;
+  const auto it = created_at_.find(frame.seq);
+  if (it == created_at_.end()) return;
+  round_trip_s_.add(at - it->second);
+  created_at_.erase(it);
+  ++completed_;
+}
+
+}  // namespace iob::net

@@ -1,0 +1,104 @@
+#pragma once
+/// \file uplink.hpp
+/// Hub-to-cloud uplink and end-to-end query sessions (paper Sec. V: "The
+/// hubs are connected to fog and cloud servers for further data
+/// analytics"). Models the full AI-assistant round trip the paper's
+/// Sec. II devices perform: leaf captures a query -> body bus -> hub
+/// pre-processing -> cloud inference -> response downlink -> actuation at
+/// the leaf (e.g. audio out at the earbud), with latency percentiles and
+/// energy attribution at every hop.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "comm/tdma.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace iob::net {
+
+/// Fog/cloud uplink model: Wi-Fi/LTE-class rate, per-bit hub energy and a
+/// log-normal-ish round-trip time.
+struct UplinkParams {
+  double rate_bps = 20e6;
+  double energy_per_bit_j = 30e-9;  ///< charged to the hub
+  double rtt_mean_s = 60e-3;        ///< network + service time
+  double rtt_sigma_s = 20e-3;       ///< spread (truncated at >= 1 ms)
+};
+
+class CloudUplink {
+ public:
+  explicit CloudUplink(UplinkParams params = {});
+
+  /// Time (s) to ship `bytes` and receive a response of `response_bytes`,
+  /// one stochastic draw (transfer + RTT).
+  double sample_round_trip_s(sim::Rng& rng, std::uint32_t bytes,
+                             std::uint32_t response_bytes) const;
+
+  /// Hub-side energy (J) for the exchange.
+  [[nodiscard]] double exchange_energy_j(std::uint32_t bytes, std::uint32_t response_bytes) const;
+
+  [[nodiscard]] const UplinkParams& params() const { return params_; }
+
+ private:
+  UplinkParams params_;
+};
+
+/// An end-to-end AI-assistant query session over one body bus: queries
+/// arrive at a leaf (Poisson), travel leaf->hub on the TDMA uplink, the hub
+/// spends `hub_macs` of pre/post-processing, consults the cloud, and the
+/// response returns hub->leaf through the TDMA downlink window.
+struct QuerySessionConfig {
+  comm::NodeId leaf = 1;
+  double query_rate_per_s = 0.1;      ///< user queries per second
+  std::uint32_t query_bytes = 400;    ///< compressed utterance / request
+  std::uint32_t response_bytes = 200; ///< response payload to actuate
+  std::uint64_t hub_macs = 3'000'000; ///< hub-side processing per query
+  double hub_energy_per_mac_j = 5e-12;
+  std::uint32_t cloud_request_bytes = 600;
+  std::uint32_t cloud_response_bytes = 800;
+};
+
+/// Note: the session installs itself as the bus's delivery and downlink
+/// handler and reacts only to frames on its "query" stream tag; compose
+/// other consumers by chaining handlers before starting the session.
+class QuerySession {
+ public:
+  QuerySession(sim::Simulator& sim, comm::TdmaBus& bus, CloudUplink uplink,
+               QuerySessionConfig config);
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Begin issuing queries at `t0`.
+  void start(sim::Time t0 = 0.0);
+
+  [[nodiscard]] std::uint64_t queries_issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t responses_delivered() const { return completed_; }
+  /// End-to-end latency: query creation at the leaf -> response delivered
+  /// back at the leaf.
+  [[nodiscard]] const sim::Accumulator& round_trip_s() const { return round_trip_s_; }
+  [[nodiscard]] double hub_energy_j() const { return hub_energy_j_; }
+
+ private:
+  void issue_query();
+  void on_uplink_frame(const comm::Frame& frame, sim::Time at);
+  void on_downlink_frame(const comm::Frame& frame, sim::Time at);
+
+  sim::Simulator& sim_;
+  comm::TdmaBus& bus_;
+  CloudUplink uplink_;
+  QuerySessionConfig config_;
+  sim::Rng rng_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::Accumulator round_trip_s_;
+  double hub_energy_j_ = 0.0;
+  std::unordered_map<std::uint32_t, sim::Time> created_at_;  ///< seq -> t
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace iob::net

@@ -1,0 +1,235 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::nn {
+
+namespace {
+
+/// Output length and leading pad for one spatial axis.
+void conv_axis(int in, int k, int s, Padding p, int& out, int& pad_lead) {
+  if (p == Padding::kValid) {
+    IOB_EXPECTS(in >= k, "kernel exceeds input (valid padding)");
+    out = (in - k) / s + 1;
+    pad_lead = 0;
+    return;
+  }
+  out = (in + s - 1) / s;  // ceil(in / s)
+  const int pad_total = std::max(0, (out - 1) * s + k - in);
+  pad_lead = pad_total / 2;
+}
+
+}  // namespace
+
+// ---- Conv2D -----------------------------------------------------------------
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, int stride_h,
+               int stride_w, Padding padding, std::vector<float> weights, std::vector<float> bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      sh_(stride_h),
+      sw_(stride_w),
+      padding_(padding),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)) {
+  IOB_EXPECTS(in_c_ > 0 && out_c_ > 0 && kh_ > 0 && kw_ > 0 && sh_ > 0 && sw_ > 0,
+              "conv2d dims must be positive");
+  IOB_EXPECTS(weights_.size() == static_cast<std::size_t>(out_c_) * kh_ * kw_ * in_c_,
+              "conv2d weight size mismatch");
+  IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(out_c_), "conv2d bias size mismatch");
+}
+
+void Conv2D::pad_amounts(const Shape& input, int& pad_top, int& pad_left) const {
+  int oh, ow;
+  conv_axis(input[0], kh_, sh_, padding_, oh, pad_top);
+  conv_axis(input[1], kw_, sw_, padding_, ow, pad_left);
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  IOB_EXPECTS(input.size() == 3, "conv2d expects HWC input");
+  IOB_EXPECTS(input[2] == in_c_, "conv2d channel mismatch");
+  int oh, ow, pt, pl;
+  conv_axis(input[0], kh_, sh_, padding_, oh, pt);
+  conv_axis(input[1], kw_, sw_, padding_, ow, pl);
+  return Shape{oh, ow, out_c_};
+}
+
+Tensor Conv2D::forward(const Tensor& input) const {
+  const Shape os = output_shape(input.shape());
+  int pad_top = 0, pad_left = 0;
+  pad_amounts(input.shape(), pad_top, pad_left);
+  const int ih = input.shape()[0], iw = input.shape()[1];
+
+  Tensor out(os);
+  for (int oy = 0; oy < os[0]; ++oy) {
+    for (int ox = 0; ox < os[1]; ++ox) {
+      for (int oc = 0; oc < out_c_; ++oc) {
+        float acc = bias_[static_cast<std::size_t>(oc)];
+        const float* wbase = &weights_[static_cast<std::size_t>(oc) * kh_ * kw_ * in_c_];
+        for (int ky = 0; ky < kh_; ++ky) {
+          const int iy = oy * sh_ + ky - pad_top;
+          if (iy < 0 || iy >= ih) continue;
+          for (int kx = 0; kx < kw_; ++kx) {
+            const int ix = ox * sw_ + kx - pad_left;
+            if (ix < 0 || ix >= iw) continue;
+            const float* w = wbase + (static_cast<std::size_t>(ky) * kw_ + kx) * in_c_;
+            const float* in = input.data() + (static_cast<std::size_t>(iy) * iw + ix) * in_c_;
+            for (int ic = 0; ic < in_c_; ++ic) acc += w[ic] * in[ic];
+          }
+        }
+        out.at(oy, ox, oc) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Conv2D::macs(const Shape& input) const {
+  const Shape os = output_shape(input);
+  return static_cast<std::uint64_t>(os[0]) * os[1] * out_c_ * kh_ * kw_ * in_c_;
+}
+
+std::uint64_t Conv2D::param_count() const {
+  return static_cast<std::uint64_t>(out_c_) * kh_ * kw_ * in_c_ + out_c_;
+}
+
+std::string Conv2D::describe() const {
+  std::ostringstream os;
+  os << "conv2d " << kh_ << "x" << kw_ << "x" << out_c_ << " s" << sh_ << "x" << sw_
+     << (padding_ == Padding::kSame ? " same" : " valid");
+  return os.str();
+}
+
+// ---- DepthwiseConv2D --------------------------------------------------------
+
+DepthwiseConv2D::DepthwiseConv2D(int channels, int kernel, int stride, Padding padding,
+                                 std::vector<float> weights, std::vector<float> bias)
+    : c_(channels), k_(kernel), s_(stride), padding_(padding), weights_(std::move(weights)),
+      bias_(std::move(bias)) {
+  IOB_EXPECTS(c_ > 0 && k_ > 0 && s_ > 0, "dwconv dims must be positive");
+  IOB_EXPECTS(weights_.size() == static_cast<std::size_t>(c_) * k_ * k_,
+              "dwconv weight size mismatch");
+  IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(c_), "dwconv bias size mismatch");
+}
+
+Shape DepthwiseConv2D::output_shape(const Shape& input) const {
+  IOB_EXPECTS(input.size() == 3, "dwconv expects HWC input");
+  IOB_EXPECTS(input[2] == c_, "dwconv channel mismatch");
+  int oh, ow, pt, pl;
+  conv_axis(input[0], k_, s_, padding_, oh, pt);
+  conv_axis(input[1], k_, s_, padding_, ow, pl);
+  return Shape{oh, ow, c_};
+}
+
+Tensor DepthwiseConv2D::forward(const Tensor& input) const {
+  const Shape os = output_shape(input.shape());
+  int pad_top = 0, pad_left = 0;
+  int dummy;
+  conv_axis(input.shape()[0], k_, s_, padding_, dummy, pad_top);
+  conv_axis(input.shape()[1], k_, s_, padding_, dummy, pad_left);
+  const int ih = input.shape()[0], iw = input.shape()[1];
+
+  Tensor out(os);
+  for (int oy = 0; oy < os[0]; ++oy) {
+    for (int ox = 0; ox < os[1]; ++ox) {
+      for (int ch = 0; ch < c_; ++ch) {
+        float acc = bias_[static_cast<std::size_t>(ch)];
+        const float* w = &weights_[static_cast<std::size_t>(ch) * k_ * k_];
+        for (int ky = 0; ky < k_; ++ky) {
+          const int iy = oy * s_ + ky - pad_top;
+          if (iy < 0 || iy >= ih) continue;
+          for (int kx = 0; kx < k_; ++kx) {
+            const int ix = ox * s_ + kx - pad_left;
+            if (ix < 0 || ix >= iw) continue;
+            acc += w[ky * k_ + kx] * input.at(iy, ix, ch);
+          }
+        }
+        out.at(oy, ox, ch) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t DepthwiseConv2D::macs(const Shape& input) const {
+  const Shape os = output_shape(input);
+  return static_cast<std::uint64_t>(os[0]) * os[1] * c_ * k_ * k_;
+}
+
+std::uint64_t DepthwiseConv2D::param_count() const {
+  return static_cast<std::uint64_t>(c_) * k_ * k_ + c_;
+}
+
+std::string DepthwiseConv2D::describe() const {
+  std::ostringstream os;
+  os << "dwconv " << k_ << "x" << k_ << " s" << s_ << (padding_ == Padding::kSame ? " same" : " valid");
+  return os.str();
+}
+
+// ---- Conv1D -----------------------------------------------------------------
+
+Conv1D::Conv1D(int in_channels, int out_channels, int kernel, int stride, Padding padding,
+               std::vector<float> weights, std::vector<float> bias)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), s_(stride), padding_(padding),
+      weights_(std::move(weights)), bias_(std::move(bias)) {
+  IOB_EXPECTS(in_c_ > 0 && out_c_ > 0 && k_ > 0 && s_ > 0, "conv1d dims must be positive");
+  IOB_EXPECTS(weights_.size() == static_cast<std::size_t>(out_c_) * k_ * in_c_,
+              "conv1d weight size mismatch");
+  IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(out_c_), "conv1d bias size mismatch");
+}
+
+Shape Conv1D::output_shape(const Shape& input) const {
+  IOB_EXPECTS(input.size() == 2, "conv1d expects LC input");
+  IOB_EXPECTS(input[1] == in_c_, "conv1d channel mismatch");
+  int ol, pl;
+  conv_axis(input[0], k_, s_, padding_, ol, pl);
+  return Shape{ol, out_c_};
+}
+
+Tensor Conv1D::forward(const Tensor& input) const {
+  const Shape os = output_shape(input.shape());
+  int pad_lead = 0, dummy;
+  conv_axis(input.shape()[0], k_, s_, padding_, dummy, pad_lead);
+  const int il = input.shape()[0];
+
+  Tensor out(os);
+  for (int ol = 0; ol < os[0]; ++ol) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      float acc = bias_[static_cast<std::size_t>(oc)];
+      const float* wbase = &weights_[static_cast<std::size_t>(oc) * k_ * in_c_];
+      for (int kk = 0; kk < k_; ++kk) {
+        const int ii = ol * s_ + kk - pad_lead;
+        if (ii < 0 || ii >= il) continue;
+        const float* w = wbase + static_cast<std::size_t>(kk) * in_c_;
+        const float* in = input.data() + static_cast<std::size_t>(ii) * in_c_;
+        for (int ic = 0; ic < in_c_; ++ic) acc += w[ic] * in[ic];
+      }
+      out.at(ol, oc) = acc;
+    }
+  }
+  return out;
+}
+
+std::uint64_t Conv1D::macs(const Shape& input) const {
+  const Shape os = output_shape(input);
+  return static_cast<std::uint64_t>(os[0]) * out_c_ * k_ * in_c_;
+}
+
+std::uint64_t Conv1D::param_count() const {
+  return static_cast<std::uint64_t>(out_c_) * k_ * in_c_ + out_c_;
+}
+
+std::string Conv1D::describe() const {
+  std::ostringstream os;
+  os << "conv1d k" << k_ << "x" << out_c_ << " s" << s_
+     << (padding_ == Padding::kSame ? " same" : " valid");
+  return os.str();
+}
+
+}  // namespace iob::nn

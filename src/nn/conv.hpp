@@ -1,0 +1,67 @@
+#pragma once
+/// \file conv.hpp
+/// Convolution layers: standard 2-D, depthwise 2-D, and 1-D (for
+/// biopotential time series). HWC layout; weights stored row-major as
+/// [out_c][kh][kw][in_c] (2-D) / [c][kh][kw] (depthwise) / [out_c][k][in_c]
+/// (1-D).
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace iob::nn {
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, int stride_h, int stride_w,
+         Padding padding, std::vector<float> weights, std::vector<float> bias);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t param_count() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  void pad_amounts(const Shape& input, int& pad_top, int& pad_left) const;
+
+  int in_c_, out_c_, kh_, kw_, sh_, sw_;
+  Padding padding_;
+  std::vector<float> weights_, bias_;
+};
+
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(int channels, int kernel, int stride, Padding padding,
+                  std::vector<float> weights, std::vector<float> bias);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t param_count() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  int c_, k_, s_;
+  Padding padding_;
+  std::vector<float> weights_, bias_;
+};
+
+class Conv1D final : public Layer {
+ public:
+  Conv1D(int in_channels, int out_channels, int kernel, int stride, Padding padding,
+         std::vector<float> weights, std::vector<float> bias);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
+  [[nodiscard]] std::uint64_t param_count() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  int in_c_, out_c_, k_, s_;
+  Padding padding_;
+  std::vector<float> weights_, bias_;
+};
+
+}  // namespace iob::nn

@@ -1,0 +1,39 @@
+#pragma once
+/// \file layer.hpp
+/// Layer interface for the sequential inference engine. Each layer reports
+/// its MAC count and output shape for a given input shape — the compute and
+/// traffic quantities the `partition/` optimizer splits on.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace iob::nn {
+
+enum class Padding { kValid, kSame };
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Execute the layer.
+  [[nodiscard]] virtual Tensor forward(const Tensor& input) const = 0;
+
+  /// Output shape for an input shape (throws on incompatible input).
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Multiply-accumulate operations for an input shape.
+  [[nodiscard]] virtual std::uint64_t macs(const Shape& input) const = 0;
+
+  /// Trainable parameter count.
+  [[nodiscard]] virtual std::uint64_t param_count() const = 0;
+
+  /// Layer type + config string, e.g. "conv2d 3x3x8 s1 same".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace iob::nn

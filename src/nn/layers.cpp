@@ -1,0 +1,238 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::nn {
+
+// ---- FullyConnected ---------------------------------------------------------
+
+FullyConnected::FullyConnected(int in_features, int out_features, std::vector<float> weights,
+                               std::vector<float> bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)) {
+  IOB_EXPECTS(in_features_ > 0 && out_features_ > 0, "feature counts must be positive");
+  IOB_EXPECTS(weights_.size() ==
+                  static_cast<std::size_t>(in_features_) * static_cast<std::size_t>(out_features_),
+              "weight size mismatch");
+  IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(out_features_), "bias size mismatch");
+}
+
+Tensor FullyConnected::forward(const Tensor& input) const {
+  IOB_EXPECTS(input.size() == in_features_, "fc input size mismatch");
+  Tensor out(Shape{out_features_});
+  for (int o = 0; o < out_features_; ++o) {
+    float acc = bias_[static_cast<std::size_t>(o)];
+    const float* w = &weights_[static_cast<std::size_t>(o) * in_features_];
+    for (int i = 0; i < in_features_; ++i) acc += w[i] * input[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+Shape FullyConnected::output_shape(const Shape& input) const {
+  IOB_EXPECTS(shape_elems(input) == in_features_, "fc input size mismatch");
+  return Shape{out_features_};
+}
+
+std::uint64_t FullyConnected::macs(const Shape& input) const {
+  (void)input;
+  return static_cast<std::uint64_t>(in_features_) * static_cast<std::uint64_t>(out_features_);
+}
+
+std::uint64_t FullyConnected::param_count() const {
+  return static_cast<std::uint64_t>(in_features_) * out_features_ + out_features_;
+}
+
+std::string FullyConnected::describe() const {
+  std::ostringstream os;
+  os << "fc " << in_features_ << "->" << out_features_;
+  return os.str();
+}
+
+// ---- Relu -------------------------------------------------------------------
+
+Relu::Relu(float cap) : cap_(cap) {}
+
+Tensor Relu::forward(const Tensor& input) const {
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    float v = std::max(0.0f, out[i]);
+    if (cap_ > 0.0f) v = std::min(cap_, v);
+    out[i] = v;
+  }
+  return out;
+}
+
+Shape Relu::output_shape(const Shape& input) const { return input; }
+
+std::uint64_t Relu::macs(const Shape& input) const {
+  // Count one op per element (comparison); negligible but non-zero.
+  return static_cast<std::uint64_t>(shape_elems(input));
+}
+
+std::string Relu::describe() const { return cap_ > 0.0f ? "relu6" : "relu"; }
+
+// ---- Pool2D -----------------------------------------------------------------
+
+Pool2D::Pool2D(PoolKind kind, int kernel, int stride) : kind_(kind), kernel_(kernel), stride_(stride) {
+  IOB_EXPECTS(kernel_ >= 1 && stride_ >= 1, "pool kernel/stride must be positive");
+}
+
+Shape Pool2D::output_shape(const Shape& input) const {
+  IOB_EXPECTS(input.size() == 3, "pool2d expects HWC input");
+  IOB_EXPECTS(input[0] >= kernel_ && input[1] >= kernel_, "pool kernel exceeds input");
+  const int oh = (input[0] - kernel_) / stride_ + 1;
+  const int ow = (input[1] - kernel_) / stride_ + 1;
+  return Shape{oh, ow, input[2]};
+}
+
+Tensor Pool2D::forward(const Tensor& input) const {
+  const Shape os = output_shape(input.shape());
+  Tensor out(os);
+  const int c = input.shape()[2];
+  for (int oy = 0; oy < os[0]; ++oy) {
+    for (int ox = 0; ox < os[1]; ++ox) {
+      for (int ch = 0; ch < c; ++ch) {
+        float acc = kind_ == PoolKind::kMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const float v = input.at(oy * stride_ + ky, ox * stride_ + kx, ch);
+            acc = kind_ == PoolKind::kMax ? std::max(acc, v) : acc + v;
+          }
+        }
+        if (kind_ == PoolKind::kAvg) acc /= static_cast<float>(kernel_ * kernel_);
+        out.at(oy, ox, ch) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Pool2D::macs(const Shape& input) const {
+  const Shape os = output_shape(input);
+  return static_cast<std::uint64_t>(shape_elems(os)) * kernel_ * kernel_;
+}
+
+std::string Pool2D::describe() const {
+  std::ostringstream os;
+  os << (kind_ == PoolKind::kMax ? "maxpool " : "avgpool ") << kernel_ << "x" << kernel_ << " s"
+     << stride_;
+  return os.str();
+}
+
+// ---- GlobalAvgPool ----------------------------------------------------------
+
+Shape GlobalAvgPool::output_shape(const Shape& input) const {
+  IOB_EXPECTS(input.size() == 2 || input.size() == 3, "global pool expects LC or HWC input");
+  return Shape{input.back()};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) const {
+  const int c = input.shape().back();
+  const std::int64_t spatial = shape_elems(input.shape()) / c;
+  Tensor out(Shape{c});
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    out[i % c] += input[i];
+  }
+  for (int ch = 0; ch < c; ++ch) out[ch] /= static_cast<float>(spatial);
+  return out;
+}
+
+std::uint64_t GlobalAvgPool::macs(const Shape& input) const {
+  return static_cast<std::uint64_t>(shape_elems(input));
+}
+
+std::string GlobalAvgPool::describe() const { return "global-avgpool"; }
+
+// ---- Flatten ----------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& input) const {
+  return input.reshaped(Shape{static_cast<int>(input.size())});
+}
+
+Shape Flatten::output_shape(const Shape& input) const {
+  return Shape{static_cast<int>(shape_elems(input))};
+}
+
+// ---- BatchNorm --------------------------------------------------------------
+
+BatchNorm::BatchNorm(std::vector<float> scale, std::vector<float> shift)
+    : scale_(std::move(scale)), shift_(std::move(shift)) {
+  IOB_EXPECTS(!scale_.empty() && scale_.size() == shift_.size(),
+              "batchnorm scale/shift must be non-empty and equal-sized");
+}
+
+BatchNorm BatchNorm::fold(const std::vector<float>& gamma, const std::vector<float>& beta,
+                          const std::vector<float>& mean, const std::vector<float>& variance,
+                          float eps) {
+  IOB_EXPECTS(gamma.size() == beta.size() && beta.size() == mean.size() &&
+                  mean.size() == variance.size(),
+              "batchnorm statistics must be equal-sized");
+  std::vector<float> scale(gamma.size()), shift(gamma.size());
+  for (std::size_t c = 0; c < gamma.size(); ++c) {
+    IOB_EXPECTS(variance[c] >= 0.0f, "variance must be non-negative");
+    scale[c] = gamma[c] / std::sqrt(variance[c] + eps);
+    shift[c] = beta[c] - mean[c] * scale[c];
+  }
+  return BatchNorm(std::move(scale), std::move(shift));
+}
+
+Shape BatchNorm::output_shape(const Shape& input) const {
+  IOB_EXPECTS(input.back() == static_cast<int>(scale_.size()),
+              "batchnorm channel count mismatch");
+  return input;
+}
+
+Tensor BatchNorm::forward(const Tensor& input) const {
+  (void)output_shape(input.shape());  // validates channels
+  Tensor out = input;
+  const auto c = static_cast<std::int64_t>(scale_.size());
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    const auto ch = static_cast<std::size_t>(i % c);
+    out[i] = scale_[ch] * out[i] + shift_[ch];
+  }
+  return out;
+}
+
+std::uint64_t BatchNorm::macs(const Shape& input) const {
+  return static_cast<std::uint64_t>(shape_elems(input));
+}
+
+std::uint64_t BatchNorm::param_count() const { return 2 * scale_.size(); }
+
+std::string BatchNorm::describe() const {
+  return "batchnorm c" + std::to_string(scale_.size());
+}
+
+// ---- Softmax ----------------------------------------------------------------
+
+Tensor Softmax::forward(const Tensor& input) const {
+  Tensor out = input;
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < out.size(); ++i) mx = std::max(mx, out[i]);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(out[i] - mx);
+    sum += out[i];
+  }
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(out[i] / sum);
+  }
+  return out;
+}
+
+Shape Softmax::output_shape(const Shape& input) const { return input; }
+
+std::uint64_t Softmax::macs(const Shape& input) const {
+  return static_cast<std::uint64_t>(shape_elems(input)) * 2;  // exp + normalize
+}
+
+}  // namespace iob::nn

@@ -1,0 +1,76 @@
+#include "nn/model.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::nn {
+
+Model::Model(std::string name, Shape input_shape)
+    : name_(std::move(name)), input_shape_(std::move(input_shape)),
+      current_output_shape_(input_shape_) {
+  IOB_EXPECTS(!input_shape_.empty(), "model input shape must be non-empty");
+}
+
+void Model::add(LayerPtr layer) {
+  IOB_EXPECTS(layer != nullptr, "layer must not be null");
+  const Shape out = layer->output_shape(current_output_shape_);
+
+  LayerProfile p;
+  p.describe = layer->describe();
+  p.macs = layer->macs(current_output_shape_);
+  p.params = layer->param_count();
+  p.output_shape = out;
+  p.output_bytes_f32 = shape_elems(out) * 4;
+  p.output_bytes_i8 = shape_elems(out);
+  profiles_.push_back(std::move(p));
+
+  layers_.push_back(std::move(layer));
+  current_output_shape_ = out;
+}
+
+Tensor Model::forward(const Tensor& input) const {
+  return forward_range(input, 0, layers_.size());
+}
+
+Tensor Model::forward_range(const Tensor& input, std::size_t first, std::size_t last) const {
+  IOB_EXPECTS(first <= last && last <= layers_.size(), "invalid layer range");
+  Tensor x = input;
+  for (std::size_t i = first; i < last; ++i) x = layers_[i]->forward(x);
+  return x;
+}
+
+const Layer& Model::layer(std::size_t i) const {
+  IOB_EXPECTS(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+std::uint64_t Model::total_macs() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : profiles_) sum += p.macs;
+  return sum;
+}
+
+std::uint64_t Model::total_params() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : profiles_) sum += p.params;
+  return sum;
+}
+
+std::int64_t Model::input_bytes_f32() const { return shape_elems(input_shape_) * 4; }
+std::int64_t Model::input_bytes_i8() const { return shape_elems(input_shape_); }
+
+std::string Model::summary() const {
+  std::ostringstream os;
+  os << "model " << name_ << " (input " << shape_str(input_shape_) << ")\n";
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    const auto& p = profiles_[i];
+    os << "  [" << i << "] " << p.describe << " -> " << shape_str(p.output_shape)
+       << "  macs=" << p.macs << " params=" << p.params << "\n";
+  }
+  os << "  total: " << total_macs() << " MACs, " << total_params() << " params\n";
+  return os.str();
+}
+
+}  // namespace iob::nn

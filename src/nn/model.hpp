@@ -1,0 +1,67 @@
+#pragma once
+/// \file model.hpp
+/// Sequential model: an ordered layer chain plus the per-layer profile
+/// (MACs, params, activation bytes) that drives the partitioning optimizer
+/// and the compute-energy models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace iob::nn {
+
+/// Static per-layer execution profile for a fixed input shape.
+struct LayerProfile {
+  std::string describe;
+  std::uint64_t macs = 0;
+  std::uint64_t params = 0;
+  Shape output_shape;
+  std::int64_t output_bytes_f32 = 0;  ///< activation size leaving this layer
+  std::int64_t output_bytes_i8 = 0;   ///< same, int8-quantized transport
+};
+
+class Model {
+ public:
+  Model(std::string name, Shape input_shape);
+
+  /// Append a layer; validates shape compatibility eagerly.
+  void add(LayerPtr layer);
+
+  /// Run the full chain.
+  [[nodiscard]] Tensor forward(const Tensor& input) const;
+
+  /// Run layers [first, last) only — the building block for split execution
+  /// across leaf/hub/cloud venues. `input` must have the shape produced by
+  /// layer first-1 (or the model input for first == 0).
+  [[nodiscard]] Tensor forward_range(const Tensor& input, std::size_t first,
+                                     std::size_t last) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
+
+  /// Per-layer profiles (computed at construction from shapes alone).
+  [[nodiscard]] const std::vector<LayerProfile>& profiles() const { return profiles_; }
+
+  [[nodiscard]] std::uint64_t total_macs() const;
+  [[nodiscard]] std::uint64_t total_params() const;
+
+  /// Input tensor size in bytes (f32 / raw sensor int8 transport).
+  [[nodiscard]] std::int64_t input_bytes_f32() const;
+  [[nodiscard]] std::int64_t input_bytes_i8() const;
+
+  /// Multi-line layer table (for reports and examples).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+  std::vector<LayerPtr> layers_;
+  std::vector<LayerProfile> profiles_;
+  Shape current_output_shape_;
+};
+
+}  // namespace iob::nn

@@ -1,0 +1,103 @@
+#include "nn/model_zoo.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+
+namespace iob::nn {
+
+float WeightGen::next_unit() {
+  // xorshift64*; plenty for weight synthesis.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t v = state_ * 0x2545f4914f6cdd1dULL;
+  return static_cast<float>(static_cast<double>(v >> 11) * 0x1.0p-53) * 2.0f - 1.0f;
+}
+
+std::vector<float> WeightGen::weights(std::size_t count, int fan_in) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  std::vector<float> w(count);
+  for (auto& x : w) x = next_unit() * bound;
+  return w;
+}
+
+std::vector<float> WeightGen::biases(std::size_t count) {
+  std::vector<float> b(count);
+  for (auto& x : b) x = next_unit() * 0.05f;
+  return b;
+}
+
+namespace {
+
+/// Depthwise-separable block: dwconv 3x3 + relu + pointwise conv + relu.
+void add_ds_block(Model& model, WeightGen& gen, int in_c, int out_c, int stride) {
+  model.add(std::make_unique<DepthwiseConv2D>(in_c, 3, stride, Padding::kSame,
+                                              gen.weights(static_cast<std::size_t>(in_c) * 9, 9),
+                                              gen.biases(static_cast<std::size_t>(in_c))));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Conv2D>(in_c, out_c, 1, 1, 1, 1, Padding::kSame,
+                                     gen.weights(static_cast<std::size_t>(out_c) * in_c, in_c),
+                                     gen.biases(static_cast<std::size_t>(out_c))));
+  model.add(std::make_unique<Relu>());
+}
+
+}  // namespace
+
+Model make_kws_dscnn(std::uint64_t seed) {
+  WeightGen gen(seed);
+  // DS-CNN-S (MLPerf Tiny keyword spotting class): 49 MFCC frames x 10
+  // coefficients, 12 output words.
+  Model m("kws-dscnn", Shape{49, 10, 1});
+  m.add(std::make_unique<Conv2D>(1, 64, 10, 4, 2, 2, Padding::kSame,
+                                 gen.weights(64u * 10 * 4, 40), gen.biases(64)));
+  m.add(std::make_unique<Relu>());
+  for (int i = 0; i < 4; ++i) add_ds_block(m, gen, 64, 64, 1);
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<FullyConnected>(64, 12, gen.weights(64u * 12, 64), gen.biases(12)));
+  m.add(std::make_unique<Softmax>());
+  return m;
+}
+
+Model make_ecg_cnn1d(std::uint64_t seed) {
+  WeightGen gen(seed);
+  // Beat-level arrhythmia classifier: 1 s at 360 Hz, single lead, 4 AAMI
+  // classes (N, S, V, F).
+  Model m("ecg-cnn1d", Shape{360, 1});
+  m.add(std::make_unique<Conv1D>(1, 8, 7, 2, Padding::kSame, gen.weights(8u * 7, 7),
+                                 gen.biases(8)));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<Conv1D>(8, 16, 5, 2, Padding::kSame, gen.weights(16u * 5 * 8, 40),
+                                 gen.biases(16)));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<Conv1D>(16, 32, 5, 2, Padding::kSame, gen.weights(32u * 5 * 16, 80),
+                                 gen.biases(32)));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<FullyConnected>(32, 4, gen.weights(32u * 4, 32), gen.biases(4)));
+  m.add(std::make_unique<Softmax>());
+  return m;
+}
+
+Model make_vww_micronet(std::uint64_t seed) {
+  WeightGen gen(seed);
+  // Visual wake words (person / no-person) on 96x96 RGB, MobileNet-style
+  // stem + 5 depthwise-separable stages (~4 MMAC/frame, tinyML class).
+  Model m("vww-micronet", Shape{96, 96, 3});
+  m.add(std::make_unique<Conv2D>(3, 16, 3, 3, 2, 2, Padding::kSame, gen.weights(16u * 9 * 3, 27),
+                                 gen.biases(16)));
+  m.add(std::make_unique<Relu>(6.0f));
+  add_ds_block(m, gen, 16, 32, 2);
+  add_ds_block(m, gen, 32, 64, 2);
+  add_ds_block(m, gen, 64, 128, 1);
+  add_ds_block(m, gen, 128, 128, 2);
+  add_ds_block(m, gen, 128, 256, 2);
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<FullyConnected>(256, 2, gen.weights(256u * 2, 256), gen.biases(2)));
+  m.add(std::make_unique<Softmax>());
+  return m;
+}
+
+}  // namespace iob::nn

@@ -1,0 +1,40 @@
+#pragma once
+/// \file model_zoo.hpp
+/// Reference wearable-AI micro-models, one per device class the paper's
+/// Sec. II enumerates. Weights are deterministic pseudo-random (this
+/// library studies *where* inference runs and what it costs, not accuracy);
+/// architectures and therefore MAC/activation profiles follow the
+/// MLPerf-Tiny-class networks actually deployed on such nodes.
+///
+///  * `make_kws_dscnn()` — keyword spotting DS-CNN (audio pins/pendants,
+///    Sec. II-B): 49x10 MFCC input, conv + 4 depthwise-separable blocks.
+///  * `make_ecg_cnn1d()` — 1-D CNN arrhythmia classifier (biopotential
+///    patches, Sec. II-A/D): 360-sample beat window.
+///  * `make_vww_micronet()` — MobileNet-style visual wake words net
+///    (camera glasses/pins, Sec. II-C): 96x96x3 input.
+
+#include "nn/model.hpp"
+
+namespace iob::nn {
+
+/// Deterministic weight source so every build reproduces identical models.
+class WeightGen {
+ public:
+  explicit WeightGen(std::uint64_t seed) : state_(seed ? seed : 1) {}
+
+  /// Kaiming-uniform-style weights for a given fan-in.
+  std::vector<float> weights(std::size_t count, int fan_in);
+
+  /// Small biases.
+  std::vector<float> biases(std::size_t count);
+
+ private:
+  float next_unit();  ///< uniform in [-1, 1)
+  std::uint64_t state_;
+};
+
+Model make_kws_dscnn(std::uint64_t seed = 1);
+Model make_ecg_cnn1d(std::uint64_t seed = 2);
+Model make_vww_micronet(std::uint64_t seed = 3);
+
+}  // namespace iob::nn

@@ -1,0 +1,44 @@
+#pragma once
+/// \file quantize.hpp
+/// Affine int8 quantization. Leaf nodes ship activations across the body
+/// bus int8-quantized (4x smaller than f32) — the transport format the
+/// partitioner's "bytes on the wire" numbers assume — and ISA blocks use
+/// the same scheme to compress raw sensor frames.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace iob::nn {
+
+struct QuantParams {
+  float scale = 1.0f;        ///< real = scale * (q - zero_point)
+  std::int32_t zero_point = 0;
+};
+
+struct QuantizedTensor {
+  std::vector<std::int8_t> data;
+  QuantParams params;
+  Shape shape;
+
+  [[nodiscard]] std::int64_t bytes() const { return static_cast<std::int64_t>(data.size()); }
+};
+
+/// Choose affine parameters covering [min, max] (handles degenerate ranges).
+QuantParams choose_quant_params(float min_v, float max_v);
+
+/// Quantize with parameters derived from the tensor's own min/max.
+QuantizedTensor quantize(const Tensor& t);
+
+/// Quantize with explicit parameters.
+QuantizedTensor quantize(const Tensor& t, QuantParams params);
+
+/// Reconstruct floats.
+Tensor dequantize(const QuantizedTensor& q);
+
+/// Worst-case absolute reconstruction error for the chosen parameters
+/// (half an LSB step).
+double quant_error_bound(QuantParams params);
+
+}  // namespace iob::nn

@@ -1,0 +1,72 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace iob::nn {
+
+std::int64_t shape_elems(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const int d : shape) {
+    IOB_EXPECTS(d > 0, "shape dims must be positive");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << "x";
+    os << shape[i];
+  }
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_elems(shape_)), fill) {
+  IOB_EXPECTS(!shape_.empty() && shape_.size() <= 4, "tensor rank must be 1-4");
+}
+
+float& Tensor::at(int i) {
+  IOB_EXPECTS(rank() == 1 && i >= 0 && i < shape_[0], "rank-1 index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(int i, int j) {
+  IOB_EXPECTS(rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+              "rank-2 index out of range");
+  return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+}
+
+float& Tensor::at(int i, int j, int k) {
+  IOB_EXPECTS(rank() == 3 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                  k < shape_[2],
+              "rank-3 index out of range");
+  return data_[(static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(int i) const { return const_cast<Tensor*>(this)->at(i); }
+float Tensor::at(int i, int j) const { return const_cast<Tensor*>(this)->at(i, j); }
+float Tensor::at(int i, int j, int k) const { return const_cast<Tensor*>(this)->at(i, j, k); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  IOB_EXPECTS(shape_elems(new_shape) == size(), "reshape must preserve element count");
+  Tensor out(std::move(new_shape));
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  return out;
+}
+
+double Tensor::max_abs_diff(const Tensor& other) const {
+  IOB_EXPECTS(shape_ == other.shape_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(data_[i] - other.data_[i])));
+  }
+  return m;
+}
+
+}  // namespace iob::nn

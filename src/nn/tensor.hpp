@@ -1,0 +1,61 @@
+#pragma once
+/// \file tensor.hpp
+/// Minimal dense tensor for the from-scratch NN inference engine.
+///
+/// Row-major float storage; rank 1-4. Image tensors are HWC (height, width,
+/// channels); 1-D signal tensors are LC (length, channels). The engine
+/// exists to execute the paper's wearable-AI workloads (keyword spotting,
+/// ECG classification, visual wake words) with *true* per-layer MAC counts
+/// and activation sizes — the quantities the partitioning optimizer and the
+/// offload-energy story depend on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iob::nn {
+
+using Shape = std::vector<int>;
+
+/// Total element count of a shape (product of dims).
+std::int64_t shape_elems(const Shape& shape);
+
+/// Human-readable "HxWxC" rendering.
+std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  [[nodiscard]] std::int64_t bytes() const { return size() * 4; }  ///< float32 footprint
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Rank-specific accessors (bounds-checked preconditions).
+  float& at(int i);
+  float& at(int i, int j);
+  float& at(int i, int j, int k);
+  [[nodiscard]] float at(int i) const;
+  [[nodiscard]] float at(int i, int j) const;
+  [[nodiscard]] float at(int i, int j, int k) const;
+
+  /// Reinterpret with a new shape of identical element count.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Elementwise maximum |a - b| against another tensor of the same shape.
+  [[nodiscard]] double max_abs_diff(const Tensor& other) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace iob::nn

@@ -1,0 +1,51 @@
+#include "partition/adaptive_isa.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::partition {
+
+AdaptiveIsaController::AdaptiveIsaController(const IsaChooser& chooser, AdaptiveIsaConfig config)
+    : chooser_(chooser), config_(std::move(config)) {
+  IOB_EXPECTS(!config_.modes.empty(), "controller needs at least one mode");
+  IOB_EXPECTS(config_.mission_time_s > 0, "mission time must be positive");
+  IOB_EXPECTS(config_.hysteresis >= 1.0, "hysteresis factor must be >= 1");
+  mode_power_w_.reserve(config_.modes.size());
+  double prev = std::numeric_limits<double>::infinity();
+  for (const auto& m : config_.modes) {
+    const double p = chooser_.evaluate(m).total_power_w();
+    IOB_EXPECTS(p <= prev * 1.0000001,
+                "modes must be ordered by non-increasing total power");
+    mode_power_w_.push_back(p);
+    prev = p;
+  }
+}
+
+double AdaptiveIsaController::glide_power_w(const energy::Battery& battery, double elapsed_s,
+                                            double mission_time_s) {
+  IOB_EXPECTS(elapsed_s >= 0, "elapsed time must be non-negative");
+  const double remaining_t = mission_time_s - elapsed_s;
+  if (remaining_t <= 0) return std::numeric_limits<double>::infinity();  // mission done
+  return battery.remaining_j() / remaining_t;
+}
+
+std::size_t AdaptiveIsaController::update(const energy::Battery& battery, double elapsed_s) {
+  const double budget = glide_power_w(battery, elapsed_s, config_.mission_time_s);
+
+  // Step down while the current mode overshoots the glide budget.
+  while (current_ + 1 < mode_power_w_.size() &&
+         mode_power_w_[current_] > budget) {
+    ++current_;
+  }
+  // Step back up only when the *richer* mode fits with hysteresis margin.
+  while (current_ > 0 && mode_power_w_[current_ - 1] * config_.hysteresis < budget) {
+    --current_;
+  }
+  return current_;
+}
+
+double AdaptiveIsaController::current_power_w() const { return mode_power_w_[current_]; }
+
+}  // namespace iob::partition

@@ -1,0 +1,59 @@
+#pragma once
+/// \file adaptive_isa.hpp
+/// Closed-loop ISA mode controller: a leaf node that must survive a target
+/// mission time watches its battery state of charge and steps its ISA
+/// operating mode (raw -> codec -> features -> results-only) up or down to
+/// stay on the energy glide path. This operationalizes the paper's "ISA as
+/// appropriate" (Sec. I/V): the mode is not a design-time constant but a
+/// runtime response to the energy budget.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "partition/isa_chooser.hpp"
+
+namespace iob::partition {
+
+struct AdaptiveIsaConfig {
+  /// Candidate modes ordered from richest output (index 0: raw) to most
+  /// aggressive reduction (last: results only). Power must be
+  /// non-increasing along the list for the controller to make progress.
+  std::vector<IsaMode> modes;
+  double mission_time_s = 30.0 * 86400.0;  ///< required node lifetime
+  /// Hysteresis margin: switch down when the glide path is missed by this
+  /// factor, back up when beaten by it (prevents mode flapping).
+  double hysteresis = 1.15;
+};
+
+class AdaptiveIsaController {
+ public:
+  /// \param chooser the leaf's power model (link + silicon + sensor)
+  AdaptiveIsaController(const IsaChooser& chooser, AdaptiveIsaConfig config);
+
+  /// Decide the mode for the moment: `elapsed_s` into the mission with the
+  /// battery at `battery`. Returns the selected mode index (sticky between
+  /// calls — only moves when the hysteresis band is crossed).
+  std::size_t update(const energy::Battery& battery, double elapsed_s);
+
+  /// Power (W) the node draws in the currently selected mode.
+  [[nodiscard]] double current_power_w() const;
+
+  [[nodiscard]] std::size_t current_mode() const { return current_; }
+  [[nodiscard]] const IsaMode& mode(std::size_t i) const { return config_.modes.at(i); }
+  [[nodiscard]] std::size_t mode_count() const { return config_.modes.size(); }
+
+  /// The power budget (W) that exactly survives the remaining mission from
+  /// the given state.
+  [[nodiscard]] static double glide_power_w(const energy::Battery& battery, double elapsed_s,
+                                            double mission_time_s);
+
+ private:
+  const IsaChooser& chooser_;
+  AdaptiveIsaConfig config_;
+  std::vector<double> mode_power_w_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace iob::partition

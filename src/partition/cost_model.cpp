@@ -1,0 +1,23 @@
+#include "partition/cost_model.hpp"
+
+#include "common/expect.hpp"
+
+namespace iob::partition {
+
+TransferSpec CostModel::leg_from_link(const comm::Link& link, double offered_bps,
+                                      std::uint32_t payload_bytes) {
+  IOB_EXPECTS(offered_bps > 0, "offered rate must be positive");
+  TransferSpec t;
+  t.name = link.spec().name;
+  t.app_rate_bps = link.app_throughput_bps(payload_bytes);
+  t.sender_energy_per_bit_j = link.effective_energy_per_app_bit_j(offered_bps, payload_bytes);
+  t.receiver_energy_per_bit_j = link.spec().rx_energy_per_bit_j;
+  t.fixed_latency_s = link.spec().wake_time_s + link.spec().per_frame_turnaround_s;
+  return t;
+}
+
+TransferSpec CostModel::default_uplink() {
+  return TransferSpec{"Wi-Fi uplink", 20e6, 30e-9, 30e-9, 20e-3};
+}
+
+}  // namespace iob::partition

@@ -1,0 +1,51 @@
+#pragma once
+/// \file cost_model.hpp
+/// Execution-venue and transfer cost model for distributed inference across
+/// the paper's three tiers: ULP leaf node -> on-body hub ("wearable brain")
+/// -> fog/cloud (Sec. V). Energy-per-MAC values are silicon-class constants
+/// (DESIGN.md Sec. 4); transfer legs wrap `comm::Link` instances so the
+/// BLE-vs-Wi-R contrast flows straight into partitioning decisions.
+
+#include <string>
+
+#include "comm/link.hpp"
+
+namespace iob::partition {
+
+/// Where computation can run.
+enum class Venue { kLeaf, kHub, kCloud };
+
+struct VenueSpec {
+  std::string name;
+  double energy_per_mac_j;  ///< marginal energy per multiply-accumulate
+  double macs_per_s;        ///< sustained inference throughput
+};
+
+/// A communication leg between adjacent venues.
+struct TransferSpec {
+  std::string name;
+  double app_rate_bps;            ///< achievable application throughput
+  double sender_energy_per_bit_j; ///< charged to the sending side
+  double receiver_energy_per_bit_j;
+  double fixed_latency_s;         ///< per-transfer setup/turnaround
+};
+
+struct CostModel {
+  VenueSpec leaf{"leaf (ULP MCU)", 20e-12, 50e6};      ///< 20 pJ/MAC, 50 MMAC/s
+  VenueSpec hub{"hub (wearable brain)", 5e-12, 2e9};   ///< 5 pJ/MAC, 2 GMAC/s
+  VenueSpec cloud{"cloud", 1e-12, 100e9};              ///< effectively unconstrained
+  TransferSpec leaf_hub;   ///< body-bus leg (Wi-R or BLE)
+  TransferSpec hub_cloud;  ///< uplink leg (Wi-Fi/LTE class)
+  bool int8_transport = true;  ///< ship activations quantized (1 B/element)
+
+  /// Build the leaf->hub leg from a body-bus link model at a given offered
+  /// rate (the effective energy/bit includes protocol and idle overheads).
+  static TransferSpec leg_from_link(const comm::Link& link, double offered_bps,
+                                    std::uint32_t payload_bytes = 240);
+
+  /// Default hub->cloud leg: Wi-Fi class, 20 Mb/s app, ~30 nJ/bit at the
+  /// hub, 20 ms RTT-ish setup.
+  static TransferSpec default_uplink();
+};
+
+}  // namespace iob::partition

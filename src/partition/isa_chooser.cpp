@@ -1,0 +1,49 @@
+#include "partition/isa_chooser.hpp"
+
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace iob::partition {
+
+IsaChooser::IsaChooser(const comm::Link& link, double leaf_energy_per_mac_j,
+                       double sensing_power_w)
+    : link_(link), energy_per_mac_j_(leaf_energy_per_mac_j), sensing_power_w_(sensing_power_w) {
+  IOB_EXPECTS(leaf_energy_per_mac_j >= 0, "energy per MAC must be non-negative");
+  IOB_EXPECTS(sensing_power_w >= 0, "sensing power must be non-negative");
+}
+
+IsaEvaluation IsaChooser::evaluate(const IsaMode& mode) const {
+  IOB_EXPECTS(mode.output_rate_bps >= 0, "output rate must be non-negative");
+  IOB_EXPECTS(mode.compute_macs_per_s >= 0, "compute rate must be non-negative");
+  IsaEvaluation e;
+  e.mode = mode;
+  e.sense_power_w = sensing_power_w_;
+  e.compute_power_w = mode.compute_macs_per_s * energy_per_mac_j_;
+  e.comm_power_w =
+      mode.output_rate_bps > 0 ? link_.stream_tx_power_w(mode.output_rate_bps) : 0.0;
+  return e;
+}
+
+std::vector<IsaEvaluation> IsaChooser::evaluate_all(const std::vector<IsaMode>& modes) const {
+  std::vector<IsaEvaluation> out;
+  out.reserve(modes.size());
+  for (const auto& m : modes) out.push_back(evaluate(m));
+  return out;
+}
+
+std::size_t IsaChooser::best_index(const std::vector<IsaMode>& modes) const {
+  IOB_EXPECTS(!modes.empty(), "need at least one mode");
+  std::size_t best = 0;
+  double best_power = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const double p = evaluate(modes[i]).total_power_w();
+    if (p < best_power) {
+      best_power = p;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace iob::partition

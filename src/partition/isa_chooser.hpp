@@ -1,0 +1,56 @@
+#pragma once
+/// \file isa_chooser.hpp
+/// Chooses the In-Sensor-Analytics operating mode for a leaf sensor stream:
+/// ship raw, run a codec, extract features, or infer locally and ship only
+/// results (paper Sec. V: "The ULP nodes in some cases may use low power
+/// in-sensor analytics (ISA) or data compression ... to reduce the data
+/// volume"). Each mode trades leaf compute (MACs/s) against link traffic
+/// (bps); the chooser minimizes total leaf power for a given link.
+
+#include <string>
+#include <vector>
+
+#include "comm/link.hpp"
+
+namespace iob::partition {
+
+/// One candidate ISA operating mode for a sensor stream.
+struct IsaMode {
+  std::string name;          ///< e.g. "raw", "adpcm 4:1", "mfcc", "local-kws"
+  double output_rate_bps;    ///< traffic leaving the node in this mode
+  double compute_macs_per_s; ///< sustained ISA compute to run the mode
+};
+
+/// Leaf power breakdown for a mode.
+struct IsaEvaluation {
+  IsaMode mode;
+  double sense_power_w = 0.0;
+  double compute_power_w = 0.0;
+  double comm_power_w = 0.0;
+
+  [[nodiscard]] double total_power_w() const {
+    return sense_power_w + compute_power_w + comm_power_w;
+  }
+};
+
+class IsaChooser {
+ public:
+  /// \param link body-bus link the node transmits on
+  /// \param leaf_energy_per_mac_j leaf silicon efficiency (J/MAC)
+  /// \param sensing_power_w fixed front-end power of this sensor
+  IsaChooser(const comm::Link& link, double leaf_energy_per_mac_j, double sensing_power_w);
+
+  [[nodiscard]] IsaEvaluation evaluate(const IsaMode& mode) const;
+
+  /// Evaluate all modes; returns them ordered as given, with `best_index`
+  /// set to the total-power minimizer.
+  [[nodiscard]] std::vector<IsaEvaluation> evaluate_all(const std::vector<IsaMode>& modes) const;
+  [[nodiscard]] std::size_t best_index(const std::vector<IsaMode>& modes) const;
+
+ private:
+  const comm::Link& link_;
+  double energy_per_mac_j_;
+  double sensing_power_w_;
+};
+
+}  // namespace iob::partition

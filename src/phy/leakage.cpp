@@ -1,0 +1,111 @@
+#include "phy/leakage.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::phy {
+
+namespace {
+
+/// Generic monotone-SNR interception range solver: largest d in
+/// [min_d, max_d] with snr_db(d) >= required; 0 if none, max_d if all.
+template <typename SnrFn>
+double solve_range(SnrFn&& snr_db, double required_db, double min_d, double max_d) {
+  if (snr_db(min_d) < required_db) return 0.0;
+  if (snr_db(max_d) >= required_db) return max_d;
+  double lo = min_d, hi = max_d;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection (decades)
+    if (snr_db(mid) >= required_db) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+// ---- EQS -------------------------------------------------------------------
+
+EqsLeakage::EqsLeakage(EqsLeakageParams params)
+    : params_(params), channel_(params.channel) {
+  IOB_EXPECTS(params_.tx_voltage_v > 0, "TX voltage must be positive");
+  IOB_EXPECTS(params_.dipole_scale_m > 0, "dipole scale must be positive");
+}
+
+double EqsLeakage::on_body_signal_v() const {
+  // Intended receiver: body-contact electrode at the flat band, average
+  // 1 m on-body channel length.
+  return params_.tx_voltage_v * channel_.voltage_gain(1.0 * units::MHz, 1.0);
+}
+
+double EqsLeakage::attacker_signal_v(double distance_m) const {
+  IOB_EXPECTS(distance_m >= 0, "distance must be non-negative");
+  // The field just off the body surface equals the on-body signal level;
+  // beyond it the quasistatic fringe collapses as (r0/(r0+d))^3 and the
+  // attacker's air-coupled pickup pays the coupling penalty.
+  const double r0 = params_.dipole_scale_m;
+  const double fringe = std::pow(r0 / (r0 + distance_m), 3.0);
+  const double coupling = units::from_db_voltage(-params_.air_coupling_penalty_db);
+  return on_body_signal_v() * fringe * coupling;
+}
+
+double EqsLeakage::attacker_snr_db(double distance_m) const {
+  const double v_sig = attacker_signal_v(distance_m);
+  const double v_noise = thermal_noise_voltage_v(params_.attacker_r_ohm, params_.attacker_bw_hz) *
+                         units::from_db_voltage(params_.attacker_noise_figure_db / 2.0);
+  return units::to_db_voltage(v_sig / v_noise);
+}
+
+double EqsLeakage::interception_range_m(Modulation mod, double target_ber,
+                                        double max_distance_m) const {
+  const double required_db = units::to_db(required_snr(mod, target_ber));
+  return solve_range([this](double d) { return attacker_snr_db(d); }, required_db, 1e-3,
+                     max_distance_m);
+}
+
+// ---- RF --------------------------------------------------------------------
+
+RfLeakage::RfLeakage(RfLeakageParams params) : params_(params), channel_(params.channel) {}
+
+double RfLeakage::attacker_rx_power_w(double distance_m) const {
+  return RfChannel::received_power_w(params_.tx_power_w,
+                                     channel_.off_body_path_loss_db(distance_m));
+}
+
+double RfLeakage::attacker_snr_db(double distance_m) const {
+  const Receiver rx{params_.attacker_bw_hz, params_.attacker_noise_figure_db, 290.0};
+  return rx.snr_db(attacker_rx_power_w(distance_m));
+}
+
+double RfLeakage::interception_range_m(Modulation mod, double target_ber,
+                                       double max_distance_m) const {
+  const double required_db = units::to_db(required_snr(mod, target_ber));
+  return solve_range([this](double d) { return attacker_snr_db(d); }, required_db, 1e-2,
+                     max_distance_m);
+}
+
+// ---- NFMI ------------------------------------------------------------------
+
+NfmiLeakage::NfmiLeakage(NfmiLeakageParams params) : params_(params), channel_(params.channel) {}
+
+double NfmiLeakage::attacker_rx_power_w(double distance_m) const {
+  return params_.tx_power_w * units::from_db(channel_.gain_db(distance_m));
+}
+
+double NfmiLeakage::attacker_snr_db(double distance_m) const {
+  const Receiver rx{params_.attacker_bw_hz, params_.attacker_noise_figure_db, 290.0};
+  return rx.snr_db(attacker_rx_power_w(distance_m));
+}
+
+double NfmiLeakage::interception_range_m(Modulation mod, double target_ber,
+                                         double max_distance_m) const {
+  const double required_db = units::to_db(required_snr(mod, target_ber));
+  return solve_range([this](double d) { return attacker_snr_db(d); }, required_db, 1e-2,
+                     max_distance_m);
+}
+
+}  // namespace iob::phy

@@ -1,0 +1,118 @@
+#pragma once
+/// \file leakage.hpp
+/// Physical-security model: how far away can an eavesdropper intercept each
+/// communication modality? (Paper Sec. I & IV: EQS fields are "contained
+/// around a personal bubble outside the human body", unlike RF which
+/// radiates a room-scale bubble; quantified in Das et al., Sci. Reports
+/// 2019 [15].)
+///
+/// EQS: outside the body the signal decays like a quasistatic (electric
+/// dipole) field, amplitude ~ 1/r^3, and an air-coupled attacker antenna
+/// pays a large coupling penalty relative to a body-contact electrode.
+/// RF: far-field 1/r amplitude decay; a -95 dBm-class BLE sniffer decodes
+/// from many meters. NFMI sits in between (1/r^3 magnetic near field but no
+/// conductive-containment penalty).
+
+#include "common/units.hpp"
+#include "phy/eqs_channel.hpp"
+#include "phy/modulation.hpp"
+#include "phy/nfmi_channel.hpp"
+#include "phy/noise.hpp"
+#include "phy/rf_channel.hpp"
+
+namespace iob::phy {
+
+struct EqsLeakageParams {
+  /// TX swing on the body (V).
+  double tx_voltage_v = 1.0;
+  /// On-body (intended receiver) channel.
+  EqsChannelParams channel{};
+  /// Effective dipole scale of the body-field fringe (m): field at distance
+  /// d off the body ~ surface field * (r0/(r0+d))^3.
+  double dipole_scale_m = 0.15;
+  /// Air-coupling penalty for a non-contact attacker electrode vs a
+  /// body-contact electrode (dB, amplitude).
+  double air_coupling_penalty_db = 20.0;
+  /// Attacker front-end: equivalent input noise resistance of a good
+  /// low-noise high-Z probe amplifier and its capture bandwidth.
+  double attacker_r_ohm = 10.0 * units::kohm;
+  double attacker_bw_hz = 1.0 * units::MHz;
+  double attacker_noise_figure_db = 6.0;
+};
+
+class EqsLeakage {
+ public:
+  explicit EqsLeakage(EqsLeakageParams params = {});
+
+  /// Signal amplitude (V) available to a body-contact receiver (the intended
+  /// on-body device) at the EQS flat band.
+  [[nodiscard]] double on_body_signal_v() const;
+
+  /// Signal amplitude (V) available to an air-coupled attacker `distance_m`
+  /// away from the body surface.
+  [[nodiscard]] double attacker_signal_v(double distance_m) const;
+
+  /// Attacker SNR (dB) at distance.
+  [[nodiscard]] double attacker_snr_db(double distance_m) const;
+
+  /// Largest distance (m) at which the attacker still achieves `target_ber`
+  /// with the given modulation; 0 if even contact-range fails. Bisection on
+  /// the monotone SNR-vs-distance curve, searched up to `max_distance_m`.
+  [[nodiscard]] double interception_range_m(Modulation mod = Modulation::kOok,
+                                            double target_ber = 1e-3,
+                                            double max_distance_m = 100.0) const;
+
+  [[nodiscard]] const EqsLeakageParams& params() const { return params_; }
+
+ private:
+  EqsLeakageParams params_;
+  EqsChannel channel_;
+};
+
+struct RfLeakageParams {
+  double tx_power_w = 1.0 * units::mW;  ///< 0 dBm BLE-class TX
+  RfChannelParams channel{};
+  double attacker_bw_hz = 1.0 * units::MHz;
+  double attacker_noise_figure_db = 6.0;
+};
+
+class RfLeakage {
+ public:
+  explicit RfLeakage(RfLeakageParams params = {});
+
+  [[nodiscard]] double attacker_rx_power_w(double distance_m) const;
+  [[nodiscard]] double attacker_snr_db(double distance_m) const;
+  [[nodiscard]] double interception_range_m(Modulation mod = Modulation::kGfsk,
+                                            double target_ber = 1e-3,
+                                            double max_distance_m = 1000.0) const;
+
+  [[nodiscard]] const RfLeakageParams& params() const { return params_; }
+
+ private:
+  RfLeakageParams params_;
+  RfChannel channel_;
+};
+
+struct NfmiLeakageParams {
+  double tx_power_w = 1.0 * units::mW;
+  NfmiChannelParams channel{};
+  double attacker_bw_hz = 1.0 * units::MHz;
+  double attacker_noise_figure_db = 6.0;
+};
+
+class NfmiLeakage {
+ public:
+  explicit NfmiLeakage(NfmiLeakageParams params = {});
+
+  [[nodiscard]] double attacker_rx_power_w(double distance_m) const;
+  [[nodiscard]] double attacker_snr_db(double distance_m) const;
+  [[nodiscard]] double interception_range_m(Modulation mod = Modulation::kGfsk,
+                                            double target_ber = 1e-3,
+                                            double max_distance_m = 1000.0) const;
+
+ private:
+  NfmiLeakageParams params_;
+  NfmiChannel channel_;
+};
+
+}  // namespace iob::phy

@@ -1,0 +1,35 @@
+#include "phy/nfmi_channel.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::phy {
+
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;  // m/s
+}
+
+NfmiChannel::NfmiChannel(NfmiChannelParams params) : params_(params) {
+  IOB_EXPECTS(params_.freq_hz > 0, "carrier frequency must be positive");
+  IOB_EXPECTS(params_.ref_distance_m > 0, "reference distance must be positive");
+}
+
+double NfmiChannel::near_field_boundary_m() const {
+  return kSpeedOfLight / params_.freq_hz / (2.0 * M_PI);
+}
+
+double NfmiChannel::gain_db(double distance_m) const {
+  IOB_EXPECTS(distance_m > 0, "distance must be positive");
+  const double boundary = near_field_boundary_m();
+  const double d0 = params_.ref_distance_m;
+  if (distance_m <= boundary) {
+    // Magnetic dipole near field: H ~ 1/d^3, power ~ 1/d^6 -> 60 dB/decade.
+    return params_.ref_gain_db - 60.0 * std::log10(distance_m / d0);
+  }
+  // Continue from the boundary with radiative 20 dB/decade.
+  const double gain_at_boundary = params_.ref_gain_db - 60.0 * std::log10(boundary / d0);
+  return gain_at_boundary - 20.0 * std::log10(distance_m / boundary);
+}
+
+}  // namespace iob::phy

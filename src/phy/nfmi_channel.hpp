@@ -1,0 +1,38 @@
+#pragma once
+/// \file nfmi_channel.hpp
+/// Near-Field Magnetic Induction (NFMI) channel — the third communication
+/// modality the paper names alongside RF and EQS (Sec. I, IV-B): the body is
+/// transparent to magnetic fields, so NFMI works through tissue, but its
+/// coupled-coil link budget collapses as 1/d^6 (power) inside the near
+/// field. We model the near-field region (d < lambda/2pi) with the 60
+/// dB/decade rolloff and hand over to radiative 20 dB/decade beyond it.
+
+#include "common/units.hpp"
+
+namespace iob::phy {
+
+struct NfmiChannelParams {
+  double freq_hz = 10.6 * units::MHz;  ///< typical NFMI carrier
+  /// Coupled-coil link gain at the reference distance (coil-geometry
+  /// dependent); -40 dB at 10 cm is representative of earbud-class coils.
+  double ref_distance_m = 0.10;
+  double ref_gain_db = -40.0;
+};
+
+class NfmiChannel {
+ public:
+  explicit NfmiChannel(NfmiChannelParams params = {});
+
+  /// Power gain (dB, negative = loss) at `distance_m`.
+  [[nodiscard]] double gain_db(double distance_m) const;
+
+  /// Boundary between near-field (1/d^6) and radiative (1/d^2) behaviour.
+  [[nodiscard]] double near_field_boundary_m() const;
+
+  [[nodiscard]] const NfmiChannelParams& params() const { return params_; }
+
+ private:
+  NfmiChannelParams params_;
+};
+
+}  // namespace iob::phy

@@ -1,0 +1,47 @@
+#include "phy/rf_channel.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::phy {
+
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;  // m/s
+}
+
+RfChannel::RfChannel(RfChannelParams params) : params_(params) {
+  IOB_EXPECTS(params_.freq_hz > 0, "carrier frequency must be positive");
+  IOB_EXPECTS(params_.ref_distance_m > 0, "reference distance must be positive");
+  const double lambda = kSpeedOfLight / params_.freq_hz;
+  // Friis at the reference distance: (4*pi*d/lambda)^2 in dB.
+  ref_loss_db_ = 20.0 * std::log10(4.0 * M_PI * params_.ref_distance_m / lambda);
+}
+
+double RfChannel::free_space_path_loss_db(double distance_m) const {
+  IOB_EXPECTS(distance_m > 0, "distance must be positive");
+  return ref_loss_db_ +
+         10.0 * params_.path_loss_exponent * std::log10(distance_m / params_.ref_distance_m);
+}
+
+double RfChannel::on_body_path_loss_db(double distance_m) const {
+  IOB_EXPECTS(distance_m > 0, "distance must be positive");
+  return ref_loss_db_ +
+         10.0 * params_.on_body_exponent * std::log10(distance_m / params_.ref_distance_m) +
+         params_.body_shadow_db;
+}
+
+double RfChannel::off_body_path_loss_db(double distance_m) const {
+  IOB_EXPECTS(distance_m > 0, "distance must be positive");
+  // The eavesdropper is in air; beyond ~the reference distance the wave
+  // propagates freely. A fraction of the body shadowing still applies
+  // (the body blocks roughly half the solid angle on average).
+  return free_space_path_loss_db(distance_m) + 0.5 * params_.body_shadow_db;
+}
+
+double RfChannel::received_power_w(double tx_power_w, double path_loss_db) {
+  IOB_EXPECTS(tx_power_w > 0, "transmit power must be positive");
+  return tx_power_w * units::from_db(-path_loss_db);
+}
+
+}  // namespace iob::phy

@@ -1,0 +1,68 @@
+#include "phy/safety.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::phy {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+HbcSafetyModel::HbcSafetyModel(SafetyParams params) : params_(params) {
+  IOB_EXPECTS(params_.electrode_capacitance_f > 0, "electrode capacitance must be positive");
+  IOB_EXPECTS(params_.tissue_resistance_ohm > 0, "tissue resistance must be positive");
+  IOB_EXPECTS(params_.electrode_area_m2 > 0, "electrode area must be positive");
+  IOB_EXPECTS(params_.tissue_conductivity_s_per_m > 0, "conductivity must be positive");
+}
+
+double HbcSafetyModel::tissue_current_a(double tx_voltage_v, double freq_hz) const {
+  IOB_EXPECTS(tx_voltage_v >= 0, "TX voltage must be non-negative");
+  IOB_EXPECTS(freq_hz > 0, "frequency must be positive");
+  // |Z| = sqrt(R^2 + (1/(w C))^2); the capacitance dominates at EQS
+  // frequencies, which is what keeps HBC currents tiny.
+  const double zc = 1.0 / (kTwoPi * freq_hz * params_.electrode_capacitance_f);
+  const double z = std::hypot(params_.tissue_resistance_ohm, zc);
+  // rms of a square-ish digital swing ~ V/2 amplitude -> V/(2*sqrt2) rms.
+  const double v_rms = tx_voltage_v / (2.0 * std::sqrt(2.0));
+  return v_rms / z;
+}
+
+double HbcSafetyModel::in_situ_field_v_per_m(double tx_voltage_v, double freq_hz) const {
+  const double current_density =
+      tissue_current_a(tx_voltage_v, freq_hz) / params_.electrode_area_m2;
+  return current_density / params_.tissue_conductivity_s_per_m;
+}
+
+double HbcSafetyModel::icnirp_field_limit_v_per_m(double freq_hz) {
+  IOB_EXPECTS(freq_hz > 0, "frequency must be positive");
+  // ICNIRP 2010 general public: 1.35e-4 * f (V/m), valid 3 kHz - 10 MHz;
+  // flat continuation above (conservative).
+  const double f = std::clamp(freq_hz, 3e3, 10e6);
+  return 1.35e-4 * f;
+}
+
+double HbcSafetyModel::contact_current_limit_a(double freq_hz) {
+  IOB_EXPECTS(freq_hz > 0, "frequency must be positive");
+  if (freq_hz >= 100e3) return 20e-3;
+  // 0.2 mA per kHz below 100 kHz.
+  return 0.2e-3 * (freq_hz / 1e3);
+}
+
+double HbcSafetyModel::compliance_margin_db(double tx_voltage_v, double freq_hz) const {
+  const double field_margin =
+      icnirp_field_limit_v_per_m(freq_hz) / in_situ_field_v_per_m(tx_voltage_v, freq_hz);
+  const double current_margin =
+      contact_current_limit_a(freq_hz) / tissue_current_a(tx_voltage_v, freq_hz);
+  return units::to_db(std::min(field_margin, current_margin));
+}
+
+double HbcSafetyModel::max_safe_tx_voltage_v(double freq_hz) const {
+  // Both field and current are linear in voltage, so scale from 1 V.
+  const double margin_db = compliance_margin_db(1.0, freq_hz);
+  return units::from_db(margin_db);  // power-ratio linearity on linear system
+}
+
+}  // namespace iob::phy

@@ -1,0 +1,68 @@
+#pragma once
+/// \file safety.hpp
+/// Human-exposure safety checks for EQS-HBC transmit levels (paper ref
+/// [19], Maity et al., "On the Safety of Human Body Communication", IEEE
+/// TBME 2020). EQS-HBC couples currents through tissue, so the transmit
+/// swing is bounded by the ICNIRP-2010 basic restrictions:
+///
+///  * induced in-situ electric field (general public): E_limit = 1.35e-4 * f
+///    V/m for f in [3 kHz, 10 MHz] — i.e. proportional to frequency;
+///  * contact / limb current (occupational-style limit used by [19]):
+///    I_limit = 20 mA above 100 kHz, 0.2 * f[kHz] mA below.
+///
+/// The module converts a TX swing + electrode geometry into tissue current
+/// and in-situ field estimates via the capacitive coupling impedance, and
+/// reports the compliance margin. The paper's headline result [19] is that
+/// EQS-HBC at ~1 V swing sits orders of magnitude below the limits — which
+/// this model reproduces (asserted in tests).
+
+#include "common/units.hpp"
+
+namespace iob::phy {
+
+struct SafetyParams {
+  /// Electrode-to-body coupling capacitance (series impedance), ~1 pF for a
+  /// small dry electrode.
+  double electrode_capacitance_f = 1.0 * units::pF;
+  /// Tissue path resistance under the electrode, ~1 kohm.
+  double tissue_resistance_ohm = 1.0 * units::kohm;
+  /// Effective current-spreading cross-section under the electrode (m^2);
+  /// 1 cm^2 electrode class.
+  double electrode_area_m2 = 1e-4;
+  /// Tissue conductivity (S/m), muscle-class at EQS frequencies.
+  double tissue_conductivity_s_per_m = 0.5;
+};
+
+class HbcSafetyModel {
+ public:
+  explicit HbcSafetyModel(SafetyParams params = {});
+
+  /// Tissue current (A rms) injected by a TX swing at a frequency: the
+  /// swing across the series electrode capacitance + tissue resistance.
+  [[nodiscard]] double tissue_current_a(double tx_voltage_v, double freq_hz) const;
+
+  /// In-situ electric field (V/m rms) in tissue under the electrode:
+  /// J / sigma with J = I / A.
+  [[nodiscard]] double in_situ_field_v_per_m(double tx_voltage_v, double freq_hz) const;
+
+  /// ICNIRP-2010 general-public in-situ field limit (V/m) at a frequency
+  /// in [3 kHz, 10 MHz]; clamped to the 10 MHz value above.
+  [[nodiscard]] static double icnirp_field_limit_v_per_m(double freq_hz);
+
+  /// Contact-current limit (A) at a frequency.
+  [[nodiscard]] static double contact_current_limit_a(double freq_hz);
+
+  /// Compliance margin in dB (positive = compliant) on the binding
+  /// constraint (field or current, whichever is tighter).
+  [[nodiscard]] double compliance_margin_db(double tx_voltage_v, double freq_hz) const;
+
+  /// Largest compliant TX swing (V) at a frequency (bisection).
+  [[nodiscard]] double max_safe_tx_voltage_v(double freq_hz) const;
+
+  [[nodiscard]] const SafetyParams& params() const { return params_; }
+
+ private:
+  SafetyParams params_;
+};
+
+}  // namespace iob::phy

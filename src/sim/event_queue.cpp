@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::sim {
+
+EventId EventQueue::schedule(Time when, Action action) {
+  IOB_EXPECTS(when >= 0.0, "event time must be non-negative");
+  IOB_EXPECTS(static_cast<bool>(action), "event action must be callable");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);  // heap entry becomes dead; skipped lazily
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  IOB_EXPECTS(!empty(), "next_time() on empty queue");
+  skip_dead();
+  return heap_.top().when;
+}
+
+Time EventQueue::run_next() {
+  IOB_EXPECTS(!empty(), "run_next() on empty queue");
+  skip_dead();
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_count_;
+  action();
+  return top.when;
+}
+
+}  // namespace iob::sim

@@ -1,0 +1,73 @@
+#pragma once
+/// \file event_queue.hpp
+/// Time-ordered event queue for the discrete-event simulator.
+///
+/// Events at equal timestamps fire in insertion (FIFO) order — a sequence
+/// number breaks ties — which makes every run with the same seed bit-exact
+/// reproducible (a property the integration tests assert).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace iob::sim {
+
+/// Simulation time in seconds. Single-threaded deterministic scheduling makes
+/// a double-based clock safe here; ties are broken by sequence number, never
+/// by float comparison subtleties.
+using Time = double;
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when` (>= 0). Returns a handle that
+  /// can be passed to `cancel`.
+  EventId schedule(Time when, Action action);
+
+  /// Cancel a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed. Amortized O(1) (lazy deletion).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Pop and run the earliest live event; returns its time.
+  /// Requires !empty().
+  Time run_next();
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discard heap entries whose actions were cancelled.
+  void skip_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Action> actions_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace iob::sim

@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::at(Time when, EventQueue::Action action) {
+  IOB_EXPECTS(when >= now_, "cannot schedule into the past");
+  return queue_.schedule(when, std::move(action));
+}
+
+EventId Simulator::after(Time delay, EventQueue::Action action) {
+  IOB_EXPECTS(delay >= 0.0, "delay must be non-negative");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+EventId Simulator::every(Time start, Time period, std::function<void(Time)> action) {
+  IOB_EXPECTS(period > 0.0, "periodic task needs a positive period");
+  IOB_EXPECTS(start >= now_, "cannot schedule into the past");
+  // Self-rescheduling closure; shared_ptr keeps the callable alive across
+  // its own reschedules.
+  auto body = std::make_shared<std::function<void()>>();
+  auto fire_time = std::make_shared<Time>(start);
+  *body = [this, period, action = std::move(action), body, fire_time]() {
+    const Time t = *fire_time;
+    action(t);
+    if (!stop_requested_) {
+      *fire_time = t + period;
+      queue_.schedule(*fire_time, *body);
+    }
+  };
+  return queue_.schedule(start, *body);
+}
+
+std::size_t Simulator::run_until(Time end_time) {
+  IOB_EXPECTS(end_time >= now_, "end_time must not precede now()");
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const Time next = queue_.next_time();
+    if (next > end_time) break;
+    // Advance the clock *before* executing so actions observe now() == their
+    // own timestamp (and relative scheduling via after() is anchored right).
+    now_ = next;
+    queue_.run_next();
+    ++executed;
+  }
+  if (!stop_requested_ && now_ < end_time) now_ = end_time;
+  return executed;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace iob::sim

@@ -1,0 +1,63 @@
+#pragma once
+/// \file simulator.hpp
+/// The discrete-event simulator: clock + event queue + convenience
+/// scheduling. All network/energy actors (`net::Node`, `net::Hub`,
+/// `energy::Harvester`, MAC schedulers) run on one `Simulator`.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace iob::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Root RNG; actors should `fork()` per-entity streams from it.
+  Rng& rng() { return rng_; }
+
+  /// Schedule at an absolute time (>= now()).
+  EventId at(Time when, EventQueue::Action action);
+
+  /// Schedule after a relative delay (>= 0).
+  EventId after(Time delay, EventQueue::Action action);
+
+  /// Schedule `action` every `period` seconds starting at `start` until the
+  /// simulation stops. Returns the id of the *first* occurrence (subsequent
+  /// occurrences reschedule themselves and cannot be cancelled via this id;
+  /// use a flag in the action to stop a periodic task).
+  EventId every(Time start, Time period, std::function<void(Time)> action);
+
+  /// Cancel a pending event by handle.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or `end_time` is reached, whichever first.
+  /// The clock is left at min(end_time, time of last event). Returns the
+  /// number of events executed.
+  std::size_t run_until(Time end_time);
+
+  /// Run until the queue drains completely.
+  std::size_t run_all();
+
+  /// Stop a `run_*` loop from inside an event (e.g. battery died).
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  Time now_ = 0.0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace iob::sim

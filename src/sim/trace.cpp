@@ -1,0 +1,31 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace iob::sim {
+
+void TraceSink::emit(Time t, std::string source, std::string kind, std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{t, std::move(source), std::move(kind), std::move(detail)});
+}
+
+std::size_t TraceSink::count(const std::string& kind, const std::string& source) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind && (source.empty() || r.source == source)) ++n;
+  }
+  return n;
+}
+
+std::string TraceSink::to_string() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << r.time << "s  [" << r.source << "] " << r.kind;
+    if (!r.detail.empty()) os << " " << r.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iob::sim

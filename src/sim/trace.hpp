@@ -1,0 +1,46 @@
+#pragma once
+/// \file trace.hpp
+/// Structured event tracing. Actors emit (time, source, kind, detail)
+/// records; tests assert on traces (determinism, ordering) and examples can
+/// dump them for inspection. Recording is in-memory and optional — a
+/// disabled sink costs one branch.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace iob::sim {
+
+struct TraceRecord {
+  Time time = 0.0;
+  std::string source;  ///< emitting entity, e.g. "node.ecg_patch"
+  std::string kind;    ///< event class, e.g. "tx_start", "rx_done", "battery_empty"
+  std::string detail;  ///< free-form payload, e.g. "bytes=240 slot=3"
+};
+
+class TraceSink {
+ public:
+  /// Start/stop recording (off by default).
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(Time t, std::string source, std::string kind, std::string detail = {});
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Count records matching a kind (and optionally a source).
+  [[nodiscard]] std::size_t count(const std::string& kind, const std::string& source = {}) const;
+
+  /// Render the full trace as text, one record per line.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace iob::sim

@@ -1,0 +1,88 @@
+#include "workload/audio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::workload {
+
+AudioGenerator::AudioGenerator(AudioParams params) : params_(params) {
+  IOB_EXPECTS(params_.sample_rate_hz >= 8000.0, "sample rate too low for speech");
+  IOB_EXPECTS(params_.f0_hz > 40.0 && params_.f0_hz < 500.0, "pitch out of speech range");
+}
+
+std::vector<float> AudioGenerator::generate(double duration_s, sim::Rng& rng) const {
+  IOB_EXPECTS(duration_s > 0, "duration must be positive");
+  const auto n = static_cast<std::size_t>(duration_s * params_.sample_rate_hz);
+  std::vector<float> out(n, 0.0f);
+
+  enum class Seg { kSilence, kVoiced, kUnvoiced };
+  std::size_t i = 0;
+  double phase = 0.0;
+  while (i < n) {
+    // Choose next segment type and length.
+    Seg seg;
+    if (!rng.bernoulli(params_.speech_fraction)) {
+      seg = Seg::kSilence;
+    } else {
+      seg = rng.bernoulli(params_.voiced_fraction) ? Seg::kVoiced : Seg::kUnvoiced;
+    }
+    const double seg_len_s = std::max(0.05, rng.exponential(params_.segment_s));
+    const auto seg_len = std::min(
+        n - i, static_cast<std::size_t>(seg_len_s * params_.sample_rate_hz));
+
+    const double f0 = params_.f0_hz * (1.0 + params_.f0_wander * rng.uniform(-1.0, 1.0));
+    double lp_state = 0.0;  // one-pole low-pass for unvoiced colouring
+    for (std::size_t k = 0; k < seg_len; ++k, ++i) {
+      // Raised-cosine fade at segment edges to avoid clicks.
+      const double edge = std::min({static_cast<double>(k), static_cast<double>(seg_len - 1 - k),
+                                    0.01 * params_.sample_rate_hz});
+      const double fade = std::min(1.0, edge / (0.01 * params_.sample_rate_hz));
+      double v = 0.0;
+      switch (seg) {
+        case Seg::kSilence:
+          v = 0.0;
+          break;
+        case Seg::kVoiced: {
+          // Harmonic stack with -6 dB/octave tilt (glottal-like).
+          phase += 2.0 * M_PI * f0 / params_.sample_rate_hz;
+          for (int h = 1; h <= 8; ++h) {
+            v += std::sin(phase * h) / static_cast<double>(h);
+          }
+          v *= 0.35;
+          break;
+        }
+        case Seg::kUnvoiced: {
+          // Low-passed white noise (fricative-ish).
+          lp_state = 0.7 * lp_state + 0.3 * rng.normal();
+          v = 0.8 * lp_state;
+          break;
+        }
+      }
+      out[i] = static_cast<float>(std::clamp(params_.amplitude * fade * v, -1.0, 1.0));
+    }
+    if (seg_len == 0) break;  // defensive: cannot make progress
+  }
+
+  // Sensor noise floor.
+  for (auto& s : out) s += static_cast<float>(rng.normal(0.0, 1e-3));
+  return out;
+}
+
+std::vector<std::int16_t> AudioGenerator::generate_pcm(double duration_s, sim::Rng& rng) const {
+  const auto sig = generate(duration_s, rng);
+  std::vector<std::int16_t> pcm(sig.size());
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    pcm[i] = static_cast<std::int16_t>(
+        std::lround(std::clamp(static_cast<double>(sig[i]), -1.0, 1.0) * 32767.0));
+  }
+  return pcm;
+}
+
+double AudioGenerator::data_rate_bps(int bits) const {
+  IOB_EXPECTS(bits > 0 && bits <= 32, "resolution out of range");
+  return params_.sample_rate_hz * bits;
+}
+
+}  // namespace iob::workload

@@ -1,0 +1,42 @@
+#pragma once
+/// \file audio.hpp
+/// Speech-like audio generator for the voice-based device class (paper
+/// Sec. II-B): alternating voiced segments (harmonic stack on a wandering
+/// F0 with formant-like spectral tilt) and unvoiced noise bursts, silence
+/// gaps between utterances. Exercises the ADPCM codec, MFCC extractor and
+/// KWS model with realistic spectral structure.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace iob::workload {
+
+struct AudioParams {
+  double sample_rate_hz = 16000.0;
+  double f0_hz = 120.0;             ///< base pitch
+  double f0_wander = 0.15;          ///< relative pitch modulation depth
+  double voiced_fraction = 0.5;     ///< fraction of speech that is voiced
+  double speech_fraction = 0.65;    ///< fraction of time someone speaks
+  double segment_s = 0.25;          ///< mean phoneme-ish segment length
+  double amplitude = 0.5;           ///< peak amplitude in [-1, 1]
+};
+
+class AudioGenerator {
+ public:
+  explicit AudioGenerator(AudioParams params = {});
+
+  std::vector<float> generate(double duration_s, sim::Rng& rng) const;
+  std::vector<std::int16_t> generate_pcm(double duration_s, sim::Rng& rng) const;
+
+  /// Raw PCM rate (bps) at `bits` resolution.
+  [[nodiscard]] double data_rate_bps(int bits = 16) const;
+
+  [[nodiscard]] const AudioParams& params() const { return params_; }
+
+ private:
+  AudioParams params_;
+};
+
+}  // namespace iob::workload

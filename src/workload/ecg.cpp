@@ -1,0 +1,91 @@
+#include "workload/ecg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::workload {
+
+namespace {
+
+/// PQRST wave component: (phase offset within beat [0,1), width, amplitude
+/// relative to R).
+struct WaveComponent {
+  double center;
+  double width;
+  double amp;
+};
+
+constexpr WaveComponent kPqrst[] = {
+    {0.18, 0.025, 0.15},   // P
+    {0.245, 0.010, -0.12}, // Q
+    {0.26, 0.011, 1.0},    // R
+    {0.275, 0.010, -0.25}, // S
+    {0.45, 0.045, 0.30},   // T
+};
+
+}  // namespace
+
+EcgGenerator::EcgGenerator(EcgParams params) : params_(params) {
+  IOB_EXPECTS(params_.sample_rate_hz > 0, "sample rate must be positive");
+  IOB_EXPECTS(params_.heart_rate_bpm > 20 && params_.heart_rate_bpm < 300,
+              "heart rate out of physiological range");
+}
+
+std::vector<float> EcgGenerator::generate(double duration_s, sim::Rng& rng) const {
+  IOB_EXPECTS(duration_s > 0, "duration must be positive");
+  const auto n = static_cast<std::size_t>(duration_s * params_.sample_rate_hz);
+  std::vector<float> out(n, 0.0f);
+
+  const double mean_rr = 60.0 / params_.heart_rate_bpm;
+  // Lay down beats one RR interval at a time.
+  double beat_start = 0.0;
+  while (beat_start < duration_s) {
+    const double rr = std::max(0.3, rng.normal(mean_rr, params_.hrv_rel_sigma * mean_rr));
+    for (const auto& w : kPqrst) {
+      const double t_center = beat_start + w.center * rr;
+      const double sigma = w.width * rr / 0.8;  // scale widths with RR
+      // Gaussians are negligible past 4 sigma; only touch nearby samples.
+      const auto lo = static_cast<long>((t_center - 4 * sigma) * params_.sample_rate_hz);
+      const auto hi = static_cast<long>((t_center + 4 * sigma) * params_.sample_rate_hz) + 1;
+      for (long i = std::max(0L, lo); i < std::min(static_cast<long>(n), hi); ++i) {
+        const double t = static_cast<double>(i) / params_.sample_rate_hz;
+        const double dt = (t - t_center) / sigma;
+        out[static_cast<std::size_t>(i)] += static_cast<float>(
+            params_.amplitude_mv * w.amp * std::exp(-0.5 * dt * dt));
+      }
+    }
+    beat_start += rr;
+  }
+
+  // Baseline wander (respiration-rate sinusoid) + white noise.
+  const double resp_hz = 0.25;
+  const double wander_phase = rng.uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / params_.sample_rate_hz;
+    out[i] += static_cast<float>(
+        params_.baseline_wander_mv * std::sin(2.0 * M_PI * resp_hz * t + wander_phase) +
+        rng.normal(0.0, params_.noise_mv));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> EcgGenerator::generate_adc(double duration_s, sim::Rng& rng,
+                                                     double full_scale_mv) const {
+  IOB_EXPECTS(full_scale_mv > 0, "full scale must be positive");
+  const auto mv = generate(duration_s, rng);
+  std::vector<std::int16_t> codes(mv.size());
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    const double v = std::clamp(static_cast<double>(mv[i]) / full_scale_mv, -1.0, 1.0);
+    codes[i] = static_cast<std::int16_t>(std::lround(v * 32767.0));
+  }
+  return codes;
+}
+
+double EcgGenerator::data_rate_bps(int bits) const {
+  IOB_EXPECTS(bits > 0 && bits <= 32, "resolution out of range");
+  return params_.sample_rate_hz * bits;
+}
+
+}  // namespace iob::workload

@@ -1,0 +1,45 @@
+#pragma once
+/// \file ecg.hpp
+/// Synthetic single-lead ECG generator: PQRST morphology as a sum of
+/// Gaussians per beat (McSharry-style), RR-interval variability, baseline
+/// wander and sensor noise. Substitutes for the clinical recordings a
+/// biopotential patch would stream (DESIGN.md substitution table).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace iob::workload {
+
+struct EcgParams {
+  double sample_rate_hz = 360.0;   ///< MIT-BIH-class rate
+  double heart_rate_bpm = 72.0;
+  double hrv_rel_sigma = 0.04;     ///< RR-interval relative jitter
+  double amplitude_mv = 1.1;       ///< R-peak amplitude
+  double baseline_wander_mv = 0.05;
+  double noise_mv = 0.01;
+};
+
+class EcgGenerator {
+ public:
+  explicit EcgGenerator(EcgParams params = {});
+
+  /// Generate `duration_s` seconds of signal (mV).
+  std::vector<float> generate(double duration_s, sim::Rng& rng) const;
+
+  /// Same signal scaled to int16 ADC codes (for the codecs / transport).
+  /// Full scale (+-32767) corresponds to +-`full_scale_mv`.
+  std::vector<std::int16_t> generate_adc(double duration_s, sim::Rng& rng,
+                                         double full_scale_mv = 5.0) const;
+
+  /// Raw data rate (bps) of the ADC stream at `bits` resolution.
+  [[nodiscard]] double data_rate_bps(int bits = 12) const;
+
+  [[nodiscard]] const EcgParams& params() const { return params_; }
+
+ private:
+  EcgParams params_;
+};
+
+}  // namespace iob::workload

@@ -1,0 +1,78 @@
+#include "workload/emg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::workload {
+
+EmgGenerator::EmgGenerator(EmgParams params) : params_(params) {
+  IOB_EXPECTS(params_.sample_rate_hz > 2.0 * params_.band_high_hz,
+              "sample rate must satisfy Nyquist for the EMG band");
+  IOB_EXPECTS(params_.burst_rate_hz >= 0, "burst rate must be non-negative");
+}
+
+std::vector<float> EmgGenerator::generate(double duration_s, sim::Rng& rng) const {
+  IOB_EXPECTS(duration_s > 0, "duration must be positive");
+  const auto n = static_cast<std::size_t>(duration_s * params_.sample_rate_hz);
+
+  // Contraction envelope: raised-cosine bursts at Poisson arrival times.
+  std::vector<float> envelope(n, 0.0f);
+  if (params_.burst_rate_hz > 0) {
+    double t = rng.exponential(1.0 / params_.burst_rate_hz);
+    while (t < duration_s) {
+      const auto start = static_cast<std::size_t>(t * params_.sample_rate_hz);
+      const auto len = static_cast<std::size_t>(params_.burst_duration_s * params_.sample_rate_hz);
+      for (std::size_t i = 0; i < len && start + i < n; ++i) {
+        const double phase = static_cast<double>(i) / static_cast<double>(len);
+        const auto w = static_cast<float>(0.5 - 0.5 * std::cos(2.0 * M_PI * phase));
+        envelope[start + i] = std::max(envelope[start + i], w);
+      }
+      t += rng.exponential(1.0 / params_.burst_rate_hz);
+    }
+  }
+
+  // Band-limited noise: white noise through a 2nd-order band-pass biquad.
+  const double w0 = 2.0 * M_PI *
+                    std::sqrt(params_.band_low_hz * params_.band_high_hz) /
+                    params_.sample_rate_hz;
+  const double bw_oct = std::log2(params_.band_high_hz / params_.band_low_hz);
+  const double q = std::sqrt(std::pow(2.0, bw_oct)) / (std::pow(2.0, bw_oct) - 1.0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double b0 = alpha, b2 = -alpha;
+  const double a0 = 1.0 + alpha, a1 = -2.0 * std::cos(w0), a2 = 1.0 - alpha;
+
+  std::vector<float> out(n, 0.0f);
+  double x1 = 0, x2 = 0, y1 = 0, y2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    const double y = (b0 * x + b2 * x2 - a1 * y1 - a2 * y2) / a0;
+    x2 = x1;
+    x1 = x;
+    y2 = y1;
+    y1 = y;
+    out[i] = static_cast<float>(params_.burst_amplitude_mv * envelope[i] * y * 0.5 +
+                                rng.normal(0.0, params_.baseline_noise_mv));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> EmgGenerator::generate_adc(double duration_s, sim::Rng& rng,
+                                                     double full_scale_mv) const {
+  IOB_EXPECTS(full_scale_mv > 0, "full scale must be positive");
+  const auto mv = generate(duration_s, rng);
+  std::vector<std::int16_t> codes(mv.size());
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    const double v = std::clamp(static_cast<double>(mv[i]) / full_scale_mv, -1.0, 1.0);
+    codes[i] = static_cast<std::int16_t>(std::lround(v * 32767.0));
+  }
+  return codes;
+}
+
+double EmgGenerator::data_rate_bps(int bits) const {
+  IOB_EXPECTS(bits > 0 && bits <= 32, "resolution out of range");
+  return params_.sample_rate_hz * bits;
+}
+
+}  // namespace iob::workload

@@ -1,0 +1,39 @@
+#pragma once
+/// \file emg.hpp
+/// Surface EMG generator: muscle activations appear as amplitude-modulated
+/// band-limited noise bursts (contractions) over a quiet baseline — the
+/// signal an EMG limb node (paper Sec. I) would stream for gesture input.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace iob::workload {
+
+struct EmgParams {
+  double sample_rate_hz = 1000.0;
+  double burst_rate_hz = 0.5;       ///< mean contractions per second
+  double burst_duration_s = 0.4;
+  double burst_amplitude_mv = 1.5;
+  double baseline_noise_mv = 0.02;
+  double band_low_hz = 20.0;        ///< EMG energy band
+  double band_high_hz = 450.0;
+};
+
+class EmgGenerator {
+ public:
+  explicit EmgGenerator(EmgParams params = {});
+
+  std::vector<float> generate(double duration_s, sim::Rng& rng) const;
+  std::vector<std::int16_t> generate_adc(double duration_s, sim::Rng& rng,
+                                         double full_scale_mv = 5.0) const;
+  [[nodiscard]] double data_rate_bps(int bits = 12) const;
+
+  [[nodiscard]] const EmgParams& params() const { return params_; }
+
+ private:
+  EmgParams params_;
+};
+
+}  // namespace iob::workload

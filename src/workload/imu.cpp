@@ -1,0 +1,63 @@
+#include "workload/imu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::workload {
+
+ImuGenerator::ImuGenerator(ImuParams params) : params_(params) {
+  IOB_EXPECTS(params_.sample_rate_hz > 0, "sample rate must be positive");
+  IOB_EXPECTS(params_.step_rate_hz > 0, "cadence must be positive");
+}
+
+std::vector<ImuSample> ImuGenerator::generate(double duration_s, sim::Rng& rng) const {
+  IOB_EXPECTS(duration_s > 0, "duration must be positive");
+  const auto n = static_cast<std::size_t>(duration_s * params_.sample_rate_hz);
+  std::vector<ImuSample> out(n);
+
+  const double f = params_.step_rate_hz;
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / params_.sample_rate_hz;
+    const double w = 2.0 * M_PI * f * t + phase;
+    // Vertical: strong 2nd harmonic (both feet strike), gravity offset.
+    const double az = 1.0 + params_.vertical_amp_g * (std::sin(2.0 * w) + 0.3 * std::sin(4.0 * w));
+    // Fore-aft: fundamental + 2nd.
+    const double ax = params_.foreaft_amp_g * (std::sin(w) + 0.4 * std::sin(2.0 * w + 0.7));
+    // Lateral sway at half the step rate (left/right alternation).
+    const double ay = params_.lateral_amp_g * std::sin(w / 2.0 + 1.1);
+    out[i] = ImuSample{
+        static_cast<float>(ax + rng.normal(0.0, params_.noise_g)),
+        static_cast<float>(ay + rng.normal(0.0, params_.noise_g)),
+        static_cast<float>(az + rng.normal(0.0, params_.noise_g)),
+    };
+  }
+  return out;
+}
+
+std::vector<std::int16_t> ImuGenerator::generate_adc(double duration_s, sim::Rng& rng,
+                                                     double full_scale_g) const {
+  IOB_EXPECTS(full_scale_g > 0, "full scale must be positive");
+  const auto samples = generate(duration_s, rng);
+  std::vector<std::int16_t> codes;
+  codes.reserve(samples.size() * 3);
+  const auto quant = [&](float g) {
+    const double v = std::clamp(static_cast<double>(g) / full_scale_g, -1.0, 1.0);
+    return static_cast<std::int16_t>(std::lround(v * 32767.0));
+  };
+  for (const auto& s : samples) {
+    codes.push_back(quant(s.ax));
+    codes.push_back(quant(s.ay));
+    codes.push_back(quant(s.az));
+  }
+  return codes;
+}
+
+double ImuGenerator::data_rate_bps(int bits) const {
+  IOB_EXPECTS(bits > 0 && bits <= 32, "resolution out of range");
+  return params_.sample_rate_hz * 3.0 * bits;
+}
+
+}  // namespace iob::workload

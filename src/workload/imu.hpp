@@ -1,0 +1,48 @@
+#pragma once
+/// \file imu.hpp
+/// 3-axis accelerometer generator: walking gait as a harmonic series on the
+/// step frequency (vertical dominant, fore-aft and lateral weaker), gravity
+/// offset, and sensor noise — the limb-worn IMU workload (paper Sec. I).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace iob::workload {
+
+struct ImuParams {
+  double sample_rate_hz = 100.0;
+  double step_rate_hz = 1.8;       ///< steps per second (cadence)
+  double vertical_amp_g = 0.35;
+  double foreaft_amp_g = 0.20;
+  double lateral_amp_g = 0.12;
+  double noise_g = 0.01;
+};
+
+/// One accelerometer sample (g units).
+struct ImuSample {
+  float ax, ay, az;
+};
+
+class ImuGenerator {
+ public:
+  explicit ImuGenerator(ImuParams params = {});
+
+  std::vector<ImuSample> generate(double duration_s, sim::Rng& rng) const;
+
+  /// Interleaved xyz int16 codes, +-`full_scale_g` full range.
+  std::vector<std::int16_t> generate_adc(double duration_s, sim::Rng& rng,
+                                         double full_scale_g = 4.0) const;
+
+  /// Raw rate: 3 axes x bits x sample rate.
+  [[nodiscard]] double data_rate_bps(int bits = 16) const;
+
+  [[nodiscard]] const ImuParams& params() const { return params_; }
+
+ private:
+  ImuParams params_;
+};
+
+}  // namespace iob::workload

@@ -1,0 +1,71 @@
+#include "workload/ppg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::workload {
+
+PpgGenerator::PpgGenerator(PpgParams params) : params_(params) {
+  IOB_EXPECTS(params_.sample_rate_hz > 0, "sample rate must be positive");
+  IOB_EXPECTS(params_.heart_rate_bpm > 20 && params_.heart_rate_bpm < 300,
+              "heart rate out of physiological range");
+}
+
+std::vector<float> PpgGenerator::generate(double duration_s, sim::Rng& rng) const {
+  IOB_EXPECTS(duration_s > 0, "duration must be positive");
+  const auto n = static_cast<std::size_t>(duration_s * params_.sample_rate_hz);
+  std::vector<float> out(n, 0.0f);
+
+  const double mean_rr = 60.0 / params_.heart_rate_bpm;
+  double beat_start = 0.0;
+  while (beat_start < duration_s) {
+    const double rr = std::max(0.3, rng.normal(mean_rr, params_.hrv_rel_sigma * mean_rr));
+    // Systolic peak and dicrotic (reflected) wave.
+    const struct {
+      double center, width, amp;
+    } waves[] = {{0.18, 0.09, 1.0}, {0.45, 0.12, 0.35}};
+    for (const auto& w : waves) {
+      const double t_center = beat_start + w.center * rr;
+      const double sigma = w.width * rr;
+      const auto lo = static_cast<long>((t_center - 4 * sigma) * params_.sample_rate_hz);
+      const auto hi = static_cast<long>((t_center + 4 * sigma) * params_.sample_rate_hz) + 1;
+      for (long i = std::max(0L, lo); i < std::min(static_cast<long>(n), hi); ++i) {
+        const double t = static_cast<double>(i) / params_.sample_rate_hz;
+        const double dt = (t - t_center) / sigma;
+        out[static_cast<std::size_t>(i)] +=
+            static_cast<float>(params_.amplitude * w.amp * std::exp(-0.5 * dt * dt));
+      }
+    }
+    beat_start += rr;
+  }
+
+  const double resp_hz = 0.25;
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / params_.sample_rate_hz;
+    const double mod = 1.0 + params_.resp_mod_depth * std::sin(2.0 * M_PI * resp_hz * t + phase);
+    out[i] = static_cast<float>(out[i] * mod + rng.normal(0.0, params_.noise));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> PpgGenerator::generate_adc(double duration_s, sim::Rng& rng,
+                                                     double full_scale) const {
+  IOB_EXPECTS(full_scale > 0, "full scale must be positive");
+  const auto sig = generate(duration_s, rng);
+  std::vector<std::int16_t> codes(sig.size());
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const double v = std::clamp(static_cast<double>(sig[i]) / full_scale, -1.0, 1.0);
+    codes[i] = static_cast<std::int16_t>(std::lround(v * 32767.0));
+  }
+  return codes;
+}
+
+double PpgGenerator::data_rate_bps(int bits) const {
+  IOB_EXPECTS(bits > 0 && bits <= 32, "resolution out of range");
+  return params_.sample_rate_hz * bits;
+}
+
+}  // namespace iob::workload

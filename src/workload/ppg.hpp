@@ -1,0 +1,38 @@
+#pragma once
+/// \file ppg.hpp
+/// Photoplethysmogram generator (smart rings / fitness trackers, paper
+/// Sec. II-A): per-beat systolic peak + dicrotic notch as two Gaussians,
+/// respiratory amplitude modulation and noise.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace iob::workload {
+
+struct PpgParams {
+  double sample_rate_hz = 100.0;
+  double heart_rate_bpm = 72.0;
+  double hrv_rel_sigma = 0.04;
+  double amplitude = 1.0;          ///< arbitrary reflectance units
+  double resp_mod_depth = 0.10;    ///< respiratory amplitude modulation
+  double noise = 0.01;
+};
+
+class PpgGenerator {
+ public:
+  explicit PpgGenerator(PpgParams params = {});
+
+  std::vector<float> generate(double duration_s, sim::Rng& rng) const;
+  std::vector<std::int16_t> generate_adc(double duration_s, sim::Rng& rng,
+                                         double full_scale = 4.0) const;
+  [[nodiscard]] double data_rate_bps(int bits = 16) const;
+
+  [[nodiscard]] const PpgParams& params() const { return params_; }
+
+ private:
+  PpgParams params_;
+};
+
+}  // namespace iob::workload

@@ -1,0 +1,84 @@
+#include "workload/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace iob::workload {
+
+VideoGenerator::VideoGenerator(VideoParams params, std::uint64_t seed) : params_(params) {
+  IOB_EXPECTS(params_.width > 0 && params_.height > 0, "frame dims must be positive");
+  IOB_EXPECTS(params_.width % 8 == 0 && params_.height % 8 == 0,
+              "frame dims must be multiples of 8 for the block codec");
+  IOB_EXPECTS(params_.fps > 0, "frame rate must be positive");
+
+  sim::Rng rng(seed);
+  for (int i = 0; i < params_.n_objects; ++i) {
+    Object o;
+    o.x = rng.uniform(0.0, params_.width);
+    o.y = rng.uniform(0.0, params_.height);
+    o.vx = rng.uniform(-3.0, 3.0);
+    o.vy = rng.uniform(-2.0, 2.0);
+    o.w = static_cast<int>(rng.uniform_int(16, 64));
+    o.h = static_cast<int>(rng.uniform_int(16, 48));
+    o.brightness = static_cast<int>(rng.uniform_int(60, 230));
+    objects_.push_back(o);
+  }
+}
+
+isa::GrayFrame VideoGenerator::next_frame(sim::Rng& rng) {
+  isa::GrayFrame f;
+  f.width = params_.width;
+  f.height = params_.height;
+  f.pixels.resize(static_cast<std::size_t>(params_.width) * params_.height);
+
+  // Background: diagonal gradient (smooth -> DCT-friendly, like real scenes).
+  for (int y = 0; y < params_.height; ++y) {
+    for (int x = 0; x < params_.width; ++x) {
+      const double g = 40.0 + 120.0 * (static_cast<double>(x) / params_.width +
+                                       static_cast<double>(y) / params_.height) / 2.0;
+      f.pixels[static_cast<std::size_t>(y) * params_.width + x] = static_cast<std::uint8_t>(g);
+    }
+  }
+
+  // Moving objects with a mild texture.
+  for (auto& o : objects_) {
+    o.x += o.vx;
+    o.y += o.vy;
+    // Bounce off frame edges.
+    if (o.x < 0 || o.x >= params_.width) o.vx = -o.vx;
+    if (o.y < 0 || o.y >= params_.height) o.vy = -o.vy;
+    o.x = std::clamp(o.x, 0.0, static_cast<double>(params_.width - 1));
+    o.y = std::clamp(o.y, 0.0, static_cast<double>(params_.height - 1));
+
+    const int x0 = std::max(0, static_cast<int>(o.x) - o.w / 2);
+    const int x1 = std::min(params_.width, static_cast<int>(o.x) + o.w / 2);
+    const int y0 = std::max(0, static_cast<int>(o.y) - o.h / 2);
+    const int y1 = std::min(params_.height, static_cast<int>(o.y) + o.h / 2);
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        const int texture = ((x / 4 + y / 4) % 2) * 20;
+        f.pixels[static_cast<std::size_t>(y) * params_.width + x] =
+            static_cast<std::uint8_t>(std::clamp(o.brightness + texture, 0, 255));
+      }
+    }
+  }
+
+  // Sensor noise.
+  if (params_.noise_sigma > 0) {
+    for (auto& p : f.pixels) {
+      const double v = p + rng.normal(0.0, params_.noise_sigma);
+      p = static_cast<std::uint8_t>(std::clamp(static_cast<int>(std::lround(v)), 0, 255));
+    }
+  }
+
+  ++frame_index_;
+  return f;
+}
+
+double VideoGenerator::raw_data_rate_bps() const {
+  return static_cast<double>(params_.width) * params_.height * 8.0 * params_.fps;
+}
+
+}  // namespace iob::workload

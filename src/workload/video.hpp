@@ -1,0 +1,49 @@
+#pragma once
+/// \file video.hpp
+/// Synthetic first-person video generator for the camera device class
+/// (smart glasses / AI pins, paper Sec. II-C): a static gradient scene with
+/// moving textured rectangles and sensor noise. Frames are structured
+/// enough that the MJPEG ISA codec achieves realistic (not degenerate)
+/// compression ratios.
+
+#include <vector>
+
+#include "isa/mjpeg.hpp"
+#include "sim/rng.hpp"
+
+namespace iob::workload {
+
+struct VideoParams {
+  int width = 320;   ///< QVGA default; must be multiple of 8
+  int height = 240;
+  double fps = 15.0;
+  int n_objects = 3;       ///< moving rectangles
+  double noise_sigma = 2.0;  ///< sensor noise (8-bit codes)
+};
+
+class VideoGenerator {
+ public:
+  explicit VideoGenerator(VideoParams params = {}, std::uint64_t seed = 7);
+
+  /// Produce the next frame (object positions advance by 1/fps).
+  isa::GrayFrame next_frame(sim::Rng& rng);
+
+  /// Raw (uncompressed 8-bit luma) data rate in bps.
+  [[nodiscard]] double raw_data_rate_bps() const;
+
+  [[nodiscard]] const VideoParams& params() const { return params_; }
+
+ private:
+  struct Object {
+    double x, y;       ///< center, pixels
+    double vx, vy;     ///< pixels per frame
+    int w, h;
+    int brightness;
+  };
+
+  VideoParams params_;
+  std::vector<Object> objects_;
+  std::uint64_t frame_index_ = 0;
+};
+
+}  // namespace iob::workload

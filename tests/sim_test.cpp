@@ -1,0 +1,314 @@
+// Unit tests for src/sim: RNG determinism & distributions, event queue
+// ordering, simulator scheduling, statistics, tracing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace iob::sim {
+namespace {
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundedRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(r.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(r.normal(2.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(r.exponential(0.5));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+  EXPECT_THROW(r.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng r(19);
+  Accumulator small, large;
+  for (int i = 0; i < 20000; ++i) small.add(r.poisson(3.0));
+  for (int i = 0; i < 20000; ++i) large.add(r.poisson(100.0));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+  // Forking is deterministic too.
+  Rng c = Rng(23).fork(1);
+  Rng d = Rng(23).fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+// ---- EventQueue -------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, RejectsInvalidSchedules) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Action{}), std::invalid_argument);
+}
+
+// ---- Simulator --------------------------------------------------------------
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.at(5.0, [&] { seen = sim.now(); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // clock parked at end time
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(2.0, [&] {
+    sim.after(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_until(100.0);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Simulator, PeriodicTaskFiresRepeatedly) {
+  Simulator sim;
+  int fires = 0;
+  sim.every(0.0, 1.0, [&](Time) { ++fires; });
+  sim.run_until(10.5);
+  EXPECT_EQ(fires, 11);  // t = 0..10
+}
+
+TEST(Simulator, PeriodicTaskSeesCorrectTimes) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.every(0.5, 2.0, [&](Time t) { times.push_back(t); });
+  sim.run_until(7.0);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[3], 6.5);
+}
+
+TEST(Simulator, StopRequestHaltsRun) {
+  Simulator sim;
+  int fires = 0;
+  sim.every(0.0, 1.0, [&](Time t) {
+    ++fires;
+    if (t >= 3.0) sim.request_stop();
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunAllDrainsQueue) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) sim.at(i, [&] { ++count; });
+  const auto executed = sim.run_all();
+  EXPECT_EQ(executed, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+// ---- Stats ------------------------------------------------------------------
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_NEAR(acc.sum(), 15.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantIntegral) {
+  TimeWeighted tw;
+  tw.update(0.0, 2.0);   // 2 W from t=0
+  tw.update(5.0, 10.0);  // 10 W from t=5
+  EXPECT_DOUBLE_EQ(tw.integral_until(10.0), 2.0 * 5 + 10.0 * 5);
+  EXPECT_DOUBLE_EQ(tw.average_until(10.0), 6.0);
+}
+
+TEST(TimeWeighted, RejectsTimeReversal) {
+  TimeWeighted tw;
+  tw.update(5.0, 1.0);
+  EXPECT_THROW(tw.update(4.0, 2.0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bin(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+// ---- Trace ------------------------------------------------------------------
+
+TEST(Trace, DisabledSinkRecordsNothing) {
+  TraceSink t;
+  t.emit(1.0, "x", "y");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trace, RecordsAndCounts) {
+  TraceSink t;
+  t.enable();
+  t.emit(1.0, "node.a", "tx", "bytes=10");
+  t.emit(2.0, "node.b", "tx");
+  t.emit(3.0, "node.a", "rx");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count("tx"), 2u);
+  EXPECT_EQ(t.count("tx", "node.a"), 1u);
+  EXPECT_NE(t.to_string().find("bytes=10"), std::string::npos);
+}
+
+// ---- Determinism across full simulations -------------------------------------
+
+TEST(Determinism, SameSeedSameTrace) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<double> values;
+    Rng r = sim.rng().fork(99);
+    sim.every(0.0, 0.1, [&](Time) { values.push_back(r.uniform()); });
+    sim.run_until(5.0);
+    return values;
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(1235));
+}
+
+}  // namespace
+}  // namespace iob::sim
