@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "comm/ble_link.hpp"
@@ -14,6 +15,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/explorer.hpp"
+#include "core/sweep_runner.hpp"
 #include "nn/model_zoo.hpp"
 #include "partition/partitioner.hpp"
 
@@ -29,7 +31,7 @@ partition::CostModel cost_for(const comm::Link& link, double offered_bps) {
   return cm;
 }
 
-void sweep_model(const nn::Model& m) {
+double sweep_model(const nn::Model& m, const core::SweepRunner& runner) {
   comm::WiRLink wir;
   comm::BleLink ble;
   const partition::Partitioner p_wir(m, cost_for(wir, 100e3));
@@ -40,9 +42,18 @@ void sweep_model(const nn::Model& m) {
   common::Table t({"split s1 (layers on leaf)", "boundary bytes", "leaf E (Wi-R)",
                    "leaf E (BLE)", "latency (Wi-R)"});
   const std::size_t n = m.layer_count();
+  // Evaluate every split point across the pool (each is an independent cost
+  // evaluation); rows come back in index order, so the table is unchanged.
+  struct SplitRow {
+    partition::PartitionPlan wir_plan;
+    partition::PartitionPlan ble_plan;
+  };
+  const std::vector<SplitRow> rows = runner.map<SplitRow>(n + 1, [&](std::size_t s1) {
+    return SplitRow{p_wir.evaluate(s1, n), p_ble.evaluate(s1, n)};
+  });
   for (std::size_t s1 = 0; s1 <= n; ++s1) {
-    const auto plan_w = p_wir.evaluate(s1, n);
-    const auto plan_b = p_ble.evaluate(s1, n);
+    const auto& plan_w = rows[s1].wir_plan;
+    const auto& plan_b = rows[s1].ble_plan;
     const std::string boundary =
         s1 == n ? "-" : common::si_format(static_cast<double>(plan_w.bytes_leaf_to_hub), "B");
     t.add_row({std::to_string(s1) + (s1 == 0 ? " (full offload)" : s1 == n ? " (all local)" : ""),
@@ -60,17 +71,29 @@ void sweep_model(const nn::Model& m) {
                      common::si_format(opt_b.leaf_energy_j(), "J"));
 
   partition::CostModel base = cost_for(wir, 100e3);
-  const double cross = core::offload_crossover_energy_per_bit_j(m, base);
+  const double cross = core::offload_crossover_energy_per_bit_j(m, base, runner);
   common::print_note("offload-crossover link energy: " + common::si_format(cross, "J/b") +
                      "  (Wi-R 100 pJ/b is below it; BLE ~15 nJ/b is above)");
   std::cout << "\n";
+  return cross;
 }
 
 void print_sweeps() {
   common::print_banner("A1 — DNN partitioning sweep: leaf/hub split vs link technology");
-  sweep_model(nn::make_ecg_cnn1d());
-  sweep_model(nn::make_kws_dscnn());
-  sweep_model(nn::make_vww_micronet());
+  const core::SweepRunner runner;
+  const double t0 = iob::bench::wall_time_s();
+  const double cross_ecg = sweep_model(nn::make_ecg_cnn1d(), runner);
+  const double cross_kws = sweep_model(nn::make_kws_dscnn(), runner);
+  const double cross_vww = sweep_model(nn::make_vww_micronet(), runner);
+  const double dt = iob::bench::wall_time_s() - t0;
+
+  iob::bench::JsonReporter json("abl_partition_sweep");
+  json.add("wall_time_s", dt);
+  json.add("sweep_threads", static_cast<double>(runner.threads()));
+  json.add("crossover_j_per_bit_ecg", cross_ecg);
+  json.add("crossover_j_per_bit_kws", cross_kws);
+  json.add("crossover_j_per_bit_vww", cross_vww);
+  json.write();
 }
 
 void BM_OptimizePartition(benchmark::State& state) {

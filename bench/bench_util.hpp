@@ -3,11 +3,17 @@
 /// Shared scaffolding for the bench binaries: every bench prints its
 /// figure/table reproduction first, then runs its google-benchmark
 /// microbenchmarks (kernel throughput numbers that back the model's
-/// latency assumptions).
+/// latency assumptions), and can emit a machine-readable summary via
+/// `JsonReporter` so the repo's perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace iob::bench {
 
@@ -21,5 +27,62 @@ inline int run_microbenchmarks(int argc, char** argv) {
   benchmark::Shutdown();
   return 0;
 }
+
+/// Monotonic wall-clock seconds, for headline metrics outside
+/// google-benchmark's harness.
+inline double wall_time_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Collects headline metrics (events/s, sweep points/s, wall time, ...) and
+/// writes them as `BENCH_<name>.json` next to the binary's working dir:
+///
+///   {"bench": "perf_sim_core", "metrics": {"events_per_s": 1.6e7, ...}}
+///
+/// Deliberately dependency-free: a flat string->double map is all the perf
+/// trajectory needs, and every bench binary can afford it unconditionally.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) { metrics_.emplace_back(key, value); }
+
+  /// Serialize without writing (test hook).
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\"bench\": \"" + name_ + "\", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + metrics_[i].first + "\": " + format_number(metrics_[i].second);
+    }
+    out += "}}\n";
+    return out;
+  }
+
+  /// Write BENCH_<name>.json into the current working directory.
+  /// Returns false (and keeps quiet) if the file cannot be opened.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = to_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string format_number(double v) {
+    if (std::isnan(v)) return "null";
+    if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace iob::bench

@@ -13,6 +13,7 @@
 #include "common/units.hpp"
 #include "core/explorer.hpp"
 #include "core/report.hpp"
+#include "core/sweep_runner.hpp"
 #include "energy/harvester.hpp"
 #include "energy/sensing_power.hpp"
 
@@ -23,11 +24,14 @@ using namespace iob::units;
 
 void print_figure() {
   core::DesignSpaceExplorer ex(energy::Battery::coin_cell_1000mah());
+  // Fan the curve across all cores; index-order merging keeps the output
+  // byte-identical to the serial sweep.
+  const core::SweepRunner runner;
 
   common::print_banner("Fig. 3 — Projected battery life vs data rate (Wi-R, 1000 mAh)");
   common::print_note("assumptions: 1000 mAh @ 3 V battery; Wi-R at 100 pJ/bit; sensing power");
   common::print_note("from the survey fit (DESIGN.md Sec. 4); computation considered negligible");
-  std::cout << "\n" << core::render_fig3(ex.sweep(100.0, 10.0 * Mbps, 2));
+  std::cout << "\n" << core::render_fig3(ex.sweep(runner, 100.0, 10.0 * Mbps, 2));
 
   const double boundary = ex.perpetual_boundary_bps();
   std::cout << "\nPerpetually-operable region (>1 yr): data rate <= "
@@ -60,6 +64,17 @@ void print_figure() {
                       common::fixed(ble_d, 1) + " d", common::fixed(wir_d / ble_d, 1) + "x"});
   }
   std::cout << "\n" << contrast.to_string();
+
+  // Headline metrics for the perf trajectory.
+  bench::JsonReporter json("fig3_battery_vs_datarate");
+  const double t0 = bench::wall_time_s();
+  const auto curve = ex.sweep(runner, 100.0, 10.0 * Mbps, 16);
+  const double dt = bench::wall_time_s() - t0;
+  json.add("sweep_points", static_cast<double>(curve.size()));
+  json.add("sweep_points_per_s", static_cast<double>(curve.size()) / dt);
+  json.add("sweep_threads", static_cast<double>(runner.threads()));
+  json.add("perpetual_boundary_bps", boundary);
+  json.write();
 }
 
 void BM_SweepFullCurve(benchmark::State& state) {

@@ -7,11 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "comm/wir_link.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "core/sweep_runner.hpp"
 #include "net/network_sim.hpp"
 
 namespace {
@@ -43,9 +45,9 @@ struct Row {
   bool all_perpetual_bio;
 };
 
-Row run_network(int n_nodes, double duration_s) {
+Row run_network(int n_nodes, double duration_s, std::uint64_t seed) {
   comm::WiRLink wir;
-  net::NetworkSim sim(wir, net::NetworkConfig{static_cast<std::uint64_t>(n_nodes), {}, {}, false});
+  net::NetworkSim sim(wir, net::NetworkConfig{seed, {}, {}, false});
   for (int i = 0; i < n_nodes; ++i) sim.add_node(make_leaf(i));
   const net::NetworkReport rep = sim.run(duration_s);
 
@@ -72,10 +74,20 @@ Row run_network(int n_nodes, double duration_s) {
 void print_table() {
   common::print_banner("T4 — Distributed IoB Wi-R network scaling (hub + N leaves, TDMA)");
 
+  // Each row is an independent full simulation with its own Simulator and a
+  // fork-derived seed — fan them across the pool; index-order merging keeps
+  // the table identical at any thread count.
+  const core::SweepRunner runner;
+  const std::vector<int> node_counts{1, 2, 4, 8, 16, 24, 32};
+  const double t0 = bench::wall_time_s();
+  const std::vector<Row> rows = runner.map<Row>(node_counts.size(), [&](std::size_t i) {
+    return run_network(node_counts[i], 20.0, core::SweepRunner::point_seed(42, i));
+  });
+  const double dt = bench::wall_time_s() - t0;
+
   common::Table t({"N leaves", "agg goodput", "bus util", "mean latency", "max latency",
                    "mean leaf power", "bio leaves perpetual?"});
-  for (const int n : {1, 2, 4, 8, 16, 24, 32}) {
-    const Row r = run_network(n, 20.0);
+  for (const Row& r : rows) {
     t.add_row({std::to_string(r.n), common::si_format(r.goodput_bps, "b/s"),
                common::fixed(r.utilization * 100.0, 1) + "%",
                common::si_format(r.mean_latency_s, "s"),
@@ -86,15 +98,35 @@ void print_table() {
   std::cout << t.to_string();
   common::print_note("one Wi-R body bus carries a full-body sensor suite (paper Fig. 1 right):");
   common::print_note("latency grows linearly with the superframe, power stays uW-class");
+
+  bench::JsonReporter json("tab4_network_scaling");
+  json.add("sweep_points", static_cast<double>(rows.size()));
+  json.add("sweep_points_per_s", static_cast<double>(rows.size()) / dt);
+  json.add("sweep_threads", static_cast<double>(runner.threads()));
+  json.add("goodput_bps_n32", rows.back().goodput_bps);
+  json.add("bus_utilization_n32", rows.back().utilization);
+  json.write();
 }
 
 void BM_NetworkSimulation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_network(n, 2.0));
+    benchmark::DoNotOptimize(run_network(n, 2.0, static_cast<std::uint64_t>(n)));
   }
 }
 BENCHMARK(BM_NetworkSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkSweepParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const core::SweepRunner runner(threads);
+  const std::vector<int> node_counts{1, 2, 4, 8, 16, 24, 32};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.map<Row>(node_counts.size(), [&](std::size_t i) {
+      return run_network(node_counts[i], 2.0, core::SweepRunner::point_seed(42, i));
+    }));
+  }
+}
+BENCHMARK(BM_NetworkSweepParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

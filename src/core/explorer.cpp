@@ -35,14 +35,19 @@ Fig3Point DesignSpaceExplorer::point(double rate_bps) const {
 
 std::vector<Fig3Point> DesignSpaceExplorer::sweep(double min_rate_bps, double max_rate_bps,
                                                   std::size_t points_per_decade) const {
-  IOB_EXPECTS(min_rate_bps > 0 && max_rate_bps > min_rate_bps, "invalid sweep range");
-  IOB_EXPECTS(points_per_decade >= 1, "need at least one point per decade");
+  const std::vector<double> rates = log_grid(min_rate_bps, max_rate_bps, points_per_decade);
   std::vector<Fig3Point> out;
-  const double step = std::pow(10.0, 1.0 / static_cast<double>(points_per_decade));
-  for (double r = min_rate_bps; r <= max_rate_bps * 1.0000001; r *= step) {
-    out.push_back(point(r));
-  }
+  out.reserve(rates.size());
+  for (const double r : rates) out.push_back(point(r));
   return out;
+}
+
+std::vector<Fig3Point> DesignSpaceExplorer::sweep(const SweepRunner& runner, double min_rate_bps,
+                                                  double max_rate_bps,
+                                                  std::size_t points_per_decade) const {
+  const std::vector<double> rates = log_grid(min_rate_bps, max_rate_bps, points_per_decade);
+  return runner.map<Fig3Point>(rates.size(),
+                               [&](std::size_t i) { return point(rates[i]); });
 }
 
 double DesignSpaceExplorer::perpetual_boundary_bps(double min_rate_bps,
@@ -87,6 +92,51 @@ double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::Cos
     } else {
       hi = mid;
     }
+  }
+  return lo;
+}
+
+double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
+                                          const SweepRunner& runner, double lo_j, double hi_j) {
+  IOB_EXPECTS(lo_j > 0 && hi_j > lo_j, "invalid bisection range");
+  const auto offload_wins = [&](double e_bit) {
+    partition::CostModel cm = base;
+    cm.leaf_hub.sender_energy_per_bit_j = e_bit;
+    const partition::Partitioner part(model, cm);
+    return part.full_offload().leaf_energy_j() < part.all_on_leaf().leaf_energy_j();
+  };
+  if (!offload_wins(lo_j)) return 0.0;  // offload never wins
+  if (offload_wins(hi_j)) return hi_j;  // offload always wins in range
+  // Batched log-grid refinement: each round evaluates kBatch interior
+  // candidates across the pool, then narrows the bracket (in index order) to
+  // the first losing candidate. The candidate grid and the scan depend only
+  // on the bracket, never on thread scheduling, so every thread count —
+  // including 1 — produces the bit-exact same answer. Each round shrinks the
+  // log-bracket by (kBatch + 1)x; ~14 rounds resolve a 7-decade range to
+  // double precision, about the same total work as the 200-step bisection.
+  constexpr std::size_t kBatch = 16;
+  double lo = lo_j, hi = hi_j;
+  for (int round = 0; round < 64 && hi - lo > lo * 4e-16; ++round) {
+    const double log_lo = std::log(lo);
+    const double ratio_step = (std::log(hi) - log_lo) / static_cast<double>(kBatch + 1);
+    std::vector<double> candidates(kBatch);
+    for (std::size_t k = 0; k < kBatch; ++k) {
+      candidates[k] = std::exp(log_lo + ratio_step * static_cast<double>(k + 1));
+    }
+    const std::vector<int> wins = runner.map<int>(
+        kBatch, [&](std::size_t k) { return offload_wins(candidates[k]) ? 1 : 0; });
+    double new_lo = lo, new_hi = hi;
+    for (std::size_t k = 0; k < kBatch; ++k) {
+      if (wins[k] != 0) {
+        new_lo = candidates[k];
+      } else {
+        new_hi = candidates[k];
+        break;
+      }
+    }
+    if (new_lo <= lo && new_hi >= hi) break;  // grid collapsed onto the bracket
+    lo = new_lo;
+    hi = new_hi;
   }
   return lo;
 }

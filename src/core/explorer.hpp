@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/link.hpp"
+#include "core/sweep_runner.hpp"
 #include "energy/battery.hpp"
 #include "energy/lifetime.hpp"
 #include "energy/sensing_power.hpp"
@@ -37,8 +38,15 @@ class DesignSpaceExplorer {
   /// e_bit * R + floor; life = E_batt / P).
   [[nodiscard]] Fig3Point point(double rate_bps) const;
 
-  /// Log-spaced sweep of the full curve.
+  /// Log-spaced sweep of the full curve (serial).
   [[nodiscard]] std::vector<Fig3Point> sweep(double min_rate_bps, double max_rate_bps,
+                                             std::size_t points_per_decade = 4) const;
+
+  /// Same sweep fanned across `runner`; results are merged in index order,
+  /// so the returned vector is byte-identical to the serial overload at any
+  /// thread count (each point is a pure function of its rate).
+  [[nodiscard]] std::vector<Fig3Point> sweep(const SweepRunner& runner, double min_rate_bps,
+                                             double max_rate_bps,
                                              std::size_t points_per_decade = 4) const;
 
   /// Largest data rate still giving > 1 year battery life (the perpetual
@@ -67,5 +75,14 @@ class DesignSpaceExplorer {
 /// is taken from `base`.
 double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
                                           double lo_j = 1e-13, double hi_j = 1e-6);
+
+/// Runner-parallel variant: each refinement round evaluates a log-spaced
+/// batch of candidate energies across the pool and narrows the bracket to
+/// the first losing candidate (scanned in index order), so the result is
+/// bit-exact identical at every thread count — including a 1-thread runner.
+/// Converges to the same bracket the serial bisection finds.
+double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
+                                          const SweepRunner& runner, double lo_j = 1e-13,
+                                          double hi_j = 1e-6);
 
 }  // namespace iob::core

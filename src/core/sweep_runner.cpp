@@ -1,0 +1,26 @@
+#include "core/sweep_runner.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "sim/rng.hpp"
+
+namespace iob::core {
+
+SweepRunner::SweepRunner(std::size_t threads)
+    : pool_(std::make_unique<sim::TaskPool>(threads)) {}
+
+std::uint64_t SweepRunner::point_seed(std::uint64_t base_seed, std::size_t index) {
+  return sim::Rng(base_seed).fork(static_cast<std::uint64_t>(index)).next_u64();
+}
+
+std::vector<double> log_grid(double min_v, double max_v, std::size_t points_per_decade) {
+  IOB_EXPECTS(min_v > 0 && max_v > min_v, "invalid sweep range");
+  IOB_EXPECTS(points_per_decade >= 1, "need at least one point per decade");
+  std::vector<double> out;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(points_per_decade));
+  for (double v = min_v; v <= max_v * 1.0000001; v *= step) out.push_back(v);
+  return out;
+}
+
+}  // namespace iob::core

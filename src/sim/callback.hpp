@@ -1,0 +1,127 @@
+#pragma once
+/// \file callback.hpp
+/// Small-buffer-optimized, move-only `void()` callable for the event hot
+/// path.
+///
+/// `std::function` heap-allocates for captures larger than two pointers and
+/// drags in copy-ability machinery the event queue never uses. `Callback`
+/// stores any callable up to `kInlineBytes` (48 B — enough for an object
+/// pointer plus a handful of doubles, i.e. every event the network layer
+/// schedules) directly in the object; larger or over-aligned callables fall
+/// back to a single heap cell. Moves are cheap (a 3-pointer ops table plus a
+/// memcpy-sized relocate), destruction is exact, and the steady-state
+/// schedule/pop cycle of `EventQueue` performs zero allocations.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iob::sim {
+
+class Callback {
+ public:
+  /// Inline storage size. Callables at most this big (and at most
+  /// max_align_t-aligned, nothrow-move-constructible) never touch the heap.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() noexcept = default;
+
+  /// Wrap any `void()`-invocable. Intentionally implicit so lambdas flow
+  /// straight into `EventQueue::schedule` / `Simulator::at`.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  /// Destroy the held callable (if any); leaves the callback empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invoke the held callable. Requires `*this` to be non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  /// True if the held callable lives in the inline buffer (test hook).
+  [[nodiscard]] bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct the callable into `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) noexcept { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* self) noexcept { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+      false,
+  };
+
+  void move_from(Callback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace iob::sim

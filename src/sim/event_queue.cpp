@@ -1,52 +1,426 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/expect.hpp"
 
 namespace iob::sim {
+namespace {
+
+constexpr std::uint32_t slot_of(EventId id) { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t gen_of(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventQueue::EventQueue() = default;
+
+void EventQueue::reserve(std::size_t capacity) {
+  heap_.reserve(capacity);
+  slots_.reserve(capacity);
+  scratch_.reserve(capacity);
+}
+
+// ---- slab -------------------------------------------------------------------
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  IOB_ENSURES(slots_.size() < kNoSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  s.live = false;
+  ++s.gen;  // invalidates the band entry and any outstanding EventId
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// ---- public API -------------------------------------------------------------
 
 EventId EventQueue::schedule(Time when, Action action) {
-  IOB_EXPECTS(when >= 0.0, "event time must be non-negative");
+  IOB_EXPECTS(when >= 0.0 && std::isfinite(when), "event time must be non-negative and finite");
   IOB_EXPECTS(static_cast<bool>(action), "event action must be callable");
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.live = true;
+  const Entry e{when, next_seq_++, slot, s.gen};
+  const EventId id = make_id(slot, s.gen);
   ++live_count_;
+  if (wheel_active()) {
+    if (when >= horizon_) {
+      heap_push(e);
+    } else {
+      wheel_insert(e);
+    }
+    if (live_count_ > 4 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      rebuild_wheel();  // grow
+    }
+  } else {
+    heap_push(e);
+    if (live_count_ >= kWheelActivation) rebuild_wheel();  // activate
+  }
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);  // heap entry becomes dead; skipped lazily
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen_of(id)) return false;
+  release_slot(slot);  // band entry becomes dead; dropped lazily
   --live_count_;
   return true;
 }
 
-void EventQueue::skip_dead() {
-  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
-    heap_.pop();
-  }
-}
-
 Time EventQueue::next_time() {
   IOB_EXPECTS(!empty(), "next_time() on empty queue");
-  skip_dead();
-  return heap_.top().when;
+  return peek_next().when;
 }
 
 Time EventQueue::run_next() {
   IOB_EXPECTS(!empty(), "run_next() on empty queue");
-  skip_dead();
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = actions_.find(top.id);
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  const Entry e = take_next();
+  ++consumed_since_rebuild_;
+  // Move the action out and release the slot *before* invoking: the action
+  // may re-enter schedule()/cancel() (periodic tasks do), so no reference
+  // into slots_ or a band may be held across the call.
+  Action action = std::move(slots_[e.slot].action);
+  release_slot(e.slot);
   --live_count_;
   action();
-  return top.when;
+  return e.when;
+}
+
+// ---- band front -------------------------------------------------------------
+
+EventQueue::Entry EventQueue::peek_next() {
+  // wheel_advance can deactivate the wheel (shrink rebuild) — re-check.
+  if (wheel_active()) {
+    wheel_advance();
+    if (wheel_active()) return buckets_[cursor_][cur_idx_];
+  }
+  heap_skip_dead();
+  return heap_.front();
+}
+
+EventQueue::Entry EventQueue::take_next() {
+  if (wheel_active()) {
+    wheel_advance();
+    if (wheel_active()) {
+      const Entry e = buckets_[cursor_][cur_idx_];
+      ++cur_idx_;
+      --occupancy_;
+      return e;
+    }
+  }
+  heap_skip_dead();
+  const Entry e = heap_.front();
+  heap_pop_top();
+  return e;
+}
+
+// ---- 4-ary heap band --------------------------------------------------------
+
+void EventQueue::heap_push(Entry e) {
+  heap_.push_back(e);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void EventQueue::heap_sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+}
+
+void EventQueue::heap_skip_dead() {
+  while (!heap_.empty() && !entry_live(heap_.front())) heap_pop_top();
+}
+
+// ---- calendar wheel band ----------------------------------------------------
+
+void EventQueue::wheel_insert(Entry e) {
+  // Monotone bucket mapping with clamping: late events (before the cursor's
+  // band — legal via the raw schedule() API) fire out of the cursor bucket,
+  // and FP edge cases at the horizon land in the last bucket. Order within
+  // any bucket is fixed by the (when, seq) sort, so clamping is safe as long
+  // as the mapping stays monotone in `when` — max/min preserve that.
+  const double rel = (e.when - origin_) * inv_width_;
+  std::size_t target = rel <= 0.0 ? 0 : static_cast<std::size_t>(rel);
+  target = std::min(target, buckets_.size() - 1);
+  target = std::max(target, cursor_);
+  std::vector<Entry>& bk = buckets_[target];
+  if (target == cursor_ && cur_sorted_) {
+    // The cursor bucket is already sorted (and partially consumed): insert
+    // in key order after the consume point so it still fires correctly.
+    const auto it = std::upper_bound(bk.begin() + static_cast<std::ptrdiff_t>(cur_idx_),
+                                     bk.end(), e, earlier);
+    bk.insert(it, e);
+  } else {
+    bk.push_back(e);
+  }
+  ++occupancy_;
+}
+
+void EventQueue::wheel_advance() {
+  for (;;) {
+    if (!wheel_active()) return;  // a rebuild inside the loop deactivated it
+    if (occupancy_ == 0) {
+      // The wheel is drained; the next event (the caller guarantees one
+      // exists) is beyond the horizon. If the bulk of the population sits in
+      // the far band, the geometry no longer matches the workload (e.g. the
+      // schedule-ahead distance outgrew the horizon) — re-fit it, at most
+      // once per population turnover so a genuinely far-future-heavy
+      // workload cannot thrash on rebuilds. Otherwise jump the lap straight
+      // to the next event instead of spinning through empty laps.
+      heap_skip_dead();
+      IOB_ENSURES(!heap_.empty(), "live events lost between bands");
+      if (heap_.size() > live_count_ / 2 && live_count_ >= kWheelActivation &&
+          consumed_since_rebuild_ >= live_count_) {
+        rebuild_wheel();
+        continue;
+      }
+      // The cursor bucket may still hold already-consumed entries (the lap
+      // ended exactly on its last take): clear them before the lap resets,
+      // or they would be double-skipped when the cursor comes around again.
+      buckets_[cursor_].clear();
+      origin_ = heap_.front().when;
+      horizon_ = origin_ + static_cast<Time>(buckets_.size()) * width_;
+      cursor_ = 0;
+      cur_idx_ = 0;
+      cur_sorted_ = false;
+      drain_heap_into_wheel();
+      continue;  // occupancy_ > 0 now (heap front was live and in range)
+    }
+    std::vector<Entry>& bk = buckets_[cursor_];
+    if (!cur_sorted_) {
+      // Compact cancelled entries away before sorting — in timeout-heavy
+      // workloads (ARQ timers, MAC guards) the dead usually outnumber the
+      // live, and sorting them would be pure waste.
+      std::size_t live_end = 0;
+      for (std::size_t i = 0; i < bk.size(); ++i) {
+        if (entry_live(bk[i])) bk[live_end++] = bk[i];
+      }
+      occupancy_ -= bk.size() - live_end;
+      bk.resize(live_end);
+      // Steady-state buckets hold a handful of entries; a branch-light
+      // insertion sort beats std::sort's dispatch overhead there.
+      if (bk.size() > 1) {
+        if (bk.size() <= 16) {
+          for (std::size_t i = 1; i < bk.size(); ++i) {
+            const Entry e = bk[i];
+            std::size_t j = i;
+            while (j > 0 && earlier(e, bk[j - 1])) {
+              bk[j] = bk[j - 1];
+              --j;
+            }
+            bk[j] = e;
+          }
+        } else {
+          std::sort(bk.begin(), bk.end(), earlier);
+        }
+      }
+      cur_sorted_ = true;
+      cur_idx_ = 0;
+    }
+    while (cur_idx_ < bk.size() && !entry_live(bk[cur_idx_])) {
+      ++cur_idx_;  // drop cancelled entries
+      --occupancy_;
+    }
+    if (cur_idx_ < bk.size()) return;
+    bk.clear();  // keeps capacity: steady-state laps allocate nothing
+    cur_sorted_ = false;
+    cur_idx_ = 0;
+    ++cursor_;
+    if (cursor_ == buckets_.size()) complete_lap();
+  }
+}
+
+void EventQueue::drain_heap_into_wheel() {
+  // Pull every live far-band event the current horizon now covers into the
+  // wheel, dropping cancelled entries on the way. The dead-skip must run
+  // before the horizon test so a dead front entry can't mask live in-range
+  // events behind it.
+  while (!heap_.empty()) {
+    if (!entry_live(heap_.front())) {
+      heap_pop_top();
+      continue;
+    }
+    if (heap_.front().when >= horizon_) break;
+    wheel_insert(heap_.front());
+    heap_pop_top();
+  }
+}
+
+void EventQueue::complete_lap() {
+  origin_ += static_cast<Time>(buckets_.size()) * width_;
+  horizon_ = origin_ + static_cast<Time>(buckets_.size()) * width_;
+  cursor_ = 0;
+  cur_idx_ = 0;
+  cur_sorted_ = false;
+  // A far band several times larger than the live population is mostly
+  // cancelled garbage — re-fit (which also collects it). A merely *large*
+  // far band (genuinely far-future events) is left alone: the heap handles
+  // it fine and the lap drain below pulls events in as the horizon reaches
+  // them.
+  if (heap_.size() > std::max(4 * live_count_, kWheelActivation)) {
+    rebuild_wheel();
+    return;
+  }
+  drain_heap_into_wheel();
+  // Wheel population shrank well below the geometry: re-fit (or drop back to
+  // the pure heap for small queues).
+  if (live_count_ < kWheelActivation / 2 || live_count_ < buckets_.size() / 8) {
+    rebuild_wheel();
+  }
+}
+
+void EventQueue::collect_live() {
+  scratch_.clear();
+  if (wheel_active()) {
+    for (std::size_t b = cursor_; b < buckets_.size(); ++b) {
+      std::vector<Entry>& bk = buckets_[b];
+      const std::size_t start = b == cursor_ ? cur_idx_ : 0;
+      for (std::size_t i = start; i < bk.size(); ++i) {
+        if (entry_live(bk[i])) scratch_.push_back(bk[i]);
+      }
+      bk.clear();
+    }
+  }
+  for (const Entry& e : heap_) {
+    if (entry_live(e)) scratch_.push_back(e);
+  }
+  heap_.clear();
+  occupancy_ = 0;
+  cursor_ = 0;
+  cur_idx_ = 0;
+  cur_sorted_ = false;
+}
+
+void EventQueue::rebuild_wheel() {
+  collect_live();
+  IOB_ENSURES(scratch_.size() == live_count_, "live events lost during rebuild");
+  const std::size_t n = scratch_.size();
+  consumed_since_rebuild_ = 0;
+  if (n < kWheelActivation / 2) {
+    // Small queue: pure 4-ary heap, no wheel overhead.
+    buckets_.clear();
+    for (const Entry& e : scratch_) heap_push(e);
+    return;
+  }
+  const std::size_t b = next_pow2(std::min(std::max(n, kMinBuckets), kMaxBuckets));
+  // Width heuristic, two constraints:
+  //  * fine-grained enough that steady-state buckets hold a handful of
+  //    events: ~3x the mean gap of the K earliest (calendar-queue classic);
+  //  * coarse enough that the horizon reaches at least twice the median
+  //    pending time, so a schedule-ahead workload (every pop reschedules
+  //    one period out) does not funnel every event through the far band.
+  const std::size_t k = std::min<std::size_t>(n, 256);
+  std::nth_element(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scratch_.end(), earlier);
+  std::sort(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(k), earlier);
+  const Time t_min = scratch_[0].when;
+  const Time t_k = scratch_[k - 1].when;  // k-th smallest key's time
+  const std::size_t mid = n / 2;
+  if (mid >= k) {
+    std::nth_element(scratch_.begin() + static_cast<std::ptrdiff_t>(k),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(mid), scratch_.end(),
+                     earlier);
+  }
+  const Time t_med = scratch_[mid].when;
+  Time width = 3.0 * (t_k - t_min) / static_cast<Time>(k);
+  if (!(width > 0.0)) {
+    // Equal-time cluster at the head: fall back to the full span.
+    Time t_max = t_min;
+    for (const Entry& e : scratch_) t_max = std::max(t_max, e.when);
+    width = t_max > t_min ? 3.0 * (t_max - t_min) / static_cast<Time>(n) : 1.0;
+  }
+  width = std::max(width, 2.0 * (t_med - t_min) / static_cast<Time>(b));
+  width = std::max(width, std::max(t_min, 1.0) * 1e-12);  // keep indices finite
+  buckets_.resize(b);  // cleared by collect_live; resize keeps capacities
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  origin_ = t_min;
+  horizon_ = origin_ + static_cast<Time>(b) * width_;
+  for (const Entry& e : scratch_) {
+    if (e.when >= horizon_) {
+      heap_push(e);
+    } else {
+      wheel_insert(e);
+    }
+  }
+}
+
+EventQueue::DebugCounts EventQueue::debug_counts() const {
+  DebugCounts c;
+  c.occupancy = occupancy_;
+  c.live_count = live_count_;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::vector<Entry>& bk = buckets_[b];
+    for (std::size_t i = 0; i < bk.size(); ++i) {
+      const bool behind = b < cursor_ || (b == cursor_ && cur_sorted_ && i < cur_idx_);
+      if (!entry_live(bk[i])) {
+        if (!behind) ++c.wheel_ahead_dead;
+        continue;
+      }
+      if (behind) {
+        ++c.wheel_behind;
+      } else {
+        ++c.wheel_ahead;
+      }
+    }
+  }
+  for (const Entry& e : heap_) {
+    if (entry_live(e)) ++c.heap_live;
+  }
+  return c;
 }
 
 }  // namespace iob::sim

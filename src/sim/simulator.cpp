@@ -1,6 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <memory>
 #include <utility>
 
 #include "common/expect.hpp"
@@ -22,19 +21,62 @@ EventId Simulator::after(Time delay, EventQueue::Action action) {
 EventId Simulator::every(Time start, Time period, std::function<void(Time)> action) {
   IOB_EXPECTS(period > 0.0, "periodic task needs a positive period");
   IOB_EXPECTS(start >= now_, "cannot schedule into the past");
-  // Self-rescheduling closure; shared_ptr keeps the callable alive across
-  // its own reschedules.
-  auto body = std::make_shared<std::function<void()>>();
-  auto fire_time = std::make_shared<Time>(start);
-  *body = [this, period, action = std::move(action), body, fire_time]() {
-    const Time t = *fire_time;
-    action(t);
-    if (!stop_requested_) {
-      *fire_time = t + period;
-      queue_.schedule(*fire_time, *body);
+  const std::uint64_t key = next_periodic_key_++;
+  PeriodicTask& task = periodic_[key];
+  task.period = period;
+  task.next_fire = start;
+  task.action = std::move(action);
+  // The per-occurrence event is a 16-byte {this, key} capture — inline in
+  // Callback, so the reschedule cycle allocates nothing.
+  task.pending = queue_.schedule(start, [this, key] { fire_periodic(key); });
+  return task.pending;
+}
+
+bool Simulator::cancel(EventId id) {
+  const bool cancelled = queue_.cancel(id);
+  if (cancelled) {
+    // If the handle was a periodic task's pending occurrence, retire the
+    // whole chain — otherwise its registry entry (and captured state) would
+    // linger until request_stop().
+    for (auto it = periodic_.begin(); it != periodic_.end(); ++it) {
+      if (it->second.pending == id) {
+        periodic_.erase(it);
+        break;
+      }
     }
-  };
-  return queue_.schedule(start, *body);
+  }
+  return cancelled;
+}
+
+void Simulator::fire_periodic(std::uint64_t key) {
+  auto it = periodic_.find(key);
+  if (it == periodic_.end()) return;  // torn down between schedule and fire
+  const Time t = it->second.next_fire;
+  // Move the action out before invoking: the action may call request_stop()
+  // (or every(), rehashing the map), and running a closure whose storage was
+  // just destroyed by periodic_.clear() would be use-after-free.
+  std::function<void(Time)> action = std::move(it->second.action);
+  action(t);
+  it = periodic_.find(key);
+  if (it == periodic_.end()) return;  // stop tore the task down mid-fire
+  if (stop_requested_) {
+    periodic_.erase(it);
+    return;
+  }
+  PeriodicTask& task = it->second;
+  task.action = std::move(action);
+  task.next_fire = t + task.period;
+  task.pending = queue_.schedule(task.next_fire, [this, key] { fire_periodic(key); });
+}
+
+void Simulator::request_stop() {
+  stop_requested_ = true;
+  // Tear down every periodic chain: without this, each periodic task that
+  // fired before the stop leaves its next occurrence dangling in the queue
+  // (pending() never drains, and a later inspection of the queue sees ghost
+  // events that will never run).
+  for (auto& [key, task] : periodic_) queue_.cancel(task.pending);
+  periodic_.clear();
 }
 
 std::size_t Simulator::run_until(Time end_time) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -29,13 +30,16 @@ class Simulator {
   EventId after(Time delay, EventQueue::Action action);
 
   /// Schedule `action` every `period` seconds starting at `start` until the
-  /// simulation stops. Returns the id of the *first* occurrence (subsequent
-  /// occurrences reschedule themselves and cannot be cancelled via this id;
-  /// use a flag in the action to stop a periodic task).
+  /// simulation stops. Returns the id of the *first* occurrence; passing it
+  /// to `cancel` before that occurrence fires retires the whole periodic
+  /// task. Once an occurrence has fired the id is stale (use a flag in the
+  /// action to stop a running task early). All periodic tasks are torn down
+  /// by `request_stop()` — no self-reschedule lingers after a stop.
   EventId every(Time start, Time period, std::function<void(Time)> action);
 
-  /// Cancel a pending event by handle.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  /// Cancel a pending event by handle. A handle naming a periodic task's
+  /// pending occurrence retires that task entirely.
+  bool cancel(EventId id);
 
   /// Run until the queue drains or `end_time` is reached, whichever first.
   /// The clock is left at min(end_time, time of last event). Returns the
@@ -45,19 +49,35 @@ class Simulator {
   /// Run until the queue drains completely.
   std::size_t run_all();
 
-  /// Stop a `run_*` loop from inside an event (e.g. battery died).
-  void request_stop() { stop_requested_ = true; }
+  /// Stop a `run_*` loop from inside an event (e.g. battery died). Also
+  /// cancels every periodic task's pending occurrence, so `pending()` drops
+  /// to exactly the non-periodic events still in the queue.
+  void request_stop();
 
   [[nodiscard]] bool stop_requested() const { return stop_requested_; }
 
   /// Number of pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Pre-size the event queue (see EventQueue::reserve).
+  void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
+
  private:
+  struct PeriodicTask {
+    Time period = 0.0;
+    Time next_fire = 0.0;
+    std::function<void(Time)> action;
+    EventId pending = 0;  ///< currently scheduled occurrence
+  };
+
+  void fire_periodic(std::uint64_t key);
+
   EventQueue queue_;
   Rng rng_;
   Time now_ = 0.0;
   bool stop_requested_ = false;
+  std::unordered_map<std::uint64_t, PeriodicTask> periodic_;
+  std::uint64_t next_periodic_key_ = 0;
 };
 
 }  // namespace iob::sim

@@ -1,0 +1,91 @@
+#include "sim/task_pool.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace iob::sim {
+
+TaskPool::TaskPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count - 1);
+  for (std::size_t id = 1; id < thread_count; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::pair<std::size_t, std::size_t> TaskPool::chunk(std::size_t n, std::size_t worker,
+                                                    std::size_t workers) {
+  IOB_EXPECTS(workers > 0 && worker < workers, "invalid chunk request");
+  return {worker * n / workers, (worker + 1) * n / workers};
+}
+
+void TaskPool::run_chunk(std::size_t worker_id) {
+  const auto [begin, end] = chunk(job_n_, worker_id, size());
+  if (begin == end) return;
+  try {
+    (*job_body_)(begin, end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void TaskPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || job_gen_ != seen_gen; });
+      if (shutdown_) return;
+      seen_gen = job_gen_;
+    }
+    run_chunk(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void TaskPool::parallel_for(std::size_t n, const RangeBody& body) {
+  IOB_EXPECTS(static_cast<bool>(body), "parallel_for body must be callable");
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    body(0, n);  // serial pool (or degenerate range): run inline, no handoff
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_n_ = n;
+    job_body_ = &body;
+    outstanding_ = workers_.size();
+    first_error_ = nullptr;
+    ++job_gen_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is worker 0
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    job_body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace iob::sim

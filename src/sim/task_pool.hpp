@@ -1,0 +1,71 @@
+#pragma once
+/// \file task_pool.hpp
+/// Fixed-size thread pool with chunked static scheduling, built for the
+/// sweep engine: every `parallel_for` splits [0, n) into one contiguous
+/// chunk per thread (caller included), so the assignment of indices to
+/// threads is a pure function of (n, thread count) — no work stealing, no
+/// scheduling races, and therefore no run-to-run variation in which thread
+/// computes which point. Determinism of the *results* then only requires
+/// each index's work to be self-contained (the sweep runner guarantees that
+/// by forking a per-index RNG).
+///
+/// Workers are started once and parked on a condition variable between
+/// jobs; a `parallel_for` costs two lock handoffs per worker, which is
+/// noise against sweep points that each run a full simulation.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iob::sim {
+
+class TaskPool {
+ public:
+  /// Range body: invoked as body(begin, end) with [begin, end) ⊆ [0, n).
+  using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+  /// \param thread_count total threads used per job, caller included.
+  ///        0 means std::thread::hardware_concurrency(); 1 runs everything
+  ///        inline on the caller with no worker threads at all.
+  explicit TaskPool(std::size_t thread_count = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total threads participating in each parallel_for (workers + caller).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run `body` over [0, n), statically chunked across size() threads.
+  /// Blocks until every chunk is done. The first exception thrown by any
+  /// chunk is rethrown on the caller (remaining chunks still complete).
+  /// Not reentrant: do not call parallel_for from inside a body.
+  void parallel_for(std::size_t n, const RangeBody& body);
+
+  /// The static chunk for `worker` of `workers` over [0, n): contiguous,
+  /// balanced to within one element. Exposed so tests can assert coverage.
+  static std::pair<std::size_t, std::size_t> chunk(std::size_t n, std::size_t worker,
+                                                  std::size_t workers);
+
+ private:
+  void worker_loop(std::size_t worker_id);
+  void run_chunk(std::size_t worker_id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t job_gen_ = 0;       ///< bumped per parallel_for; wakes workers
+  std::size_t job_n_ = 0;
+  const RangeBody* job_body_ = nullptr;
+  std::size_t outstanding_ = 0;     ///< workers still running the current job
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace iob::sim

@@ -1,11 +1,19 @@
 // Unit tests for src/sim: RNG determinism & distributions, event queue
-// ordering, simulator scheduling, statistics, tracing.
+// ordering (including the calendar-wheel band and its rebuilds), the
+// small-buffer callback type, simulator scheduling, statistics, tracing.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -155,6 +163,185 @@ TEST(EventQueue, RejectsInvalidSchedules) {
   EXPECT_THROW(q.schedule(1.0, EventQueue::Action{}), std::invalid_argument);
 }
 
+TEST(EventQueue, StaleHandleAfterSlotReuseIsRejected) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  // The slot is recycled for the next event; the stale handle must not be
+  // able to cancel it.
+  const EventId b = q.schedule(2.0, [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+}
+
+// The satellite stress test: interleaved schedule/cancel churn, asserting
+// FIFO tie-break order and size() accounting against a reference model
+// (a std::multimap ordered by the same (when, seq) key). The population is
+// driven well past the wheel-activation threshold and across several
+// geometry regimes (clustered, uniform, far-future bursts) so both bands,
+// lap turnover, and the adaptive rebuilds are all exercised.
+TEST(EventQueue, StressChurnMatchesReferenceModel) {
+  EventQueue q;
+  Rng rng(2024);
+  // Reference: key -> payload; ordered exactly like the queue pops.
+  std::map<std::pair<Time, std::uint64_t>, int> model;
+  std::vector<std::pair<EventId, std::pair<Time, std::uint64_t>>> live_handles;
+  std::vector<int> fired;
+  int next_payload = 0;
+  std::uint64_t seq = 0;
+  Time now = 0.0;
+
+  const auto schedule_one = [&](Time when) {
+    const int payload = next_payload++;
+    const EventId id = q.schedule(when, [&fired, payload] { fired.push_back(payload); });
+    model.emplace(std::make_pair(when, seq), payload);
+    live_handles.emplace_back(id, std::make_pair(when, seq));
+    ++seq;
+  };
+
+  for (int round = 0; round < 2000; ++round) {
+    // Mixed time profile: clustered equal times (FIFO ties), near-future
+    // uniform, and occasional far-future bursts.
+    const double u = rng.uniform();
+    Time when;
+    if (u < 0.3) {
+      when = now + 1.0;  // equal-time cluster -> FIFO ordering must hold
+    } else if (u < 0.9) {
+      when = now + rng.uniform(0.0, 5.0);
+    } else {
+      when = now + rng.uniform(100.0, 1000.0);  // far band
+    }
+    const int burst = static_cast<int>(rng.uniform_int(1, 120));
+    for (int i = 0; i < burst; ++i) schedule_one(when + 0.001 * i);
+
+    // Cancel a random subset of outstanding events.
+    const int cancels = static_cast<int>(rng.uniform_int(0, burst / 2));
+    for (int i = 0; i < cancels && !live_handles.empty(); ++i) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(live_handles.size()) - 1));
+      const auto [id, key] = live_handles[idx];
+      const bool was_live = model.erase(key) > 0;
+      EXPECT_EQ(q.cancel(id), was_live);
+      live_handles[idx] = live_handles.back();
+      live_handles.pop_back();
+    }
+    ASSERT_EQ(q.size(), model.size());
+
+    // Pop a few events and check they fire in exactly the model's order.
+    const int pops = static_cast<int>(rng.uniform_int(0, 80));
+    for (int i = 0; i < pops && !model.empty(); ++i) {
+      const auto expected = model.begin();
+      ASSERT_EQ(q.next_time(), expected->first.first);
+      fired.clear();
+      const Time t = q.run_next();
+      now = std::max(now, t);
+      ASSERT_EQ(fired.size(), 1u);
+      ASSERT_EQ(fired[0], expected->second);
+      ASSERT_EQ(t, expected->first.first);
+      model.erase(expected);
+      ASSERT_EQ(q.size(), model.size());
+    }
+  }
+  EXPECT_TRUE(q.wheel_active());  // the stress must have exercised the wheel
+
+  // Drain: remaining pops must follow the model order exactly.
+  while (!model.empty()) {
+    const auto expected = model.begin();
+    fired.clear();
+    ASSERT_EQ(q.run_next(), expected->first.first);
+    ASSERT_EQ(fired.size(), 1u);
+    ASSERT_EQ(fired[0], expected->second);
+    model.erase(expected);
+  }
+  EXPECT_TRUE(q.empty());
+
+  // Physical census must agree: no entries lost or duplicated across bands.
+  const auto c = q.debug_counts();
+  EXPECT_EQ(c.live_count, 0u);
+  EXPECT_EQ(c.wheel_ahead, 0u);
+  EXPECT_EQ(c.wheel_behind, 0u);
+  EXPECT_EQ(c.heap_live, 0u);
+}
+
+TEST(EventQueue, FifoPreservedAcrossWheelActivation) {
+  // Schedule far more equal-time events than the activation threshold; the
+  // pop order must stay the exact insertion order through activation and
+  // rebuilds.
+  EventQueue q;
+  std::vector<int> order;
+  constexpr int kEvents = 3000;
+  for (int i = 0; i < kEvents; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(q.wheel_active());
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ReentrantSchedulingFromActions) {
+  // Actions scheduling follow-ups (including at their own timestamp) is the
+  // periodic-task pattern; it must survive slab growth and band moves.
+  EventQueue q;
+  int chained = 0, extras = 0;
+  std::function<void(Time)> chain = [&](Time t) {
+    ++chained;
+    if (t < 500.0) {
+      q.schedule(t + 1.0, [&chain, t] { chain(t + 1.0); });
+      if (chained % 10 == 0) q.schedule(t, [&extras] { ++extras; });  // same-time follow-up
+    }
+  };
+  q.schedule(0.0, [&chain] { chain(0.0); });
+  std::size_t executed = 0;
+  while (!q.empty()) {
+    q.run_next();
+    ++executed;
+  }
+  EXPECT_EQ(chained, 501);
+  EXPECT_EQ(extras, 50);
+  EXPECT_EQ(executed, static_cast<std::size_t>(chained + extras));
+}
+
+// ---- Callback ---------------------------------------------------------------
+
+TEST(Callback, InlineForSmallCapturesHeapForLarge) {
+  int x = 0;
+  Callback small([&x] { ++x; });
+  EXPECT_TRUE(small.is_inline());
+  std::array<double, 16> big_payload{};
+  Callback big([&x, big_payload] { x += static_cast<int>(big_payload[0]) + 1; });
+  EXPECT_FALSE(big.is_inline());
+  small();
+  big();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(Callback, MoveTransfersOwnership) {
+  int calls = 0;
+  Callback a([&calls] { ++calls; });
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  Callback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Callback, DestroysHeldCallableExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    Callback cb([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    Callback moved(std::move(cb));
+    EXPECT_EQ(counter.use_count(), 2);  // move, not copy
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // destroyed with the callback
+  EXPECT_EQ(*counter, 0);
+}
+
 // ---- Simulator --------------------------------------------------------------
 
 TEST(Simulator, ClockAdvancesWithEvents) {
@@ -222,6 +409,73 @@ TEST(Simulator, RunAllDrainsQueue) {
   EXPECT_EQ(executed, 5u);
   EXPECT_EQ(count, 5);
   EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, StopCancelsPeriodicReschedules) {
+  // The seed left each periodic task's next occurrence dangling in the
+  // queue after request_stop(); now the stop tears the whole chain down.
+  Simulator sim;
+  int a = 0, b = 0;
+  sim.every(0.0, 1.0, [&](Time) { ++a; });
+  sim.every(0.5, 2.0, [&](Time t) {
+    ++b;
+    if (t >= 4.0) sim.request_stop();
+  });
+  sim.run_until(100.0);
+  EXPECT_GT(a, 0);
+  EXPECT_GT(b, 0);
+  EXPECT_EQ(sim.pending(), 0u);  // no dangling self-reschedules
+}
+
+TEST(Simulator, StopBeforeRunCancelsFirstOccurrences) {
+  Simulator sim;
+  int fires = 0;
+  sim.every(1.0, 1.0, [&](Time) { ++fires; });
+  sim.every(2.0, 1.0, [&](Time) { ++fires; });
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.request_stop();
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Simulator, PeriodicActionMaySafelyTouchCapturesAfterStop) {
+  // request_stop() tears down the periodic registry; the running action's
+  // closure must stay alive (it is moved out before the call), so touching
+  // captures after the stop is well-defined.
+  Simulator sim;
+  auto witness = std::make_shared<int>(0);
+  sim.every(0.0, 1.0, [&sim, witness](Time t) {
+    if (t >= 2.0) sim.request_stop();
+    *witness += 1;  // executes after the registry teardown on the last fire
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(*witness, 3);  // t = 0, 1, 2
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancellingPendingOccurrenceRetiresPeriodicTask) {
+  Simulator sim;
+  int fires = 0;
+  const EventId id = sim.every(1.0, 1.0, [&](Time) { ++fires; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 0);
+  // The registry entry is gone too: a later stop has nothing to tear down
+  // and the simulator keeps working.
+  sim.request_stop();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, StopLeavesNonPeriodicEventsPending) {
+  // request_stop tears down periodic chains only; one-shot events stay (the
+  // run loop just refuses to execute them).
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.every(1.0, 1.0, [](Time) {});
+  sim.request_stop();
+  EXPECT_EQ(sim.pending(), 1u);
 }
 
 // ---- Stats ------------------------------------------------------------------
