@@ -1,0 +1,180 @@
+// Fleet-scale design-space sweep (ROADMAP "fleet harness" item): a
+// declarative grid of full `net::NetworkSim` discrete-event simulations —
+// node count x MAC variant x leaf population mix x harvesting profile x
+// replicate seeds — expanded and fanned across `core::SweepRunner` by
+// `core::Fleet`, then folded into per-axis marginal summaries (lifetime
+// percentiles, goodput, drop rate, bus utilization). This is the paper's
+// system-level claim probed as a region, not a point: >= 2,000 independent
+// simulations per run.
+//
+// Set IOB_FLEET_SMOKE=1 (CI docs job) to shrink the grid to <= 64 points so
+// the harness stays exercised on every push without the full sweep cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/fleet.hpp"
+#include "core/sweep_runner.hpp"
+
+namespace {
+
+using namespace iob;
+using namespace iob::units;
+
+core::NodeClassSpec audio_class() {
+  core::NodeClassSpec c;
+  c.base.name = "audio";
+  c.base.sense_power_w = 150e-6;
+  c.base.isa_power_w = 1e-6;
+  c.base.output_rate_bps = 64e3;
+  c.base.frame_bytes = 240;
+  c.base.slot_weight = 2;  // rate-proportional TDMA allocation
+  net::SessionConfig kws;
+  kws.macs_per_inference = 2'500'000;  // KWS DS-CNN-class pass
+  kws.bytes_per_inference = 16'000;    // one 2 s audio window at 64 kb/s
+  c.session = kws;
+  return c;
+}
+
+core::NodeClassSpec bio_class() {
+  core::NodeClassSpec c;
+  c.base.name = "bio";
+  c.base.sense_power_w = 8e-6;
+  c.base.isa_power_w = 1e-6;
+  c.base.output_rate_bps = 5e3;
+  c.base.frame_bytes = 240;
+  return c;
+}
+
+core::NodeClassSpec imu_class() {
+  core::NodeClassSpec c;
+  c.base.name = "imu";
+  c.base.sense_power_w = 60e-6;
+  c.base.isa_power_w = 2e-6;
+  c.base.output_rate_bps = 20e3;
+  c.base.frame_bytes = 240;
+  return c;
+}
+
+core::FleetAxes make_axes(bool smoke) {
+  core::FleetAxes axes;
+
+  core::NodeClassSpec audio = audio_class(), bio = bio_class(), imu = imu_class();
+  audio.share = 1;
+  bio.share = 7;
+  axes.mixes.push_back({"bio-heavy", {audio, bio}});
+  audio.share = 1;
+  bio.share = 1;
+  axes.mixes.push_back({"audio-heavy", {audio, bio}});
+  imu.share = 3;
+  bio.share = 5;
+  axes.mixes.push_back({"imu-fusion", {imu, bio}});
+
+  comm::TdmaConfig slot1ms;  // defaults: 1 ms slots, pure uplink
+  comm::TdmaConfig slot600us;
+  slot600us.slot_s = 600e-6;
+  comm::TdmaConfig downlink = slot1ms;
+  downlink.downlink_slot_s = 500e-6;
+  axes.macs = {{"slot-1ms", slot1ms}, {"slot-600us", slot600us}, {"downlink-500us", downlink}};
+
+  energy::HarvesterParams pv;
+  pv.source = energy::HarvestSource::kIndoorPhotovoltaic;
+  pv.mean_power_w = 50.0 * uW;
+  pv.availability = 0.7;
+  pv.hourly_profile = energy::office_diurnal_profile();
+  energy::HarvesterParams teg;
+  teg.source = energy::HarvestSource::kThermoelectric;
+  teg.mean_power_w = 25.0 * uW;
+  teg.availability = 0.9;
+  teg.relative_sigma = 0.1;
+  axes.harvests = {{"none", std::nullopt}, {"indoor-pv-50uW", pv}, {"teg-25uW", teg}};
+
+  axes.buses = {core::BusKind::kWiR};
+
+  if (smoke) {
+    // <= 64-point CI configuration: 2 x 2 x 2 x 2 x 1 x 2 = 32 points.
+    axes.node_counts = {2, 8};
+    axes.macs.resize(2);
+    axes.mixes.resize(2);
+    axes.harvests.resize(2);
+    axes.seeds = {42, 43};
+    axes.duration_s = 2.0;
+  } else {
+    // 8 x 3 x 3 x 3 x 1 x 10 = 2,160 points.
+    axes.node_counts = {2, 4, 8, 12, 16, 24, 32, 48};
+    axes.seeds = {42, 43, 44, 45, 46, 47, 48, 49, 50, 51};
+    axes.duration_s = 4.0;
+  }
+  return axes;
+}
+
+void print_grid() {
+  const bool smoke = std::getenv("IOB_FLEET_SMOKE") != nullptr;
+  const core::Fleet fleet(make_axes(smoke));
+  common::print_banner("Fleet grid — " + std::to_string(fleet.size()) +
+                       " NetworkSim points (node count x MAC x mix x harvesting x seed)" +
+                       (smoke ? " [smoke]" : ""));
+
+  const core::SweepRunner runner;
+  const double t0 = bench::wall_time_s();
+  const std::vector<core::FleetPointResult> results = fleet.run(runner);
+  const double dt = bench::wall_time_s() - t0;
+  const core::FleetSummary summary = fleet.summarize(results);
+
+  std::cout << summary.to_string();
+  common::print_note("lifetime percentiles over every node sample in the cell; the wide");
+  common::print_note("regime where bio leaves stay perpetual is the paper's design region");
+  std::cout << "\n  " << results.size() << " simulations in " << common::fixed(dt, 2) << " s ("
+            << common::fixed(static_cast<double>(results.size()) / dt, 1) << " points/s on "
+            << runner.threads() << " thread(s))\n";
+
+  bench::JsonReporter json("fleet_grid");
+  json.add("fleet_points", static_cast<double>(results.size()));
+  json.add("fleet_points_per_s", static_cast<double>(results.size()) / dt);
+  json.add("fleet_threads", static_cast<double>(runner.threads()));
+  json.add("fleet_duration_s_per_point", fleet.axes().duration_s);
+  json.add("overall_perpetual_fraction", summary.overall.perpetual_fraction);
+  json.add("overall_mean_goodput_bps", summary.overall.mean_goodput_bps);
+  json.add("overall_mean_drop_rate", summary.overall.mean_drop_rate);
+  json.add("overall_mean_bus_utilization", summary.overall.mean_bus_utilization);
+  json.write();
+}
+
+core::FleetPoint one_point(int n_nodes) {
+  core::FleetAxes axes = make_axes(true);
+  axes.node_counts = {n_nodes};
+  axes.macs.resize(1);
+  axes.mixes.resize(1);
+  axes.harvests.resize(1);
+  axes.seeds = {42};
+  axes.duration_s = 2.0;
+  return core::Fleet(axes).expand().front();
+}
+
+void BM_FleetPoint(benchmark::State& state) {
+  const core::FleetPoint p = one_point(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_fleet_point(p));
+  }
+}
+BENCHMARK(BM_FleetPoint)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_FleetExpand(benchmark::State& state) {
+  const core::Fleet fleet(make_axes(false));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.expand());
+  }
+}
+BENCHMARK(BM_FleetExpand)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_grid();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

@@ -3,6 +3,11 @@
 // the node count with a mixed ECG/IMU/audio population and reports
 // aggregate goodput, bus utilization, latency and per-leaf comm power from
 // full discrete-event simulations.
+//
+// The sweep runs on the `core::Fleet` harness: the node-count axis expands
+// into independent value-type points, each building and owning its own
+// Wi-R link and NetworkSim, fanned across the SweepRunner with fork-derived
+// seeds (the table is identical at any thread count).
 
 #include <benchmark/benchmark.h>
 
@@ -10,29 +15,45 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "comm/wir_link.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "core/fleet.hpp"
 #include "core/sweep_runner.hpp"
-#include "net/network_sim.hpp"
 
 namespace {
 
 using namespace iob;
 using namespace iob::units;
 
-net::NodeConfig make_leaf(int i) {
-  net::NodeConfig n;
-  // Mixed population: 1 audio-class node per 8, the rest biopotential/IMU.
-  const bool audio = (i % 8) == 0;
-  n.name = (audio ? "audio-" : "bio-") + std::to_string(i);
-  n.stream = n.name;
-  n.sense_power_w = audio ? 150e-6 : 8e-6;
-  n.isa_power_w = 1e-6;
-  n.output_rate_bps = audio ? 64e3 : 5e3;
-  n.frame_bytes = 240;
-  n.slot_weight = audio ? 2 : 1;  // rate-proportional TDMA allocation
-  return n;
+// Mixed population: 1 audio-class node per 8, the rest biopotential/IMU
+// (share-weighted round robin makes node i audio exactly when i % 8 == 0,
+// matching the historical hand-rolled loop).
+core::NodeMix make_mix() {
+  core::NodeClassSpec audio;
+  audio.base.name = "audio";
+  audio.base.sense_power_w = 150e-6;
+  audio.base.isa_power_w = 1e-6;
+  audio.base.output_rate_bps = 64e3;
+  audio.base.frame_bytes = 240;
+  audio.base.slot_weight = 2;  // rate-proportional TDMA allocation
+  audio.share = 1;
+  core::NodeClassSpec bio;
+  bio.base.name = "bio";
+  bio.base.sense_power_w = 8e-6;
+  bio.base.isa_power_w = 1e-6;
+  bio.base.output_rate_bps = 5e3;
+  bio.base.frame_bytes = 240;
+  bio.share = 7;
+  return core::NodeMix{"t4-mixed", {audio, bio}};
+}
+
+core::Fleet make_fleet(std::vector<int> node_counts, double duration_s) {
+  core::FleetAxes axes;
+  axes.node_counts = std::move(node_counts);
+  axes.mixes = {make_mix()};
+  axes.seeds = {42};
+  axes.duration_s = duration_s;
+  return core::Fleet(std::move(axes));
 }
 
 struct Row {
@@ -45,28 +66,23 @@ struct Row {
   bool all_perpetual_bio;
 };
 
-Row run_network(int n_nodes, double duration_s, std::uint64_t seed) {
-  comm::WiRLink wir;
-  net::NetworkSim sim(wir, net::NetworkConfig{seed, {}, {}, false});
-  for (int i = 0; i < n_nodes; ++i) sim.add_node(make_leaf(i));
-  const net::NetworkReport rep = sim.run(duration_s);
-
+Row make_row(int n_nodes, const core::FleetPointResult& res) {
+  const net::NetworkReport& rep = res.report;
   Row row{};
   row.n = n_nodes;
   row.goodput_bps = rep.aggregate_goodput_bps;
   row.utilization = rep.bus_utilization;
   row.all_perpetual_bio = true;
-  double lat = 0.0, power = 0.0, max_lat = 0.0;
+  double lat = 0.0, max_lat = 0.0;
   for (std::size_t i = 0; i < rep.nodes.size(); ++i) {
     lat += rep.nodes[i].mean_latency_s;
     max_lat = std::max(max_lat, rep.nodes[i].p99ish_latency_s);
-    power += rep.nodes[i].average_power_w;
     if (rep.nodes[i].name.rfind("bio-", 0) == 0 && !rep.nodes[i].perpetual) {
       row.all_perpetual_bio = false;
     }
   }
   row.mean_latency_s = lat / static_cast<double>(rep.nodes.size());
-  row.mean_leaf_power_w = power / static_cast<double>(rep.nodes.size());
+  row.mean_leaf_power_w = res.mean_leaf_power_w;
   row.max_latency_s = max_lat;
   return row;
 }
@@ -74,20 +90,19 @@ Row run_network(int n_nodes, double duration_s, std::uint64_t seed) {
 void print_table() {
   common::print_banner("T4 — Distributed IoB Wi-R network scaling (hub + N leaves, TDMA)");
 
-  // Each row is an independent full simulation with its own Simulator and a
-  // fork-derived seed — fan them across the pool; index-order merging keeps
-  // the table identical at any thread count.
-  const core::SweepRunner runner;
   const std::vector<int> node_counts{1, 2, 4, 8, 16, 24, 32};
+  const core::Fleet fleet = make_fleet(node_counts, 20.0);
+  const core::SweepRunner runner;
   const double t0 = bench::wall_time_s();
-  const std::vector<Row> rows = runner.map<Row>(node_counts.size(), [&](std::size_t i) {
-    return run_network(node_counts[i], 20.0, core::SweepRunner::point_seed(42, i));
-  });
+  const std::vector<core::FleetPointResult> results = fleet.run(runner);
   const double dt = bench::wall_time_s() - t0;
 
   common::Table t({"N leaves", "agg goodput", "bus util", "mean latency", "max latency",
                    "mean leaf power", "bio leaves perpetual?"});
-  for (const Row& r : rows) {
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Row r = make_row(node_counts[i], results[i]);
+    rows.push_back(r);
     t.add_row({std::to_string(r.n), common::si_format(r.goodput_bps, "b/s"),
                common::fixed(r.utilization * 100.0, 1) + "%",
                common::si_format(r.mean_latency_s, "s"),
@@ -110,8 +125,9 @@ void print_table() {
 
 void BM_NetworkSimulation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const core::FleetPoint p = make_fleet({n}, 2.0).expand().front();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_network(n, 2.0, static_cast<std::uint64_t>(n)));
+    benchmark::DoNotOptimize(core::run_fleet_point(p));
   }
 }
 BENCHMARK(BM_NetworkSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
@@ -119,11 +135,9 @@ BENCHMARK(BM_NetworkSimulation)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 void BM_NetworkSweepParallel(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   const core::SweepRunner runner(threads);
-  const std::vector<int> node_counts{1, 2, 4, 8, 16, 24, 32};
+  const core::Fleet fleet = make_fleet({1, 2, 4, 8, 16, 24, 32}, 2.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.map<Row>(node_counts.size(), [&](std::size_t i) {
-      return run_network(node_counts[i], 2.0, core::SweepRunner::point_seed(42, i));
-    }));
+    benchmark::DoNotOptimize(fleet.run(runner));
   }
 }
 BENCHMARK(BM_NetworkSweepParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Verify that internal markdown links in docs/ and README.md resolve.
+
+Checks every ``[text](target)`` in the given markdown files:
+  * relative file targets must exist (anchors checked when the target is
+    markdown),
+  * bare ``#anchor`` targets must match a heading in the same file,
+  * absolute http(s)/mailto links are skipped (no network in CI).
+
+Exit status is non-zero if any link is broken — wired into the CI docs job
+so the docs tree can't silently rot.
+
+Usage:
+  python3 scripts/check_docs_links.py [files...]   # default: README.md docs/*.md
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading):
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {slugify(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path):
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link {target!r} ({resolved} missing)")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if slugify(anchor) not in anchors_of(resolved):
+                errors.append(f"{path}: broken anchor {target!r} in {resolved}")
+    return errors
+
+
+def main(argv):
+    files = argv[1:] or ["README.md"] + sorted(glob.glob("docs/*.md"))
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        print(f"error: file(s) not found: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} broken link(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"all internal links resolve in {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Merge BENCH_<name>.json metric files across commits and flag regressions.
+
+Every bench binary writes a flat ``BENCH_<name>.json`` (see
+docs/benchmarks.md for the schema). This script maintains an append-only
+JSONL history of those metrics, one record per (label, bench), and compares
+consecutive records to catch performance regressions in the watched
+higher-is-better series (the ROADMAP "perf trajectory" item).
+
+Subcommands:
+  collect  scan a directory for BENCH_*.json and append labelled records
+  check    compare each bench's newest record against its previous one
+  report   print the full history as a per-metric table
+
+Examples:
+  python3 scripts/collect_bench.py collect --dir build
+  python3 scripts/collect_bench.py check --threshold 0.15 --strict
+  python3 scripts/collect_bench.py report
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_HISTORY = "bench_history.jsonl"
+# Higher-is-better series watched by default (ROADMAP headline numbers).
+DEFAULT_WATCH = ["events_per_s", "sweep_points_per_s", "fleet_points_per_s"]
+
+
+def git_label():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unlabelled"
+
+
+def load_history(path):
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                print(f"warning: {path}:{line_no}: unparseable record: {e}",
+                      file=sys.stderr)
+    return records
+
+
+def cmd_collect(args):
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if not paths:
+        print(f"no BENCH_*.json files under {args.dir!r}", file=sys.stderr)
+        return 1
+    label = args.label or git_label()
+    appended = 0
+    with open(args.history, "a", encoding="utf-8") as hist:
+        for path in paths:
+            with open(path, encoding="utf-8") as f:
+                try:
+                    data = json.load(f)
+                except json.JSONDecodeError as e:
+                    print(f"warning: skipping {path}: {e}", file=sys.stderr)
+                    continue
+            record = {
+                "label": label,
+                "bench": data.get("bench", os.path.basename(path)),
+                "metrics": data.get("metrics", {}),
+            }
+            hist.write(json.dumps(record, sort_keys=True) + "\n")
+            appended += 1
+    print(f"appended {appended} record(s) labelled {label!r} to {args.history}")
+    return 0
+
+
+def cmd_check(args):
+    records = load_history(args.history)
+    if not records:
+        print(f"empty or missing history {args.history!r}; run collect first",
+              file=sys.stderr)
+        return 1
+    watch = set(DEFAULT_WATCH) | set(args.watch or [])
+    by_bench = {}
+    for rec in records:
+        by_bench.setdefault(rec["bench"], []).append(rec)
+
+    flagged = []
+    for bench, recs in sorted(by_bench.items()):
+        if len(recs) < 2:
+            print(f"{bench}: only one record ({recs[-1]['label']}), nothing to compare")
+            continue
+        prev, cur = recs[-2], recs[-1]
+        for metric in sorted(watch):
+            if metric not in prev["metrics"] or metric not in cur["metrics"]:
+                continue
+            old, new = prev["metrics"][metric], cur["metrics"][metric]
+            if not old:
+                continue
+            change = (new - old) / old
+            status = "ok"
+            if change < -args.threshold:
+                status = "REGRESSION"
+                flagged.append((bench, metric, old, new, change))
+            print(f"{bench}: {metric}: {old:.6g} ({prev['label']}) -> "
+                  f"{new:.6g} ({cur['label']}) {change:+.1%} {status}")
+
+    if flagged:
+        print(f"\n{len(flagged)} regression(s) beyond -{args.threshold:.0%}:")
+        for bench, metric, old, new, change in flagged:
+            print(f"  {bench}.{metric}: {old:.6g} -> {new:.6g} ({change:+.1%})")
+        return 1 if args.strict else 0
+    print("\nno regressions in watched metrics")
+    return 0
+
+
+def cmd_report(args):
+    records = load_history(args.history)
+    if not records:
+        print(f"empty or missing history {args.history!r}", file=sys.stderr)
+        return 1
+    rows = []
+    for rec in records:
+        for metric, value in sorted(rec["metrics"].items()):
+            rows.append((rec["bench"], metric, rec["label"], value))
+    widths = [max(len(str(r[i])) for r in rows + [("bench", "metric", "label", "value")])
+              for i in range(4)]
+    header = ("bench", "metric", "label", "value")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for bench, metric, label, value in rows:
+        print(f"{bench.ljust(widths[0])}  {metric.ljust(widths[1])}  "
+              f"{label.ljust(widths[2])}  {value}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_collect = sub.add_parser("collect", help="append BENCH_*.json files to the history")
+    p_collect.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    p_collect.add_argument("--history", default=DEFAULT_HISTORY)
+    p_collect.add_argument("--label", help="record label (default: git short hash)")
+    p_collect.set_defaults(fn=cmd_collect)
+
+    p_check = sub.add_parser("check", help="flag regressions vs the previous record")
+    p_check.add_argument("--history", default=DEFAULT_HISTORY)
+    p_check.add_argument("--threshold", type=float, default=0.15,
+                         help="relative drop that counts as a regression (default 0.15)")
+    p_check.add_argument("--watch", nargs="*",
+                         help=f"extra higher-is-better metrics (default: {DEFAULT_WATCH})")
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit non-zero when a regression is flagged")
+    p_check.set_defaults(fn=cmd_check)
+
+    p_report = sub.add_parser("report", help="print the full metric history")
+    p_report.add_argument("--history", default=DEFAULT_HISTORY)
+    p_report.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,365 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "comm/ble_link.hpp"
+#include "comm/nfmi_link.hpp"
+#include "comm/wir_link.hpp"
+#include "common/expect.hpp"
+#include "common/table.hpp"
+
+namespace iob::core {
+
+namespace {
+
+/// Round-trip-exact double formatting for the canonical CSV.
+std::string exact(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Human formatting for a possibly-infinite lifetime (days).
+std::string life_str(double days) {
+  if (std::isinf(days)) return "perpetual";
+  return common::fixed(days, 1) + " d";
+}
+
+}  // namespace
+
+std::string to_string(BusKind kind) {
+  switch (kind) {
+    case BusKind::kWiR: return "wir";
+    case BusKind::kWiRUlp: return "wir-ulp";
+    case BusKind::kBle: return "ble";
+    case BusKind::kNfmi: return "nfmi";
+  }
+  return "unknown";
+}
+
+std::string to_string(FleetAxis axis) {
+  switch (axis) {
+    case kAxisNodeCount: return "node count";
+    case kAxisMac: return "mac";
+    case kAxisMix: return "node mix";
+    case kAxisHarvest: return "harvesting";
+    case kAxisBus: return "bus";
+    case kAxisSeed: return "seed";
+    default: return "unknown";
+  }
+}
+
+std::unique_ptr<const comm::Link> make_bus_link(BusKind kind) {
+  switch (kind) {
+    case BusKind::kWiR: return std::make_unique<comm::WiRLink>();
+    case BusKind::kWiRUlp:
+      return std::make_unique<comm::WiRLink>(comm::WiRLink::ulp_profile());
+    case BusKind::kBle: return std::make_unique<comm::BleLink>();
+    case BusKind::kNfmi: return std::make_unique<comm::NfmiLink>();
+  }
+  IOB_EXPECTS(false, "unknown BusKind");
+  return nullptr;
+}
+
+std::size_t FleetAxes::size() const {
+  return node_counts.size() * macs.size() * mixes.size() * harvests.size() *
+         buses.size() * seeds.size();
+}
+
+namespace {
+
+/// Share-weighted round robin: node i takes the class at position
+/// i mod total_share of the share-expanded class sequence. The single
+/// source of truth for class assignment (node configs and hub sessions
+/// must agree on it).
+const NodeClassSpec& select_node_class(const NodeMix& mix, int i) {
+  const auto& classes = mix.classes;
+  IOB_EXPECTS(!classes.empty(), "fleet point mix has no node classes");
+  unsigned total_share = 0;
+  for (const auto& c : classes) total_share += c.share;
+  IOB_EXPECTS(total_share > 0, "mix shares sum to zero");
+  unsigned r = static_cast<unsigned>(i) % total_share;
+  for (const auto& c : classes) {
+    if (r < c.share) return c;
+    r -= c.share;
+  }
+  return classes.back();
+}
+
+/// Resolve the config a class gives to node `i` of point `p`.
+net::NodeConfig node_config_for_class(const FleetPoint& p, const NodeClassSpec& cls, int i) {
+  static const std::string kDefaultStream = net::NodeConfig{}.stream;
+  net::NodeConfig cfg = cls.base;
+  cfg.name = cls.base.name + "-" + std::to_string(i);
+  // Empty or left at the NodeConfig default -> one stream per node;
+  // an explicitly set tag pins the whole class to a shared stream.
+  const std::string& base_stream = cls.base.stream;
+  cfg.stream = (base_stream.empty() || base_stream == kDefaultStream) ? cfg.name : base_stream;
+  if (p.harvest.harvester) cfg.harvester = p.harvest.harvester;
+  return cfg;
+}
+
+}  // namespace
+
+net::NodeConfig fleet_node_config(const FleetPoint& p, int i) {
+  return node_config_for_class(p, select_node_class(p.mix, i), i);
+}
+
+std::unique_ptr<net::NetworkSim> build_fleet_point(const FleetPoint& p) {
+  IOB_EXPECTS(p.node_count >= 1, "fleet point needs at least one node");
+  net::NetworkConfig nc;
+  nc.seed = p.seed;
+  nc.mac = p.mac.config;
+  auto sim = std::make_unique<net::NetworkSim>(make_bus_link(p.bus), nc);
+
+  for (int i = 0; i < p.node_count; ++i) {
+    const NodeClassSpec& cls = select_node_class(p.mix, i);
+    net::NodeConfig cfg = node_config_for_class(p, cls, i);
+    const std::string stream = cfg.stream;
+    sim->add_node(std::move(cfg));
+    if (cls.session) {
+      net::SessionConfig s = *cls.session;
+      s.stream = stream;
+      sim->add_session(std::move(s));
+    }
+  }
+  return sim;
+}
+
+FleetPointResult run_fleet_point(const FleetPoint& p) {
+  IOB_EXPECTS(p.duration_s > 0, "fleet point duration must be positive");
+  std::unique_ptr<net::NetworkSim> sim = build_fleet_point(p);
+  FleetPointResult res;
+  res.index = p.index;
+  res.coord = p.coord;
+  res.report = sim->run(p.duration_s);
+
+  std::uint64_t delivered = 0, dropped = 0;
+  double power = 0.0, latency = 0.0;
+  double min_life = std::numeric_limits<double>::infinity();
+  std::size_t perpetual = 0;
+  for (const auto& n : res.report.nodes) {
+    delivered += n.frames_delivered;
+    dropped += n.frames_dropped;
+    power += n.average_power_w;
+    latency += n.mean_latency_s;
+    min_life = std::min(min_life, n.projected_life_days);
+    if (n.perpetual) ++perpetual;
+  }
+  const double offered = static_cast<double>(delivered + dropped);
+  res.drop_rate = offered > 0 ? static_cast<double>(dropped) / offered : 0.0;
+  res.mean_latency_s = latency / static_cast<double>(res.report.nodes.size());
+  res.mean_leaf_power_w = power / static_cast<double>(res.report.nodes.size());
+  res.min_life_days = min_life;
+  res.perpetual_fraction =
+      static_cast<double>(perpetual) / static_cast<double>(res.report.nodes.size());
+  return res;
+}
+
+std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
+  std::string out =
+      "index,coord,drop_rate,mean_latency_s,mean_leaf_power_w,min_life_days,perpetual_fraction,"
+      "hub_power_w,goodput_bps,bus_utilization,elapsed_s,nodes...\n";
+  for (const auto& r : results) {
+    out += std::to_string(r.index) + ",";
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      out += std::to_string(r.coord[a]) + (a + 1 < kAxisCount ? ":" : "");
+    }
+    out += "," + exact(r.drop_rate) + "," + exact(r.mean_latency_s) + "," +
+           exact(r.mean_leaf_power_w) + "," +
+           exact(r.min_life_days) + "," + exact(r.perpetual_fraction) + "," +
+           exact(r.report.hub_power_w) + "," + exact(r.report.aggregate_goodput_bps) + "," +
+           exact(r.report.bus_utilization) + "," + exact(r.report.elapsed_s);
+    for (const auto& n : r.report.nodes) {
+      out += "," + n.name + ":" + exact(n.average_power_w) + ":" + exact(n.comm_power_w) + ":" +
+             exact(n.projected_life_days) + ":" + (n.perpetual ? "1" : "0") + ":" +
+             std::to_string(n.frames_delivered) + ":" + std::to_string(n.frames_dropped) + ":" +
+             exact(n.mean_latency_s) + ":" + exact(n.p99ish_latency_s);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// `percentile` on an already-sorted sample vector.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  IOB_EXPECTS(!sorted.empty(), "percentile of an empty sample set");
+  IOB_EXPECTS(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = pos - static_cast<double>(lo);
+  if (lo == hi || t == 0.0) return sorted[lo];
+  // inf-aware: interpolating toward +inf is +inf, never NaN.
+  if (std::isinf(sorted[hi])) return sorted[hi];
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * t;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return quantile_sorted(samples, q);
+}
+
+Fleet::Fleet(FleetAxes axes) : axes_(std::move(axes)) {
+  IOB_EXPECTS(!axes_.node_counts.empty(), "node_counts axis is empty");
+  IOB_EXPECTS(!axes_.macs.empty(), "macs axis is empty");
+  IOB_EXPECTS(!axes_.mixes.empty(), "mixes axis is empty");
+  IOB_EXPECTS(!axes_.harvests.empty(), "harvests axis is empty");
+  IOB_EXPECTS(!axes_.buses.empty(), "buses axis is empty");
+  IOB_EXPECTS(!axes_.seeds.empty(), "seeds axis is empty");
+  IOB_EXPECTS(axes_.duration_s > 0, "duration must be positive");
+  for (const int n : axes_.node_counts) {
+    IOB_EXPECTS(n >= 1, "node counts must be >= 1");
+  }
+  for (const auto& m : axes_.mixes) {
+    IOB_EXPECTS(!m.classes.empty(), "a mix needs at least one node class");
+    for (const auto& c : m.classes) IOB_EXPECTS(c.share >= 1, "class share must be >= 1");
+  }
+}
+
+std::vector<FleetPoint> Fleet::expand() const {
+  std::vector<FleetPoint> points;
+  points.reserve(size());
+  // Order contract: node_counts outermost ... seeds innermost (file comment).
+  for (std::size_t ni = 0; ni < axes_.node_counts.size(); ++ni) {
+    for (std::size_t mi = 0; mi < axes_.macs.size(); ++mi) {
+      for (std::size_t xi = 0; xi < axes_.mixes.size(); ++xi) {
+        for (std::size_t hi = 0; hi < axes_.harvests.size(); ++hi) {
+          for (std::size_t bi = 0; bi < axes_.buses.size(); ++bi) {
+            for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
+              FleetPoint p;
+              p.index = points.size();
+              p.coord = {ni, mi, xi, hi, bi, si};
+              p.node_count = axes_.node_counts[ni];
+              p.mac = axes_.macs[mi];
+              p.mix = axes_.mixes[xi];
+              p.harvest = axes_.harvests[hi];
+              p.bus = axes_.buses[bi];
+              p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
+              p.duration_s = axes_.duration_s;
+              points.push_back(std::move(p));
+            }
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<FleetPointResult> Fleet::run(const SweepRunner& runner) const {
+  const std::vector<FleetPoint> points = expand();
+  return runner.map<FleetPointResult>(
+      points.size(), [&](std::size_t i) { return run_fleet_point(points[i]); });
+}
+
+namespace {
+
+AxisCell aggregate_cell(std::string label, const std::vector<const FleetPointResult*>& pts) {
+  AxisCell cell;
+  cell.label = std::move(label);
+  cell.points = pts.size();
+  if (pts.empty()) return cell;
+
+  std::vector<double> lifetimes;
+  double perpetual_nodes = 0.0, total_nodes = 0.0;
+  double goodput = 0.0, drop = 0.0, latency = 0.0, util = 0.0;
+  for (const FleetPointResult* r : pts) {
+    for (const auto& n : r->report.nodes) {
+      lifetimes.push_back(n.projected_life_days);
+      if (n.perpetual) perpetual_nodes += 1.0;
+      total_nodes += 1.0;
+    }
+    goodput += r->report.aggregate_goodput_bps;
+    drop += r->drop_rate;
+    latency += r->mean_latency_s;
+    util += r->report.bus_utilization;
+  }
+  const double np = static_cast<double>(pts.size());
+  std::sort(lifetimes.begin(), lifetimes.end());  // one sort serves all quantiles
+  cell.life_p10_days = quantile_sorted(lifetimes, 0.10);
+  cell.life_p50_days = quantile_sorted(lifetimes, 0.50);
+  cell.life_p90_days = quantile_sorted(lifetimes, 0.90);
+  cell.perpetual_fraction = total_nodes > 0 ? perpetual_nodes / total_nodes : 0.0;
+  cell.mean_goodput_bps = goodput / np;
+  cell.mean_drop_rate = drop / np;
+  cell.mean_latency_s = latency / np;
+  cell.mean_bus_utilization = util / np;
+  return cell;
+}
+
+}  // namespace
+
+FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) const {
+  FleetSummary summary;
+  summary.total_points = results.size();
+
+  std::vector<const FleetPointResult*> all;
+  all.reserve(results.size());
+  for (const auto& r : results) all.push_back(&r);
+  summary.overall = aggregate_cell("all", all);
+
+  const std::array<std::size_t, kAxisCount> axis_sizes = {
+      axes_.node_counts.size(), axes_.macs.size(),   axes_.mixes.size(),
+      axes_.harvests.size(),    axes_.buses.size(),  axes_.seeds.size()};
+  for (std::size_t a = 0; a < kAxisCount; ++a) {
+    std::vector<AxisCell> cells;
+    for (std::size_t v = 0; v < axis_sizes[a]; ++v) {
+      std::vector<const FleetPointResult*> pts;
+      for (const auto& r : results) {
+        if (r.coord[a] == v) pts.push_back(&r);
+      }
+      std::string label;
+      switch (static_cast<FleetAxis>(a)) {
+        case kAxisNodeCount: label = "n=" + std::to_string(axes_.node_counts[v]); break;
+        case kAxisMac: label = axes_.macs[v].label; break;
+        case kAxisMix: label = axes_.mixes[v].label; break;
+        case kAxisHarvest: label = axes_.harvests[v].label; break;
+        case kAxisBus: label = to_string(axes_.buses[v]); break;
+        case kAxisSeed: label = "seed=" + std::to_string(axes_.seeds[v]); break;
+        default: label = "?"; break;
+      }
+      cells.push_back(aggregate_cell(std::move(label), pts));
+    }
+    summary.axes.emplace_back(to_string(static_cast<FleetAxis>(a)), std::move(cells));
+  }
+  return summary;
+}
+
+std::string FleetSummary::to_string() const {
+  std::string out;
+  out += "fleet: " + std::to_string(total_points) + " points\n";
+  const auto render_axis = [&](const std::string& name, const std::vector<AxisCell>& cells) {
+    common::Table t({name, "points", "life p10", "life p50", "life p90", "perpetual",
+                     "mean goodput", "drop rate", "mean latency", "bus util"});
+    for (const AxisCell& c : cells) {
+      t.add_row({c.label, std::to_string(c.points), life_str(c.life_p10_days),
+                 life_str(c.life_p50_days), life_str(c.life_p90_days),
+                 common::fixed(c.perpetual_fraction * 100.0, 1) + "%",
+                 common::si_format(c.mean_goodput_bps, "b/s"),
+                 common::fixed(c.mean_drop_rate * 100.0, 2) + "%",
+                 common::si_format(c.mean_latency_s, "s"),
+                 common::fixed(c.mean_bus_utilization * 100.0, 1) + "%"});
+    }
+    out += t.to_string();
+  };
+  render_axis("overall", {overall});
+  for (const auto& [name, cells] : axes) {
+    if (cells.size() < 2) continue;  // marginal over a singleton axis = overall
+    out += "\n";
+    render_axis(name, cells);
+  }
+  return out;
+}
+
+}  // namespace iob::core

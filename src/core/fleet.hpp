@@ -1,0 +1,221 @@
+#pragma once
+/// \file fleet.hpp
+/// Declarative fleet harness: grid sweeps of thousands of independent
+/// `net::NetworkSim` points.
+///
+/// The paper's claim is a *system-level* trade — distributing wearable AI
+/// across leaf nodes, a Wi-R body bus and a hub brain pays off across wide
+/// operating regimes, not at one hand-picked design point. `FleetAxes`
+/// declares those regimes as axes (node count x MAC variant x node-mix x
+/// harvesting x bus link x seed); `Fleet` expands them into a flat grid of
+/// value-type `FleetPoint` specs, fans the points across a `SweepRunner`
+/// (each with an `Rng::fork`-derived seed, so the result vector is
+/// byte-identical to a serial run at any thread count), and folds the
+/// resulting `NetworkReport`s into per-axis marginal summaries: lifetime
+/// percentiles, goodput, drop rate, bus utilization.
+///
+/// Grid order contract (tests assert it): points enumerate the axes as
+/// nested loops with `node_counts` outermost and `seeds` innermost —
+///   for n in node_counts / for m in macs / for x in mixes /
+///   for h in harvests / for b in buses / for s in seeds
+/// and `FleetPoint::seed = SweepRunner::point_seed(s, flat_index)`, so
+/// sibling points never share an RNG stream even when the seed axis holds a
+/// single value.
+///
+/// A `FleetPoint` is self-contained: `run_fleet_point(point)` is a pure
+/// function that builds its own link (owned by the `NetworkSim` — no shared
+/// `comm::Link` lifetime to manage), its own simulator, runs it, and
+/// returns the report. That purity is what makes the fan-out trivially
+/// deterministic.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "comm/tdma.hpp"
+#include "core/sweep_runner.hpp"
+#include "energy/harvester.hpp"
+#include "net/network_sim.hpp"
+#include "net/session.hpp"
+
+namespace iob::core {
+
+/// Which body-bus link a point instantiates. Each point constructs and owns
+/// its link, so grid points never share mutable or lifetime-coupled state.
+/// Note the MAC slot must fit the mix's frame size on the chosen link
+/// (`TdmaBus` enforces it): the 1 ms default slot fits 240-byte frames on
+/// Wi-R's 4 Mb/s PHY but not on BLE/NFMI/ULP-Wi-R rates — pair slower buses
+/// with wider slots or smaller frames.
+enum class BusKind { kWiR, kWiRUlp, kBle, kNfmi };
+
+[[nodiscard]] std::string to_string(BusKind kind);
+
+/// Factory for the link a `BusKind` names, with that link's default params.
+[[nodiscard]] std::unique_ptr<const comm::Link> make_bus_link(BusKind kind);
+
+/// One leaf class inside a population mix. `base.name` is used as a prefix;
+/// node i of a fleet point gets the class at position i mod (sum of shares)
+/// in the share-expanded class sequence, name `<prefix>-<i>` and stream
+/// `<prefix>-<i>` (unless `base.stream` is set to something other than the
+/// `NodeConfig` default, which pins all nodes of the class to one shared
+/// stream tag). An optional hub session is registered per node stream (its
+/// `stream` field is overwritten).
+struct NodeClassSpec {
+  net::NodeConfig base;
+  unsigned share = 1;
+  std::optional<net::SessionConfig> session{};
+};
+
+/// A labelled leaf population recipe (one value on the mix axis).
+struct NodeMix {
+  std::string label;
+  std::vector<NodeClassSpec> classes;
+};
+
+/// A labelled MAC configuration (one value on the MAC axis).
+struct MacVariant {
+  std::string label;
+  comm::TdmaConfig config{};
+};
+
+/// A labelled harvesting profile applied to every node of a point;
+/// `std::nullopt` leaves each class's own `base.harvester` in force.
+struct HarvestVariant {
+  std::string label;
+  std::optional<energy::HarvesterParams> harvester{};
+};
+
+/// The declarative grid. Every axis must be non-empty; `mixes` has no
+/// default because a population recipe is the one axis with no sane
+/// universal value.
+struct FleetAxes {
+  std::vector<int> node_counts{4};
+  std::vector<MacVariant> macs{{"tdma-default", {}}};
+  std::vector<NodeMix> mixes{};
+  std::vector<HarvestVariant> harvests{{"none", std::nullopt}};
+  std::vector<BusKind> buses{BusKind::kWiR};
+  std::vector<std::uint64_t> seeds{42};
+  double duration_s = 5.0;  ///< simulated seconds per point
+
+  /// Number of grid points (product of axis sizes).
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// Index of each axis inside `FleetPoint::coord`.
+enum FleetAxis : std::size_t {
+  kAxisNodeCount = 0,
+  kAxisMac,
+  kAxisMix,
+  kAxisHarvest,
+  kAxisBus,
+  kAxisSeed,
+  kAxisCount,
+};
+
+[[nodiscard]] std::string to_string(FleetAxis axis);
+
+/// One expanded grid point: a plain value type carrying everything needed
+/// to build and run a `NetworkSim`, with no references into the axes.
+struct FleetPoint {
+  std::size_t index = 0;                       ///< flat grid index
+  std::array<std::size_t, kAxisCount> coord{}; ///< per-axis value indices
+  int node_count = 1;
+  MacVariant mac{};
+  NodeMix mix{};
+  HarvestVariant harvest{};
+  BusKind bus = BusKind::kWiR;
+  std::uint64_t seed = 0;   ///< SweepRunner::point_seed(seed_axis_value, index)
+  double duration_s = 5.0;
+};
+
+/// The leaf configuration point `p` assigns to node `i` (class selection by
+/// share-weighted round robin, harvest override, name/stream suffixing).
+[[nodiscard]] net::NodeConfig fleet_node_config(const FleetPoint& p, int i);
+
+/// Build (but do not run) the simulation a point describes. The returned
+/// `NetworkSim` owns its link.
+[[nodiscard]] std::unique_ptr<net::NetworkSim> build_fleet_point(const FleetPoint& p);
+
+/// Per-point outcome: the full report plus the derived scalars the
+/// aggregation consumes.
+struct FleetPointResult {
+  std::size_t index = 0;
+  std::array<std::size_t, kAxisCount> coord{};
+  net::NetworkReport report{};
+  double drop_rate = 0.0;          ///< dropped / (delivered + dropped), 0 if idle
+  double mean_latency_s = 0.0;     ///< mean over nodes of per-node mean latency
+  double mean_leaf_power_w = 0.0;
+  double min_life_days = 0.0;      ///< weakest node (+inf only if no node ever drains)
+  double perpetual_fraction = 0.0; ///< fraction of nodes with life > 1 y (energy::is_perpetual)
+};
+
+/// Run one grid point start to finish. Pure: depends only on `p`.
+[[nodiscard]] FleetPointResult run_fleet_point(const FleetPoint& p);
+
+/// Canonical serialization of a result vector (header + one CSV row per
+/// point, doubles as round-trip-exact %.17g). Two runs are byte-identical
+/// iff these strings are equal — the form the determinism tests compare.
+[[nodiscard]] std::string fleet_results_csv(const std::vector<FleetPointResult>& results);
+
+/// Marginal aggregate over one set of points (one axis value, or the whole
+/// grid). Lifetime percentiles are taken over every node-lifetime sample in
+/// the set (+inf samples sort last, so a mostly-perpetual cell reports +inf
+/// percentiles); the remaining metrics are unweighted means over points.
+struct AxisCell {
+  std::string label;
+  std::size_t points = 0;
+  double life_p10_days = 0.0;
+  double life_p50_days = 0.0;
+  double life_p90_days = 0.0;
+  double perpetual_fraction = 0.0;
+  double mean_goodput_bps = 0.0;
+  double mean_drop_rate = 0.0;
+  double mean_latency_s = 0.0;
+  double mean_bus_utilization = 0.0;
+};
+
+/// Aggregated view of a fleet run: one overall cell plus, per axis, one
+/// cell per axis value (marginalized over every other axis).
+struct FleetSummary {
+  std::size_t total_points = 0;
+  AxisCell overall{};
+  /// (axis name, cells in axis-value order).
+  std::vector<std::pair<std::string, std::vector<AxisCell>>> axes;
+
+  /// Console rendering (one table per axis with >= 2 values).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Linear-interpolation percentile (q in [0,1]) over unsorted samples.
+/// Deterministic; +inf-aware (never produces NaN from inf interpolation).
+/// Exposed for the hand-computed-aggregate tests.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+class Fleet {
+ public:
+  explicit Fleet(FleetAxes axes);
+
+  [[nodiscard]] const FleetAxes& axes() const { return axes_; }
+  [[nodiscard]] std::size_t size() const { return axes_.size(); }
+
+  /// Expand the axes into the flat, ordered grid (see the order contract in
+  /// the file comment).
+  [[nodiscard]] std::vector<FleetPoint> expand() const;
+
+  /// Run every point across `runner`. Deterministic: the result vector is
+  /// byte-identical at every thread count.
+  [[nodiscard]] std::vector<FleetPointResult> run(const SweepRunner& runner) const;
+
+  /// Fold per-point results into per-axis marginal summaries.
+  [[nodiscard]] FleetSummary summarize(const std::vector<FleetPointResult>& results) const;
+
+ private:
+  FleetAxes axes_;
+};
+
+}  // namespace iob::core

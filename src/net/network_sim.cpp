@@ -9,8 +9,26 @@
 
 namespace iob::net {
 
+namespace {
+
+std::unique_ptr<const comm::Link> require_link(std::unique_ptr<const comm::Link> link) {
+  IOB_EXPECTS(link != nullptr, "owning NetworkSim needs a non-null link");
+  return link;
+}
+
+}  // namespace
+
 NetworkSim::NetworkSim(const comm::Link& link, NetworkConfig config)
     : sim_(config.seed), link_(link), bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr) {
+  trace_.enable(config.trace);
+  hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
+}
+
+NetworkSim::NetworkSim(std::unique_ptr<const comm::Link> link, NetworkConfig config)
+    : sim_(config.seed),
+      owned_link_(require_link(std::move(link))),
+      link_(*owned_link_),
+      bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr) {
   trace_.enable(config.trace);
   hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
 }
@@ -28,6 +46,11 @@ NetworkReport NetworkSim::run(double duration_s) {
   IOB_EXPECTS(duration_s > 0, "duration must be positive");
   IOB_EXPECTS(!nodes_.empty(), "network needs at least one node");
   ran_ = true;
+
+  // Pre-size the event queue for the steady-state pending population (see
+  // the kEventsBase/kEventsPerNode comment in the header) so warm-up never
+  // reallocates the slab or heap.
+  sim_.reserve_events(kEventsBase + kEventsPerNode * nodes_.size());
 
   bus_.start(0.0);
   sim_.run_until(duration_s);

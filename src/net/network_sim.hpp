@@ -55,6 +55,12 @@ class NetworkSim {
   ///        the simulation)
   NetworkSim(const comm::Link& link, NetworkConfig config = {});
 
+  /// Owning overload: the simulation takes the link with it, so a value-type
+  /// point spec (e.g. `core::FleetPoint`) can build a self-contained sim
+  /// with no external lifetime to manage. Used by the fleet harness, where
+  /// thousands of points each construct their own link.
+  explicit NetworkSim(std::unique_ptr<const comm::Link> link, NetworkConfig config = {});
+
   /// Add a leaf node; returns its index.
   std::size_t add_node(NodeConfig config);
 
@@ -72,8 +78,18 @@ class NetworkSim {
   [[nodiscard]] const sim::TraceSink& trace() const { return trace_; }
 
  private:
+  /// Event-queue warm-up sizing used by `run()` (via `EventQueue::reserve`):
+  /// steady state holds ~2 pending events per node (one traffic-source
+  /// occurrence + one energy-settle occurrence) plus the superframe chain
+  /// and hub/trace bookkeeping, so `kEventsBase + kEventsPerNode * nodes`
+  /// pre-sizes the slab/heap with ~2x headroom for ARQ retry and downlink
+  /// bursts — the warm-up phase of even a large network never reallocates.
+  static constexpr std::size_t kEventsBase = 16;
+  static constexpr std::size_t kEventsPerNode = 4;
+
   sim::Simulator sim_;
   sim::TraceSink trace_;
+  std::unique_ptr<const comm::Link> owned_link_;  ///< set by the owning ctor
   const comm::Link& link_;
   comm::TdmaBus bus_;
   std::unique_ptr<Hub> hub_;
