@@ -51,8 +51,18 @@ void* operator new(std::size_t size) {
   return p;
 }
 
+// The interposed operator new above allocates with malloc, so free() here
+// IS the matched deallocator; the compiler cannot see through the global
+// replacement and flags new/free pairs at inlined call sites.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 

@@ -99,6 +99,7 @@ void TdmaBus::run_superframe() {
   }
 
   stats_.elapsed_s = (cursor - started_at_);
+  if (on_superframe_end_) on_superframe_end_(cursor);
   sim_.at(cursor, [this] { run_superframe(); });
 }
 

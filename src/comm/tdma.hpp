@@ -62,6 +62,15 @@ class TdmaBus {
   /// Invoked at the destination leaf for every delivered downlink frame.
   void set_downlink_handler(DeliveryHandler handler) { on_downlink_ = std::move(handler); }
 
+  /// Invoked once per completed superframe with the boundary time (the end
+  /// of the last slot) — the hub's batched inference engine flushes its
+  /// staged streams here. Runs after every delivery of that superframe and
+  /// before the next superframe is scheduled.
+  using SuperframeHandler = std::function<void(sim::Time)>;
+  void set_superframe_end_handler(SuperframeHandler handler) {
+    on_superframe_end_ = std::move(handler);
+  }
+
   /// Begin the superframe schedule at sim-time `t0`.
   void start(sim::Time t0 = 0.0);
 
@@ -95,6 +104,7 @@ class TdmaBus {
   MacStats stats_;
   DeliveryHandler on_delivery_;
   DeliveryHandler on_downlink_;
+  SuperframeHandler on_superframe_end_;
   bool running_ = false;
   sim::Rng rng_;
   sim::Time started_at_ = 0.0;

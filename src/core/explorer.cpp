@@ -141,4 +141,26 @@ double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::Cos
   return lo;
 }
 
+std::vector<HubBatchPoint> hub_batching_curve(std::uint64_t macs_per_inference,
+                                              std::uint64_t weight_bytes,
+                                              double energy_per_mac_j,
+                                              double energy_per_weight_byte_j,
+                                              const std::vector<unsigned>& batch_sizes) {
+  IOB_EXPECTS(energy_per_mac_j >= 0 && energy_per_weight_byte_j >= 0,
+              "energy coefficients must be non-negative");
+  const double per_sample_j = static_cast<double>(macs_per_inference) * energy_per_mac_j;
+  const double weight_j = static_cast<double>(weight_bytes) * energy_per_weight_byte_j;
+  std::vector<HubBatchPoint> curve;
+  curve.reserve(batch_sizes.size());
+  for (const unsigned batch : batch_sizes) {
+    IOB_EXPECTS(batch >= 1, "batch sizes must be >= 1");
+    HubBatchPoint p;
+    p.batch = batch;
+    p.weight_share_j = weight_j / static_cast<double>(batch);
+    p.energy_per_inference_j = per_sample_j + p.weight_share_j;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
 }  // namespace iob::core

@@ -85,4 +85,21 @@ double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::Cos
                                           const SweepRunner& runner, double lo_j = 1e-13,
                                           double hi_j = 1e-6);
 
+/// One point on the hub-batching amortization curve: at batch size N, each
+/// inference pays `weight_share_j = weight_cost / N` on top of its fixed
+/// per-sample MAC cost.
+struct HubBatchPoint {
+  unsigned batch = 1;
+  double energy_per_inference_j = 0.0;
+  double weight_share_j = 0.0;  ///< amortized weight-streaming component
+};
+
+/// Analytic form of the superframe-batched hub engine (`net::Hub` with
+/// `batch_window > 0`): energy/inference vs batch size for a model with
+/// `macs_per_inference` MACs and `weight_bytes` of int8 weights. The
+/// batching axis the design-space sweeps and `bench_hub_batching` plot.
+[[nodiscard]] std::vector<HubBatchPoint> hub_batching_curve(
+    std::uint64_t macs_per_inference, std::uint64_t weight_bytes, double energy_per_mac_j,
+    double energy_per_weight_byte_j, const std::vector<unsigned>& batch_sizes);
+
 }  // namespace iob::core

@@ -17,7 +17,8 @@
 /// Grid order contract (tests assert it): points enumerate the axes as
 /// nested loops with `node_counts` outermost and `seeds` innermost —
 ///   for n in node_counts / for m in macs / for x in mixes /
-///   for h in harvests / for b in buses / for s in seeds
+///   for h in harvests / for b in buses / for w in batch_windows /
+///   for s in seeds
 /// and `FleetPoint::seed = SweepRunner::point_seed(s, flat_index)`, so
 /// sibling points never share an RNG stream even when the seed axis holds a
 /// single value.
@@ -99,6 +100,10 @@ struct FleetAxes {
   std::vector<NodeMix> mixes{};
   std::vector<HarvestVariant> harvests{{"none", std::nullopt}};
   std::vector<BusKind> buses{BusKind::kWiR};
+  /// Hub batching axis (`HubConfig::batch_window`): 0 = per-frame path,
+  /// K >= 1 = one batched flush every K superframes. Lets grids sweep
+  /// batched vs unbatched hub inference.
+  std::vector<unsigned> batch_windows{0};
   std::vector<std::uint64_t> seeds{42};
   double duration_s = 5.0;  ///< simulated seconds per point
 
@@ -113,6 +118,7 @@ enum FleetAxis : std::size_t {
   kAxisMix,
   kAxisHarvest,
   kAxisBus,
+  kAxisBatch,
   kAxisSeed,
   kAxisCount,
 };
@@ -129,6 +135,7 @@ struct FleetPoint {
   NodeMix mix{};
   HarvestVariant harvest{};
   BusKind bus = BusKind::kWiR;
+  unsigned batch_window = 0;  ///< HubConfig::batch_window for this point
   std::uint64_t seed = 0;   ///< SweepRunner::point_seed(seed_axis_value, index)
   double duration_s = 5.0;
 };

@@ -1,5 +1,6 @@
 #include "net/hub.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/expect.hpp"
@@ -9,17 +10,41 @@ namespace iob::net {
 Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
     : sim_(sim), bus_(bus), config_(config) {
   IOB_EXPECTS(config_.energy_per_mac_j >= 0, "energy per MAC must be non-negative");
+  IOB_EXPECTS(config_.energy_per_weight_byte_j >= 0,
+              "energy per weight byte must be non-negative");
   bus_.set_delivery_handler(
       [this](const comm::Frame& f, sim::Time t) { on_frame(f, t); });
+  if (config_.batch_window > 0) {
+    bus_.set_superframe_end_handler([this](sim::Time t) { on_superframe_end(t); });
+  }
 }
 
 void Hub::add_session(SessionConfig config) {
   IOB_EXPECTS(!config.stream.empty(), "session stream tag must be non-empty");
   IOB_EXPECTS(config.bytes_per_inference > 0, "bytes per inference must be positive");
   const std::string key = config.stream;
+  // Group key: shared model tag, or a per-stream private group. The "~"
+  // prefix keeps private keys out of any user model namespace.
+  const std::string group = config.model.empty() ? "~stream:" + key : config.model;
   session_configs_[key] = std::move(config);
   session_stats_[key];   // default-construct
-  window_bytes_[key] = 0;
+  staged_[key];
+  // Re-registering a stream (possibly under a new model tag) must leave it
+  // in exactly one group, or flush/energy accounting would double-count.
+  for (auto& [g, streams] : groups_) {
+    if (g == group) continue;
+    streams.erase(std::remove(streams.begin(), streams.end(), key), streams.end());
+  }
+  groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
+                               [](const auto& g) { return g.second.empty(); }),
+                groups_.end());
+  auto it = std::find_if(groups_.begin(), groups_.end(),
+                         [&](const auto& g) { return g.first == group; });
+  if (it == groups_.end()) {
+    groups_.emplace_back(group, std::vector<std::string>{key});
+  } else if (std::find(it->second.begin(), it->second.end(), key) == it->second.end()) {
+    it->second.push_back(key);
+  }
 }
 
 void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
@@ -33,15 +58,98 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
   SessionStats& st = session_stats_[frame.stream];
   st.bytes_in += frame.payload_bytes;
 
-  auto& window = window_bytes_[frame.stream];
-  window += frame.payload_bytes;
-  while (window >= cfg.bytes_per_inference) {
-    window -= cfg.bytes_per_inference;
+  Staged& staged = staged_[frame.stream];
+  staged.pending_bytes += frame.payload_bytes;
+  if (config_.batch_window > 0) {
+    // Batched path: stage until the superframe flush.
+    staged.frame_times.push_back(delivered_at);
+    return;
+  }
+
+  // Per-frame path: run as soon as a window fills, re-streaming weights for
+  // every inference (the cost batching amortizes).
+  while (staged.pending_bytes >= cfg.bytes_per_inference) {
+    staged.pending_bytes -= cfg.bytes_per_inference;
     ++st.inferences;
-    st.compute_energy_j += static_cast<double>(cfg.macs_per_inference) * config_.energy_per_mac_j;
+    // Single-expression add: with weight_bytes == 0 the sum is bit-identical
+    // to the historical macs-only charge, and with batch_window == 1 a
+    // one-inference flush accumulates the exact same double.
+    st.compute_energy_j +=
+        static_cast<double>(cfg.macs_per_inference) * config_.energy_per_mac_j +
+        static_cast<double>(cfg.weight_bytes) * config_.energy_per_weight_byte_j;
     if (cfg.forward_to_cloud) {
       st.uplink_energy_j +=
           static_cast<double>(cfg.result_bytes) * 8.0 * config_.uplink_energy_per_bit_j;
+    }
+  }
+}
+
+void Hub::flush_pending(sim::Time now) {
+  if (config_.batch_window == 0) return;
+  superframes_since_flush_ = 0;
+  flush_batches(now);
+}
+
+void Hub::on_superframe_end(sim::Time boundary) {
+  if (++superframes_since_flush_ < config_.batch_window) return;
+  superframes_since_flush_ = 0;
+  flush_batches(boundary);
+}
+
+void Hub::flush_batches(sim::Time boundary) {
+  for (const auto& [group, streams] : groups_) {
+    (void)group;
+    // Pass 1: staged inference count per member and the group's weight
+    // footprint (members share a model; max() tolerates config drift).
+    std::uint64_t total = 0;
+    std::uint64_t weight_bytes = 0;
+    for (const std::string& stream : streams) {
+      const SessionConfig& cfg = session_configs_[stream];
+      total += staged_[stream].pending_bytes / cfg.bytes_per_inference;
+      weight_bytes = std::max(weight_bytes, cfg.weight_bytes);
+    }
+
+    // Staging delay is charged at every flush: each staged frame waited
+    // from delivery to this boundary whether or not its window filled. The
+    // clamp covers the end-of-run flush, where the final superframe's
+    // deliveries carry timestamps past the run horizon (zero wait, never
+    // negative).
+    for (const std::string& stream : streams) {
+      Staged& staged = staged_[stream];
+      if (staged.frame_times.empty()) continue;
+      SessionStats& st = session_stats_[stream];
+      for (const sim::Time t : staged.frame_times) {
+        st.queued_latency_s.add(std::max(0.0, boundary - t));
+      }
+      staged.frame_times.clear();
+    }
+
+    if (total == 0) continue;
+    ++batched_passes_;
+
+    // Pass 2: one batched model pass of size `total`. Weights stream once;
+    // each session pays its sample MACs plus its share of the weight cost.
+    const double weight_energy_j =
+        static_cast<double>(weight_bytes) * config_.energy_per_weight_byte_j;
+    for (const std::string& stream : streams) {
+      const SessionConfig& cfg = session_configs_[stream];
+      Staged& staged = staged_[stream];
+      const std::uint64_t n = staged.pending_bytes / cfg.bytes_per_inference;
+      if (n == 0) continue;
+      staged.pending_bytes -= n * cfg.bytes_per_inference;
+      SessionStats& st = session_stats_[stream];
+      st.inferences += n;
+      st.batched_inferences += n;
+      ++st.batched_passes;
+      const double energy =
+          static_cast<double>(n * cfg.macs_per_inference) * config_.energy_per_mac_j +
+          weight_energy_j * (static_cast<double>(n) / static_cast<double>(total));
+      st.compute_energy_j += energy;
+      st.batched_compute_energy_j += energy;
+      if (cfg.forward_to_cloud) {
+        st.uplink_energy_j += static_cast<double>(n) * static_cast<double>(cfg.result_bytes) *
+                              8.0 * config_.uplink_energy_per_bit_j;
+      }
     }
   }
 }
@@ -55,8 +163,12 @@ const SessionStats& Hub::session(const std::string& stream) const {
 double Hub::energy_j() const {
   double e = bus_.stats().hub_rx_energy_j + bus_.stats().hub_tx_energy_j +
              config_.base_power_w * sim_.now();
-  for (const auto& [stream, st] : session_stats_) {
-    e += st.compute_energy_j + st.uplink_energy_j;
+  for (const auto& [group, streams] : groups_) {
+    (void)group;
+    for (const std::string& stream : streams) {
+      const auto it = session_stats_.find(stream);
+      e += it->second.compute_energy_j + it->second.uplink_energy_j;
+    }
   }
   return e;
 }

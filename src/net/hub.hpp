@@ -6,9 +6,22 @@
 /// daily-charging battery; its energy ledger (bus RX/TX + compute + uplink)
 /// is tracked so the architecture comparison can show the *system* cost,
 /// not just the leaf savings.
+///
+/// Two inference paths:
+///  * per-frame (`batch_window == 0`, the legacy default): every time a
+///    stream's staged bytes cross its window, one inference runs
+///    immediately, re-streaming the model weights each time.
+///  * superframe-batched (`batch_window == K >= 1`): deliveries stage per
+///    stream tag; every K TDMA superframes the hub folds all sessions
+///    sharing a model into one batched pass (`nn::Model::run_batched` is
+///    the executable counterpart), attributing per-session energy as
+///    `weight_cost / batch + per_sample_cost` and recording the staging
+///    delay in `SessionStats::queued_latency_s`.
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "comm/tdma.hpp"
@@ -22,6 +35,11 @@ struct HubConfig {
   double energy_per_mac_j = 5e-12;   ///< hub silicon efficiency
   double uplink_energy_per_bit_j = 30e-9;  ///< Wi-Fi-class
   double base_power_w = 50e-3;       ///< SoC idle/display/OS floor
+  /// Superframes staged per batched flush; 0 keeps the per-frame path.
+  unsigned batch_window = 0;
+  /// int8 weight-streaming cost per byte (DRAM-class), paid once per model
+  /// pass. Only sessions with `weight_bytes > 0` are affected.
+  double energy_per_weight_byte_j = 50e-12;
 };
 
 class Hub {
@@ -34,10 +52,19 @@ class Hub {
   /// Register an inference session for a stream tag.
   void add_session(SessionConfig config);
 
+  /// Fold any still-staged windows into a final (possibly smaller) batched
+  /// pass. `NetworkSim::run` calls this once after the bus stops so work
+  /// staged in the last incomplete batch window is measured, not dropped.
+  /// No-op on the per-frame path or when nothing is staged.
+  void flush_pending(sim::Time now);
+
   [[nodiscard]] const SessionStats& session(const std::string& stream) const;
   [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
   [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
   [[nodiscard]] const sim::Accumulator& delivery_latency_s() const { return latency_s_; }
+
+  /// Batched model passes executed so far (0 on the per-frame path).
+  [[nodiscard]] std::uint64_t batched_passes() const { return batched_passes_; }
 
   /// Total hub energy (J) up to now: bus RX/TX + sessions + base floor.
   [[nodiscard]] double energy_j() const;
@@ -48,14 +75,29 @@ class Hub {
   [[nodiscard]] const HubConfig& config() const { return config_; }
 
  private:
+  /// Per-stream staging state. `pending_bytes` is the not-yet-inferred
+  /// carry on both paths; `frame_times` only fills when batching.
+  struct Staged {
+    std::uint64_t pending_bytes = 0;
+    std::vector<sim::Time> frame_times;
+  };
+
   void on_frame(const comm::Frame& frame, sim::Time delivered_at);
+  void on_superframe_end(sim::Time boundary);
+  void flush_batches(sim::Time boundary);
 
   sim::Simulator& sim_;
   comm::TdmaBus& bus_;
   HubConfig config_;
   std::unordered_map<std::string, SessionConfig> session_configs_;
   std::unordered_map<std::string, SessionStats> session_stats_;
-  std::unordered_map<std::string, std::uint64_t> window_bytes_;
+  std::unordered_map<std::string, Staged> staged_;
+  /// Model groups in insertion order: (group key, member stream tags).
+  /// Iterated at flush so energy accumulation order is deterministic and
+  /// compiler-independent (never hash-map order).
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups_;
+  unsigned superframes_since_flush_ = 0;
+  std::uint64_t batched_passes_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   sim::Accumulator latency_s_;

@@ -55,6 +55,7 @@ NetworkReport NetworkSim::run(double duration_s) {
   bus_.start(0.0);
   sim_.run_until(duration_s);
   bus_.stop();
+  hub_->flush_pending(sim_.now());  // last incomplete batch window still counts
 
   NetworkReport report;
   report.elapsed_s = sim_.now();

@@ -15,6 +15,7 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
   IOB_EXPECTS(config_.output_rate_bps > 0, "output rate must be positive");
   IOB_EXPECTS(config_.frame_bytes > 0, "frame size must be positive");
   IOB_EXPECTS(config_.settle_period_s > 0, "settle period must be positive");
+  IOB_EXPECTS(config_.phase_s >= 0, "traffic phase must be non-negative");
 
   if (config_.harvester) harvester_.emplace(*config_.harvester);
 
@@ -32,7 +33,8 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
         f.created_s = t;
         f.stream = config_.stream;
         bus_.enqueue(mac_id_, std::move(f));
-      });
+      },
+      config_.phase_s);
 
   // Energy-ledger settlement.
   sim_.every(config_.settle_period_s, config_.settle_period_s, [this](sim::Time) { settle(); });

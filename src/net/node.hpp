@@ -29,6 +29,11 @@ struct NodeConfig {
   double isa_power_w = 0.0;           ///< in-sensor analytics power
   double output_rate_bps = 6000.0;    ///< traffic after ISA
   std::uint32_t frame_bytes = 240;
+  /// Traffic-source start offset (s): real sensors are not phase-locked, so
+  /// staggering leaves spreads frame arrivals across superframes (and is
+  /// what makes the hub's staged batch size track the batch window rather
+  /// than snapping to the population size).
+  double phase_s = 0.0;
   unsigned slot_weight = 1;           ///< TDMA slots per superframe (rate-proportional)
   double battery_mah = 1000.0;        ///< Fig. 3 default coin cell
   double battery_v = 3.0;

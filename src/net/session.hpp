@@ -4,9 +4,19 @@
 /// delivered stream. A session accumulates payload bytes and triggers one
 /// model inference per `bytes_per_inference` (e.g. one KWS pass per audio
 /// window), charging hub compute energy and tracking inference latency.
+///
+/// Compute energy has two components: the per-sample MAC cost and the int8
+/// weight-streaming cost (`weight_bytes`). In the per-frame path the
+/// weights are re-streamed for every inference; the hub's superframe
+/// batching engine folds concurrent sessions that share a `model` into one
+/// batched pass, so each inference in a batch of N pays only
+/// `weight_cost / N + per_sample_cost` — the server-side batching
+/// amortization, on-body.
 
 #include <cstdint>
 #include <string>
+
+#include "sim/stats.hpp"
 
 namespace iob::net {
 
@@ -16,13 +26,29 @@ struct SessionConfig {
   std::uint64_t bytes_per_inference = 1;  ///< window size triggering a pass
   bool forward_to_cloud = false;      ///< uplink results (adds hub TX energy)
   std::uint32_t result_bytes = 16;    ///< classification result size
+  /// Model identity: sessions sharing a non-empty tag fold into one batched
+  /// pass per flush (they run the same network). Empty = private model.
+  std::string model;
+  /// int8 weight footprint streamed per model pass (0 = weight traffic not
+  /// modelled; keeps pre-batching energy numbers bit-identical).
+  std::uint64_t weight_bytes = 0;
 };
 
 struct SessionStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t inferences = 0;
-  double compute_energy_j = 0.0;
+  double compute_energy_j = 0.0;   ///< per-sample MACs + (amortized) weight streaming
   double uplink_energy_j = 0.0;
+  /// Inferences executed through the superframe-batched engine (subset of
+  /// `inferences`; 0 on the per-frame path).
+  std::uint64_t batched_inferences = 0;
+  /// Batched model passes this session participated in.
+  std::uint64_t batched_passes = 0;
+  /// Portion of `compute_energy_j` accrued via batched passes.
+  double batched_compute_energy_j = 0.0;
+  /// Staging delay the batch window adds: delivery -> superframe flush,
+  /// one sample per staged frame.
+  sim::Accumulator queued_latency_s;
 };
 
 }  // namespace iob::net

@@ -17,6 +17,9 @@ class Conv2D final : public Layer {
          Padding padding, std::vector<float> weights, std::vector<float> bias);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  /// Batched pass over [N, H, W, C]: the kernel tensor streams once per
+  /// output position across the whole batch.
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -36,6 +39,7 @@ class DepthwiseConv2D final : public Layer {
                   std::vector<float> weights, std::vector<float> bias);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -53,6 +57,7 @@ class Conv1D final : public Layer {
          std::vector<float> weights, std::vector<float> bias);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;

@@ -21,6 +21,14 @@ class Layer {
   /// Execute the layer.
   [[nodiscard]] virtual Tensor forward(const Tensor& input) const = 0;
 
+  /// Execute the layer over a batched input whose leading dim is the batch
+  /// (shape [N, ...sample]). Per-sample results are bit-identical to
+  /// `forward` on each sample — batching changes memory traffic, never
+  /// arithmetic order within a sample. The base implementation loops
+  /// samples; layers with weights override it to amortize weight reads
+  /// across the batch.
+  [[nodiscard]] virtual Tensor forward_batched(const Tensor& input, int batch) const;
+
   /// Output shape for an input shape (throws on incompatible input).
   [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
 

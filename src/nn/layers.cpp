@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -9,6 +10,25 @@
 #include "common/expect.hpp"
 
 namespace iob::nn {
+
+// ---- Layer (generic batched fallback) ---------------------------------------
+
+Tensor Layer::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  const Shape sample_shape(input.shape().begin() + 1, input.shape().end());
+  const Shape out_sample = output_shape(sample_shape);
+  Shape out_shape{batch};
+  out_shape.insert(out_shape.end(), out_sample.begin(), out_sample.end());
+  Tensor out(out_shape);
+  const std::int64_t out_stride = shape_elems(out_sample);
+  for (int s = 0; s < batch; ++s) {
+    const Tensor y = forward(input.batch_item(s));
+    std::copy(y.data(), y.data() + out_stride,
+              out.data() + static_cast<std::ptrdiff_t>(s) * out_stride);
+  }
+  return out;
+}
 
 // ---- FullyConnected ---------------------------------------------------------
 
@@ -33,6 +53,27 @@ Tensor FullyConnected::forward(const Tensor& input) const {
     const float* w = &weights_[static_cast<std::size_t>(o) * in_features_];
     for (int i = 0; i < in_features_; ++i) acc += w[i] * input[i];
     out[o] = acc;
+  }
+  return out;
+}
+
+Tensor FullyConnected::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  IOB_EXPECTS(input.size() == static_cast<std::int64_t>(batch) * in_features_,
+              "fc batched input size mismatch");
+  Tensor out(Shape{batch, out_features_});
+  // Weight rows stream once per batch (o outer, sample inner) — the
+  // amortization the hub's batched pass models. Per-(sample, output)
+  // accumulation order matches forward() exactly.
+  for (int o = 0; o < out_features_; ++o) {
+    const float* w = &weights_[static_cast<std::size_t>(o) * in_features_];
+    for (int s = 0; s < batch; ++s) {
+      const float* x = input.data() + static_cast<std::ptrdiff_t>(s) * in_features_;
+      float acc = bias_[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_features_; ++i) acc += w[i] * x[i];
+      out[static_cast<std::int64_t>(s) * out_features_ + o] = acc;
+    }
   }
   return out;
 }
@@ -69,6 +110,12 @@ Tensor Relu::forward(const Tensor& input) const {
     out[i] = v;
   }
   return out;
+}
+
+Tensor Relu::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  return forward(input);  // elementwise: the batched tensor is just more elements
 }
 
 Shape Relu::output_shape(const Shape& input) const { return input; }
@@ -158,6 +205,12 @@ Tensor Flatten::forward(const Tensor& input) const {
   return input.reshaped(Shape{static_cast<int>(input.size())});
 }
 
+Tensor Flatten::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  return input.reshaped(Shape{batch, static_cast<int>(input.size() / batch)});
+}
+
 Shape Flatten::output_shape(const Shape& input) const {
   return Shape{static_cast<int>(shape_elems(input))};
 }
@@ -202,6 +255,14 @@ Tensor BatchNorm::forward(const Tensor& input) const {
   return out;
 }
 
+Tensor BatchNorm::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  // Channels stay the trailing dim under a leading batch dim, so the
+  // per-channel affine applies to the batched tensor unchanged.
+  return forward(input);
+}
+
 std::uint64_t BatchNorm::macs(const Shape& input) const {
   return static_cast<std::uint64_t>(shape_elems(input));
 }
@@ -214,17 +275,37 @@ std::string BatchNorm::describe() const {
 
 // ---- Softmax ----------------------------------------------------------------
 
+namespace {
+
+/// Numerically-stable softmax over one contiguous sample, in place. The
+/// single implementation behind forward and forward_batched keeps their
+/// bit-exactness contract by construction.
+void softmax_inplace(float* x, std::int64_t n) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < n; ++i) mx = std::max(mx, x[i]);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    sum += x[i];
+  }
+  for (std::int64_t i = 0; i < n; ++i) x[i] = static_cast<float>(x[i] / sum);
+}
+
+}  // namespace
+
 Tensor Softmax::forward(const Tensor& input) const {
   Tensor out = input;
-  float mx = -std::numeric_limits<float>::infinity();
-  for (std::int64_t i = 0; i < out.size(); ++i) mx = std::max(mx, out[i]);
-  double sum = 0.0;
-  for (std::int64_t i = 0; i < out.size(); ++i) {
-    out[i] = std::exp(out[i] - mx);
-    sum += out[i];
-  }
-  for (std::int64_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<float>(out[i] / sum);
+  softmax_inplace(out.data(), out.size());
+  return out;
+}
+
+Tensor Softmax::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  Tensor out = input;
+  const std::int64_t stride = out.size() / batch;
+  for (int s = 0; s < batch; ++s) {
+    softmax_inplace(out.data() + static_cast<std::ptrdiff_t>(s) * stride, stride);
   }
   return out;
 }

@@ -16,6 +16,8 @@ class FullyConnected final : public Layer {
                  std::vector<float> bias);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  /// Batched pass streaming each weight row once across the batch.
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -32,6 +34,7 @@ class Relu final : public Layer {
   explicit Relu(float cap = 0.0f);  ///< cap <= 0 means uncapped
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
@@ -73,6 +76,7 @@ class GlobalAvgPool final : public Layer {
 class Flatten final : public Layer {
  public:
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override { (void)input; return 0; }
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
@@ -94,6 +98,7 @@ class BatchNorm final : public Layer {
                         float eps = 1e-5f);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -107,6 +112,7 @@ class BatchNorm final : public Layer {
 class Softmax final : public Layer {
  public:
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }

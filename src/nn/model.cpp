@@ -1,5 +1,6 @@
 #include "nn/model.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -32,6 +33,22 @@ void Model::add(LayerPtr layer) {
 
 Tensor Model::forward(const Tensor& input) const {
   return forward_range(input, 0, layers_.size());
+}
+
+Tensor Model::run_batched(const Tensor& batched_input) const {
+  IOB_EXPECTS(batched_input.rank() == static_cast<int>(input_shape_.size()) + 1,
+              "batched input must add one leading batch dim to the model input shape");
+  const int batch = batched_input.shape()[0];
+  IOB_EXPECTS(std::equal(batched_input.shape().begin() + 1, batched_input.shape().end(),
+                         input_shape_.begin(), input_shape_.end()),
+              "batched input sample shape mismatch");
+  Tensor x = batched_input;
+  for (const auto& layer : layers_) x = layer->forward_batched(x, batch);
+  return x;
+}
+
+std::vector<Tensor> Model::run_batched(const std::vector<Tensor>& inputs) const {
+  return unstack_batch(run_batched(stack_batch(inputs)));
 }
 
 Tensor Model::forward_range(const Tensor& input, std::size_t first, std::size_t last) const {

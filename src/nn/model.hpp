@@ -32,6 +32,15 @@ class Model {
   /// Run the full chain.
   [[nodiscard]] Tensor forward(const Tensor& input) const;
 
+  /// Run the full chain over a batched input (shape [N, ...input_shape]).
+  /// One pass streams each layer's weights once for the whole batch — the
+  /// hub-side amortization move — while per-sample outputs stay bit-exact
+  /// equal to `forward` on each sample.
+  [[nodiscard]] Tensor run_batched(const Tensor& batched_input) const;
+
+  /// Convenience overload: stack, run, unstack.
+  [[nodiscard]] std::vector<Tensor> run_batched(const std::vector<Tensor>& inputs) const;
+
   /// Run layers [first, last) only — the building block for split execution
   /// across leaf/hub/cloud venues. `input` must have the shape produced by
   /// layer first-1 (or the model input for first == 0).

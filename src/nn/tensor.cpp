@@ -60,6 +60,41 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return out;
 }
 
+Tensor Tensor::batch_item(int i) const {
+  IOB_EXPECTS(rank() >= 2, "batch_item needs a leading batch dim");
+  IOB_EXPECTS(i >= 0 && i < shape_[0], "batch index out of range");
+  const Shape sample_shape(shape_.begin() + 1, shape_.end());
+  Tensor out(sample_shape);
+  const std::int64_t stride = out.size();
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i) * stride,
+            data_.begin() + static_cast<std::ptrdiff_t>(i + 1) * stride, out.data_.begin());
+  return out;
+}
+
+Tensor stack_batch(const std::vector<Tensor>& samples) {
+  IOB_EXPECTS(!samples.empty(), "stack_batch needs at least one sample");
+  const Shape& sample_shape = samples.front().shape();
+  IOB_EXPECTS(sample_shape.size() <= 3, "stacked sample rank must be <= 3");
+  Shape batched_shape{static_cast<int>(samples.size())};
+  batched_shape.insert(batched_shape.end(), sample_shape.begin(), sample_shape.end());
+  Tensor out(std::move(batched_shape));
+  const std::int64_t stride = samples.front().size();
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    IOB_EXPECTS(samples[s].shape() == sample_shape, "stack_batch samples must share a shape");
+    std::copy(samples[s].data(), samples[s].data() + stride,
+              out.data() + static_cast<std::ptrdiff_t>(s) * stride);
+  }
+  return out;
+}
+
+std::vector<Tensor> unstack_batch(const Tensor& batched) {
+  IOB_EXPECTS(batched.rank() >= 2, "unstack_batch needs a leading batch dim");
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(batched.shape()[0]));
+  for (int i = 0; i < batched.shape()[0]; ++i) out.push_back(batched.batch_item(i));
+  return out;
+}
+
 double Tensor::max_abs_diff(const Tensor& other) const {
   IOB_EXPECTS(shape_ == other.shape_, "shape mismatch");
   double m = 0.0;

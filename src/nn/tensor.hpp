@@ -53,9 +53,21 @@ class Tensor {
   /// Elementwise maximum |a - b| against another tensor of the same shape.
   [[nodiscard]] double max_abs_diff(const Tensor& other) const;
 
+  /// Copy of sample `i` of a batched tensor (leading dim = batch): shape is
+  /// this tensor's shape minus the leading dim.
+  [[nodiscard]] Tensor batch_item(int i) const;
+
  private:
   Shape shape_;
   std::vector<float> data_;
 };
+
+/// Stack equal-shaped samples into one batched tensor of shape
+/// [N, ...sample]. Sample rank must be <= 3 (the result honors the rank-4
+/// cap). The inverse of repeated `batch_item`.
+[[nodiscard]] Tensor stack_batch(const std::vector<Tensor>& samples);
+
+/// Split a batched tensor (leading dim = batch) back into its samples.
+[[nodiscard]] std::vector<Tensor> unstack_batch(const Tensor& batched);
 
 }  // namespace iob::nn

@@ -40,6 +40,7 @@ core::FleetAxes small_axes() {
   pv.mean_power_w = 50e-6;
   axes.harvests = {{"none", std::nullopt}, {"pv", pv}};
   axes.buses = {core::BusKind::kWiR};
+  axes.batch_windows = {0, 1};
   axes.seeds = {7, 9};
   axes.duration_s = 0.5;
   return axes;
@@ -50,7 +51,7 @@ core::FleetAxes small_axes() {
 TEST(Fleet, ExpansionIsExhaustiveAndOrdered) {
   const core::FleetAxes axes = small_axes();
   const core::Fleet fleet(axes);
-  EXPECT_EQ(fleet.size(), 2u * 2u * 1u * 2u * 1u * 2u);
+  EXPECT_EQ(fleet.size(), 2u * 2u * 1u * 2u * 1u * 2u * 2u);
 
   const std::vector<core::FleetPoint> points = fleet.expand();
   ASSERT_EQ(points.size(), fleet.size());
@@ -62,23 +63,26 @@ TEST(Fleet, ExpansionIsExhaustiveAndOrdered) {
       for (std::size_t xi = 0; xi < axes.mixes.size(); ++xi) {
         for (std::size_t hi = 0; hi < axes.harvests.size(); ++hi) {
           for (std::size_t bi = 0; bi < axes.buses.size(); ++bi) {
-            for (std::size_t si = 0; si < axes.seeds.size(); ++si) {
-              const core::FleetPoint& p = points[idx];
-              EXPECT_EQ(p.index, idx);
-              const std::array<std::size_t, core::kAxisCount> want{ni, mi, xi, hi, bi, si};
-              EXPECT_EQ(p.coord, want);
-              // Every field resolves to the axis value it names.
-              EXPECT_EQ(p.node_count, axes.node_counts[ni]);
-              EXPECT_EQ(p.mac.label, axes.macs[mi].label);
-              EXPECT_EQ(p.mac.config.slot_s, axes.macs[mi].config.slot_s);
-              EXPECT_EQ(p.mix.label, axes.mixes[xi].label);
-              EXPECT_EQ(p.harvest.label, axes.harvests[hi].label);
-              EXPECT_EQ(p.harvest.harvester.has_value(),
-                        axes.harvests[hi].harvester.has_value());
-              EXPECT_EQ(p.bus, axes.buses[bi]);
-              EXPECT_EQ(p.seed, core::SweepRunner::point_seed(axes.seeds[si], idx));
-              EXPECT_EQ(p.duration_s, axes.duration_s);
-              ++idx;
+            for (std::size_t wi = 0; wi < axes.batch_windows.size(); ++wi) {
+              for (std::size_t si = 0; si < axes.seeds.size(); ++si) {
+                const core::FleetPoint& p = points[idx];
+                EXPECT_EQ(p.index, idx);
+                const std::array<std::size_t, core::kAxisCount> want{ni, mi, xi, hi, bi, wi, si};
+                EXPECT_EQ(p.coord, want);
+                // Every field resolves to the axis value it names.
+                EXPECT_EQ(p.node_count, axes.node_counts[ni]);
+                EXPECT_EQ(p.mac.label, axes.macs[mi].label);
+                EXPECT_EQ(p.mac.config.slot_s, axes.macs[mi].config.slot_s);
+                EXPECT_EQ(p.mix.label, axes.mixes[xi].label);
+                EXPECT_EQ(p.harvest.label, axes.harvests[hi].label);
+                EXPECT_EQ(p.harvest.harvester.has_value(),
+                          axes.harvests[hi].harvester.has_value());
+                EXPECT_EQ(p.bus, axes.buses[bi]);
+                EXPECT_EQ(p.batch_window, axes.batch_windows[wi]);
+                EXPECT_EQ(p.seed, core::SweepRunner::point_seed(axes.seeds[si], idx));
+                EXPECT_EQ(p.duration_s, axes.duration_s);
+                ++idx;
+              }
             }
           }
         }
@@ -126,6 +130,18 @@ TEST(Fleet, RejectsEmptyAxes) {
   axes = small_axes();
   axes.node_counts = {0};
   EXPECT_THROW(core::Fleet{axes}, std::invalid_argument);
+  axes = small_axes();
+  axes.batch_windows.clear();
+  EXPECT_THROW(core::Fleet{axes}, std::invalid_argument);
+}
+
+TEST(Fleet, BatchWindowReachesTheHubConfig) {
+  core::FleetAxes axes = small_axes();
+  axes.batch_windows = {3};
+  const core::FleetPoint p = core::Fleet(axes).expand().front();
+  EXPECT_EQ(p.batch_window, 3u);
+  const std::unique_ptr<net::NetworkSim> sim = core::build_fleet_point(p);
+  EXPECT_EQ(sim->hub().config().batch_window, 3u);
 }
 
 // ---- determinism ------------------------------------------------------------

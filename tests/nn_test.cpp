@@ -411,5 +411,72 @@ TEST(Quantize, ParamsCoverRange) {
   EXPECT_LE(p.zero_point, 127);
 }
 
+// ---- Batched inference ------------------------------------------------------
+
+/// Deterministic, sample-dependent fill so batched samples differ.
+Tensor patterned_input(const Shape& shape, int sample) {
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    const auto h = static_cast<std::uint32_t>(i * 2654435761u + sample * 97u);
+    t[i] = static_cast<float>(h % 1000u) / 500.0f - 1.0f;
+  }
+  return t;
+}
+
+TEST(Batched, StackUnstackRoundTrip) {
+  std::vector<Tensor> samples;
+  for (int s = 0; s < 3; ++s) samples.push_back(patterned_input(Shape{4, 5}, s));
+  const Tensor batched = stack_batch(samples);
+  EXPECT_EQ(batched.shape(), (Shape{3, 4, 5}));
+  const std::vector<Tensor> back = unstack_batch(batched);
+  ASSERT_EQ(back.size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(back[static_cast<std::size_t>(s)].max_abs_diff(samples[static_cast<std::size_t>(s)]),
+              0.0);
+    EXPECT_EQ(batched.batch_item(s).max_abs_diff(samples[static_cast<std::size_t>(s)]), 0.0);
+  }
+  EXPECT_THROW(stack_batch({}), std::invalid_argument);
+  EXPECT_THROW(stack_batch({Tensor(Shape{2}), Tensor(Shape{3})}), std::invalid_argument);
+}
+
+TEST(Batched, ZooModelsBitExactAgainstPerSampleForward) {
+  // The determinism contract of the hub's batched pass: batching changes
+  // memory traffic, never per-sample arithmetic. Covers conv2d, depthwise,
+  // conv1d, fc, pooling, batchnorm, relu, softmax across the zoo.
+  const Model models[] = {make_kws_dscnn(), make_ecg_cnn1d(), make_vww_micronet()};
+  for (const Model& m : models) {
+    constexpr int kBatch = 3;
+    std::vector<Tensor> inputs;
+    for (int s = 0; s < kBatch; ++s) inputs.push_back(patterned_input(m.input_shape(), s));
+    const std::vector<Tensor> batched = m.run_batched(inputs);
+    ASSERT_EQ(batched.size(), static_cast<std::size_t>(kBatch)) << m.name();
+    for (int s = 0; s < kBatch; ++s) {
+      const Tensor reference = m.forward(inputs[static_cast<std::size_t>(s)]);
+      EXPECT_EQ(batched[static_cast<std::size_t>(s)].max_abs_diff(reference), 0.0)
+          << m.name() << " sample " << s;
+    }
+  }
+}
+
+TEST(Batched, RejectsShapeMismatch) {
+  const Model m = make_ecg_cnn1d();
+  // Missing batch dim.
+  EXPECT_THROW(m.run_batched(Tensor(m.input_shape())), std::invalid_argument);
+  // Wrong sample shape.
+  EXPECT_THROW(m.run_batched(Tensor(Shape{2, 360, 2})), std::invalid_argument);
+}
+
+TEST(Batched, FullyConnectedBatchedMatchesForward) {
+  std::vector<float> w(6);
+  std::iota(w.begin(), w.end(), 1.0f);  // 2x3: [[1,2,3],[4,5,6]]
+  FullyConnected fc(3, 2, w, {0.5f, -0.5f});
+  const Tensor a = patterned_input(Shape{3}, 0);
+  const Tensor b = patterned_input(Shape{3}, 1);
+  const Tensor batched = fc.forward_batched(stack_batch({a, b}), 2);
+  EXPECT_EQ(batched.shape(), (Shape{2, 2}));
+  EXPECT_EQ(batched.batch_item(0).max_abs_diff(fc.forward(a)), 0.0);
+  EXPECT_EQ(batched.batch_item(1).max_abs_diff(fc.forward(b)), 0.0);
+}
+
 }  // namespace
 }  // namespace iob::nn
