@@ -54,13 +54,18 @@ struct PointResult {
   double energy_per_inference_j = 0.0;
   double mean_queued_latency_s = 0.0;
   double mean_batch = 0.0;  ///< batched inferences per pass
+  double kernel_time_s = 0.0;       ///< measured (execute-and-meter only)
+  std::uint64_t executed = 0;       ///< inferences run on the nn engine
+  double analytic_energy_j = 0.0;   ///< MAC/weight model, tracked alongside
 };
 
-PointResult run_point(int leaves, unsigned batch_window, double duration_s) {
+PointResult run_point(int leaves, unsigned batch_window, double duration_s,
+                      const nn::Model* execute = nullptr) {
   net::NetworkConfig cfg;
   cfg.seed = 42;
   cfg.hub.batch_window = batch_window;
   cfg.hub.energy_per_weight_byte_j = kWeightByteEnergyJ;
+  cfg.hub.execute_and_meter = execute != nullptr;
   net::NetworkSim net(std::make_unique<comm::WiRLink>(), cfg);
   const double frame_period_s = 240.0 * 8.0 / 64e3;  // 30 ms
   for (int i = 0; i < leaves; ++i) {
@@ -74,7 +79,9 @@ PointResult run_point(int leaves, unsigned batch_window, double duration_s) {
     // population snapping into one superframe.
     n.phase_s = frame_period_s * static_cast<double>(i) / static_cast<double>(leaves);
     net.add_node(n);
-    net.add_session(kws_session(n.stream));
+    net::SessionConfig s = kws_session(n.stream);
+    s.net = execute;
+    net.add_session(s);
   }
   net.run(duration_s);
 
@@ -88,6 +95,9 @@ PointResult run_point(int leaves, unsigned batch_window, double duration_s) {
     queued += st.queued_latency_s.sum();
     queued_n += st.queued_latency_s.count();
     batched += st.batched_inferences;
+    r.kernel_time_s += st.kernel_time_s;
+    r.executed += st.executed_inferences;
+    r.analytic_energy_j += st.analytic_compute_energy_j;
   }
   r.energy_per_inference_j = r.inferences > 0 ? energy / static_cast<double>(r.inferences) : 0.0;
   r.mean_queued_latency_s = queued_n > 0 ? queued / static_cast<double>(queued_n) : 0.0;
@@ -157,6 +167,35 @@ void print_grid() {
   common::print_note("wider staging windows fold concurrent sessions into one pass");
   std::printf("\n  energy/inference strictly decreasing with batch window at >= 4 leaves: %s\n",
               monotone_at_4plus ? "yes" : "NO");
+
+  // Execute-and-meter: the same 4-leaf workload, but every staged inference
+  // actually runs through the DS-CNN on the hub's allocation-free nn engine
+  // (`Model::run_into`), and compute energy derives from measured kernel
+  // time x HubConfig::compute_power_w. The analytic MAC/weight number keeps
+  // accruing alongside, so both energy models print per point.
+  const double meter_duration_s = smoke ? 0.25 : 1.0;
+  const nn::Model kws = nn::make_kws_dscnn();
+  common::print_banner("Execute-and-meter — measured kernel energy vs analytic model (4 leaves)");
+  common::Table mt({"window", "inferences", "kernel time/inf", "measured E/inf",
+                    "analytic E/inf"});
+  for (const unsigned w : {0u, 4u}) {
+    const PointResult r = run_point(4, w, meter_duration_s, &kws);
+    const double n = r.inferences > 0 ? static_cast<double>(r.inferences) : 1.0;
+    mt.add_row({w == 0 ? "per-frame" : std::to_string(w), std::to_string(r.inferences),
+                common::si_format(r.kernel_time_s / n, "s"),
+                common::si_format(r.energy_per_inference_j, "J"),
+                common::si_format(r.analytic_energy_j / n, "J")});
+    json.add("metered_kernel_time_per_inference_s_w" + std::to_string(w), r.kernel_time_s / n);
+    json.add("metered_energy_per_inference_j_w" + std::to_string(w), r.energy_per_inference_j);
+    json.add("metered_analytic_energy_per_inference_j_w" + std::to_string(w),
+             r.analytic_energy_j / n);
+    json.add("metered_executed_inferences_w" + std::to_string(w),
+             static_cast<double>(r.executed));
+  }
+  std::cout << mt.to_string();
+  common::print_note("measured = wall-clock kernel time x compute_power_w (250 mW NPU class);");
+  common::print_note("host-dependent by design — it meters this machine's real kernel, so it");
+  common::print_note("is reported for comparison and never fed to the deterministic fleet grids");
   json.write();
 }
 

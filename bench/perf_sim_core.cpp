@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/alloc_interposer.hpp"  // defines global operator new/delete
 #include "common/expect.hpp"
 #include "core/sweep_runner.hpp"
 #include "sim/event_queue.hpp"
@@ -41,28 +42,9 @@
 // ---- allocation interposition ------------------------------------------------
 
 namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};  // TaskPool workers allocate too
+// TaskPool workers allocate too; the counter is process-wide.
+std::atomic<std::uint64_t>& g_alloc_count = iob::alloc_interposer::new_calls;
 }
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-// The interposed operator new above allocates with malloc, so free() here
-// IS the matched deallocator; the compiler cannot see through the global
-// replacement and flags new/free pairs at inlined call sites.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 
 namespace {
 

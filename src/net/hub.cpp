@@ -1,17 +1,29 @@
 #include "net/hub.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/expect.hpp"
+#include "nn/model.hpp"
 
 namespace iob::net {
+
+namespace {
+
+double wall_clock_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
     : sim_(sim), bus_(bus), config_(config) {
   IOB_EXPECTS(config_.energy_per_mac_j >= 0, "energy per MAC must be non-negative");
   IOB_EXPECTS(config_.energy_per_weight_byte_j >= 0,
               "energy per weight byte must be non-negative");
+  IOB_EXPECTS(config_.compute_power_w >= 0, "compute power must be non-negative");
   bus_.set_delivery_handler(
       [this](const comm::Frame& f, sim::Time t) { on_frame(f, t); });
   if (config_.batch_window > 0) {
@@ -74,9 +86,18 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
     // Single-expression add: with weight_bytes == 0 the sum is bit-identical
     // to the historical macs-only charge, and with batch_window == 1 a
     // one-inference flush accumulates the exact same double.
-    st.compute_energy_j +=
+    const double analytic =
         static_cast<double>(cfg.macs_per_inference) * config_.energy_per_mac_j +
         static_cast<double>(cfg.weight_bytes) * config_.energy_per_weight_byte_j;
+    st.analytic_compute_energy_j += analytic;
+    if (config_.execute_and_meter && cfg.net != nullptr) {
+      const double t = execute_pass(*cfg.net, 1);
+      st.kernel_time_s += t;
+      ++st.executed_inferences;
+      st.compute_energy_j += t * config_.compute_power_w;
+    } else {
+      st.compute_energy_j += analytic;
+    }
     if (cfg.forward_to_cloud) {
       st.uplink_energy_j +=
           static_cast<double>(cfg.result_bytes) * 8.0 * config_.uplink_energy_per_bit_j;
@@ -127,6 +148,26 @@ void Hub::flush_batches(sim::Time boundary) {
     if (total == 0) continue;
     ++batched_passes_;
 
+    // Execute-and-meter: run the staged inferences of the members that
+    // carry an executable model (the group shares one by construction)
+    // through the nn engine once, and attribute the measured kernel time by
+    // share of that metered batch. Members without a model stay analytic,
+    // exactly as on the per-frame path.
+    const nn::Model* net = nullptr;
+    std::uint64_t metered_total = 0;
+    double pass_time_s = 0.0;
+    if (config_.execute_and_meter) {
+      for (const std::string& stream : streams) {
+        const SessionConfig& cfg = session_configs_[stream];
+        if (cfg.net == nullptr) continue;
+        IOB_EXPECTS(net == nullptr || net == cfg.net,
+                    "sessions sharing a model tag must share one nn::Model instance");
+        net = cfg.net;
+        metered_total += staged_[stream].pending_bytes / cfg.bytes_per_inference;
+      }
+      if (metered_total > 0) pass_time_s = execute_pass(*net, metered_total);
+    }
+
     // Pass 2: one batched model pass of size `total`. Weights stream once;
     // each session pays its sample MACs plus its share of the weight cost.
     const double weight_energy_j =
@@ -141,17 +182,62 @@ void Hub::flush_batches(sim::Time boundary) {
       st.inferences += n;
       st.batched_inferences += n;
       ++st.batched_passes;
-      const double energy =
+      const double analytic =
           static_cast<double>(n * cfg.macs_per_inference) * config_.energy_per_mac_j +
           weight_energy_j * (static_cast<double>(n) / static_cast<double>(total));
-      st.compute_energy_j += energy;
-      st.batched_compute_energy_j += energy;
+      st.analytic_compute_energy_j += analytic;
+      double charged = analytic;
+      if (metered_total > 0 && cfg.net != nullptr) {
+        const double time_share =
+            pass_time_s * (static_cast<double>(n) / static_cast<double>(metered_total));
+        st.kernel_time_s += time_share;
+        st.executed_inferences += n;
+        charged = time_share * config_.compute_power_w;
+      }
+      st.compute_energy_j += charged;
+      st.batched_compute_energy_j += charged;
       if (cfg.forward_to_cloud) {
         st.uplink_energy_j += static_cast<double>(n) * static_cast<double>(cfg.result_bytes) *
                               8.0 * config_.uplink_energy_per_bit_j;
       }
     }
   }
+}
+
+double Hub::execute_pass(const nn::Model& net, std::uint64_t count) {
+  double elapsed = 0.0;
+  while (count > 0) {
+    const int b = static_cast<int>(std::min(count, kMeterBatchCap));
+    float* in = synth_input(net, b);
+    // Size the arena outside the timed region: one-time buffer growth is
+    // setup cost, not kernel time, and would skew short metered runs.
+    ws_.configure(net, b);
+    const double t0 = wall_clock_s();
+    const nn::ConstSpan out = net.run_into(ws_, in, b);
+    elapsed += wall_clock_s() - t0;
+    // Touch the result so the pass is observably executed.
+    IOB_ENSURES(out.size > 0, "metered pass produced no output");
+    count -= static_cast<std::uint64_t>(b);
+  }
+  return elapsed;
+}
+
+float* Hub::synth_input(const nn::Model& net, int batch) {
+  const std::int64_t elems = nn::shape_elems(net.input_shape()) * batch;
+  if (static_cast<std::int64_t>(synth_.size()) < elems) {
+    synth_.resize(static_cast<std::size_t>(elems));
+  }
+  if (synth_filled_ < elems) {
+    // Kernel time is data-independent; a fixed pattern keeps the staging
+    // deterministic and fills each element exactly once across growths.
+    for (std::int64_t i = synth_filled_; i < elems; ++i) {
+      synth_[static_cast<std::size_t>(i)] =
+          static_cast<float>((static_cast<std::uint64_t>(i) * 2654435761ULL) % 1024ULL) / 512.0f -
+          1.0f;
+    }
+    synth_filled_ = elems;
+  }
+  return synth_.data();
 }
 
 const SessionStats& Hub::session(const std::string& stream) const {

@@ -26,6 +26,7 @@
 
 #include "comm/tdma.hpp"
 #include "net/session.hpp"
+#include "nn/workspace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -40,6 +41,19 @@ struct HubConfig {
   /// int8 weight-streaming cost per byte (DRAM-class), paid once per model
   /// pass. Only sessions with `weight_bytes > 0` are affected.
   double energy_per_weight_byte_j = 50e-12;
+  /// Execute-and-meter mode: sessions carrying a `SessionConfig::net`
+  /// actually run their staged inferences through the allocation-free nn
+  /// engine (`nn::Model::run_into` on the hub's workspace), and their
+  /// `compute_energy_j` derives from measured kernel wall time x
+  /// `compute_power_w` instead of the analytic MAC/weight-byte counts (the
+  /// analytic number keeps accruing alongside in
+  /// `SessionStats::analytic_compute_energy_j`). Sessions without a model
+  /// stay analytic. Off by default: measured wall time is inherently
+  /// host-dependent, so deterministic sweeps must keep this disabled.
+  bool execute_and_meter = false;
+  /// Active power of the hub's inference engine while a metered kernel
+  /// runs (W). The 250 mW default is a wearable-SoC NPU/DSP class figure.
+  double compute_power_w = 0.25;
 };
 
 class Hub {
@@ -86,6 +100,19 @@ class Hub {
   void on_superframe_end(sim::Time boundary);
   void flush_batches(sim::Time boundary);
 
+  /// Execute `count` inferences on `net` through the hub workspace (in
+  /// sub-batches of at most kMeterBatchCap) and return the measured kernel
+  /// wall time in seconds.
+  double execute_pass(const nn::Model& net, std::uint64_t count);
+
+  /// Deterministic synthetic input staging for metered passes: the frames'
+  /// payload bytes are window counters, not tensor payloads, so the hub
+  /// synthesizes patterned activations (kernel time is data-independent).
+  float* synth_input(const nn::Model& net, int batch);
+
+  /// Upper bound on one metered sub-batch, bounding workspace growth.
+  static constexpr std::uint64_t kMeterBatchCap = 32;
+
   sim::Simulator& sim_;
   comm::TdmaBus& bus_;
   HubConfig config_;
@@ -101,6 +128,9 @@ class Hub {
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   sim::Accumulator latency_s_;
+  nn::Workspace ws_;             ///< reused across metered passes (grow-only)
+  std::vector<float> synth_;     ///< patterned input staging for metered passes
+  std::int64_t synth_filled_ = 0;  ///< prefix of synth_ already patterned
 };
 
 }  // namespace iob::net

@@ -18,6 +18,10 @@
 
 #include "sim/stats.hpp"
 
+namespace iob::nn {
+class Model;
+}
+
 namespace iob::net {
 
 struct SessionConfig {
@@ -32,6 +36,14 @@ struct SessionConfig {
   /// int8 weight footprint streamed per model pass (0 = weight traffic not
   /// modelled; keeps pre-batching energy numbers bit-identical).
   std::uint64_t weight_bytes = 0;
+  /// Executable network behind this session (not owned; must outlive the
+  /// hub). When `HubConfig::execute_and_meter` is on, the hub runs every
+  /// staged inference through this model's allocation-free engine
+  /// (`nn::Model::run_into`) and derives compute energy from the measured
+  /// kernel time; nullptr keeps the session analytic-only. Sessions
+  /// sharing a `model` tag must point at the same instance (they fold into
+  /// one batched pass; the hub's flush enforces this).
+  const nn::Model* net = nullptr;
 };
 
 struct SessionStats {
@@ -49,6 +61,18 @@ struct SessionStats {
   /// Staging delay the batch window adds: delivery -> superframe flush,
   /// one sample per staged frame.
   sim::Accumulator queued_latency_s;
+  /// Measured kernel wall time attributed to this session (s): each
+  /// executed pass's time split by inference share. 0 unless the hub runs
+  /// in execute-and-meter mode with `SessionConfig::net` set.
+  double kernel_time_s = 0.0;
+  /// Inferences that actually executed on the nn engine (execute-and-meter
+  /// mode only; subset of `inferences`).
+  std::uint64_t executed_inferences = 0;
+  /// What the analytic MAC/weight-byte model would have charged. On the
+  /// analytic path this equals `compute_energy_j` exactly; in
+  /// execute-and-meter mode it runs alongside the measured number so the
+  /// two energy models can be compared point-for-point.
+  double analytic_compute_energy_j = 0.0;
 };
 
 }  // namespace iob::net

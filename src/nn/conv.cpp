@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "nn/gemm.hpp"
+#include "nn/workspace.hpp"
 
 namespace iob::nn {
 
@@ -44,6 +46,12 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, in
   IOB_EXPECTS(weights_.size() == static_cast<std::size_t>(out_c_) * kh_ * kw_ * in_c_,
               "conv2d weight size mismatch");
   IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(out_c_), "conv2d bias size mismatch");
+  // Repack [oc][ky][kx][ic] -> [ky*kx*ic][oc] once: GEMM B rows become
+  // contiguous while term k of every output stays tap (ky, kx, ic) — the
+  // seed accumulation order.
+  packed_.resize(weights_.size());
+  pack_k_major(weights_.data(), out_c_, static_cast<std::int64_t>(kh_) * kw_ * in_c_,
+               packed_.data());
 }
 
 void Conv2D::pad_amounts(const Shape& input, int& pad_top, int& pad_left) const {
@@ -62,6 +70,53 @@ Shape Conv2D::output_shape(const Shape& input) const {
 }
 
 Tensor Conv2D::forward(const Tensor& input) const {
+  Tensor out(output_shape(input.shape()));
+  forward_into(input.data(), input.shape(), 1, out.data(), detail::thread_workspace());
+  return out;
+}
+
+Tensor Conv2D::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() == 4 && input.shape()[0] == batch,
+              "conv2d batched input must be [N, H, W, C]");
+  const Shape sample_shape{input.shape()[1], input.shape()[2], input.shape()[3]};
+  const Shape os = output_shape(sample_shape);
+  Tensor out(Shape{batch, os[0], os[1], os[2]});
+  forward_into(input.data(), sample_shape, batch, out.data(), detail::thread_workspace());
+  return out;
+}
+
+void Conv2D::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                          Workspace& ws) const {
+  IOB_EXPECTS(in_shape.size() == 3, "conv2d expects HWC input");
+  IOB_EXPECTS(in_shape[2] == in_c_, "conv2d channel mismatch");
+  const int ih = in_shape[0], iw = in_shape[1];
+  int oh, ow, pad_top, pad_left;
+  conv_axis(ih, kh_, sh_, padding_, oh, pad_top);
+  conv_axis(iw, kw_, sw_, padding_, ow, pad_left);
+  const std::int64_t K = static_cast<std::int64_t>(kh_) * kw_ * in_c_;
+  if (kh_ == 1 && kw_ == 1 && sh_ == 1 && sw_ == 1) {
+    // Pointwise stride-1: the HWC input already is the patch matrix.
+    gemm_blocked(static_cast<std::int64_t>(batch) * ih * iw, out_c_, in_c_, in, packed_.data(),
+                 bias_.data(), out);
+    return;
+  }
+  const std::int64_t M = static_cast<std::int64_t>(batch) * oh * ow;
+  ws.reserve_im2col(M * K);
+  im2col_nhwc(batch, ih, iw, in_c_, kh_, kw_, sh_, sw_, pad_top, pad_left, oh, ow, in,
+              ws.im2col());
+  gemm_blocked(M, out_c_, K, ws.im2col(), packed_.data(), bias_.data(), out);
+}
+
+std::int64_t Conv2D::scratch_elems(const Shape& in_shape) const {
+  if (in_shape.size() != 3) return 0;
+  if (kh_ == 1 && kw_ == 1 && sh_ == 1 && sw_ == 1) return 0;
+  int oh, ow, pt, pl;
+  conv_axis(in_shape[0], kh_, sh_, padding_, oh, pt);
+  conv_axis(in_shape[1], kw_, sw_, padding_, ow, pl);
+  return static_cast<std::int64_t>(oh) * ow * kh_ * kw_ * in_c_;
+}
+
+Tensor Conv2D::forward_reference(const Tensor& input) const {
   const Shape os = output_shape(input.shape());
   int pad_top = 0, pad_left = 0;
   pad_amounts(input.shape(), pad_top, pad_left);
@@ -91,7 +146,7 @@ Tensor Conv2D::forward(const Tensor& input) const {
   return out;
 }
 
-Tensor Conv2D::forward_batched(const Tensor& input, int batch) const {
+Tensor Conv2D::forward_batched_reference(const Tensor& input, int batch) const {
   IOB_EXPECTS(input.rank() == 4 && input.shape()[0] == batch,
               "conv2d batched input must be [N, H, W, C]");
   const Shape sample_shape{input.shape()[1], input.shape()[2], input.shape()[3]};
@@ -105,7 +160,7 @@ Tensor Conv2D::forward_batched(const Tensor& input, int batch) const {
   Tensor out(Shape{batch, os[0], os[1], os[2]});
   // Sample-innermost loop: each kernel slice streams once per output
   // position and serves the whole batch. Per-sample accumulation order is
-  // identical to forward(), so results are bit-exact.
+  // identical to forward_reference(), so results are bit-exact.
   for (int oy = 0; oy < os[0]; ++oy) {
     for (int ox = 0; ox < os[1]; ++ox) {
       for (int oc = 0; oc < out_c_; ++oc) {
@@ -159,6 +214,10 @@ DepthwiseConv2D::DepthwiseConv2D(int channels, int kernel, int stride, Padding p
   IOB_EXPECTS(weights_.size() == static_cast<std::size_t>(c_) * k_ * k_,
               "dwconv weight size mismatch");
   IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(c_), "dwconv bias size mismatch");
+  // Repack [c][ky][kx] -> [ky*kx][c]: the channel loop of the direct kernel
+  // then reads contiguous weight lanes.
+  packed_.resize(weights_.size());
+  pack_k_major(weights_.data(), c_, static_cast<std::int64_t>(k_) * k_, packed_.data());
 }
 
 Shape DepthwiseConv2D::output_shape(const Shape& input) const {
@@ -171,6 +230,35 @@ Shape DepthwiseConv2D::output_shape(const Shape& input) const {
 }
 
 Tensor DepthwiseConv2D::forward(const Tensor& input) const {
+  Tensor out(output_shape(input.shape()));
+  forward_into(input.data(), input.shape(), 1, out.data(), detail::thread_workspace());
+  return out;
+}
+
+Tensor DepthwiseConv2D::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() == 4 && input.shape()[0] == batch,
+              "dwconv batched input must be [N, H, W, C]");
+  const Shape sample_shape{input.shape()[1], input.shape()[2], input.shape()[3]};
+  const Shape os = output_shape(sample_shape);
+  Tensor out(Shape{batch, os[0], os[1], os[2]});
+  forward_into(input.data(), sample_shape, batch, out.data(), detail::thread_workspace());
+  return out;
+}
+
+void DepthwiseConv2D::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                                   Workspace& ws) const {
+  (void)ws;
+  IOB_EXPECTS(in_shape.size() == 3, "dwconv expects HWC input");
+  IOB_EXPECTS(in_shape[2] == c_, "dwconv channel mismatch");
+  const int ih = in_shape[0], iw = in_shape[1];
+  int oh, ow, pad_top, pad_left;
+  conv_axis(ih, k_, s_, padding_, oh, pad_top);
+  conv_axis(iw, k_, s_, padding_, ow, pad_left);
+  dwconv2d_nhwc(batch, ih, iw, c_, k_, s_, pad_top, pad_left, oh, ow, in, packed_.data(),
+                bias_.data(), out);
+}
+
+Tensor DepthwiseConv2D::forward_reference(const Tensor& input) const {
   const Shape os = output_shape(input.shape());
   int pad_top = 0, pad_left = 0;
   int dummy;
@@ -200,7 +288,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& input) const {
   return out;
 }
 
-Tensor DepthwiseConv2D::forward_batched(const Tensor& input, int batch) const {
+Tensor DepthwiseConv2D::forward_batched_reference(const Tensor& input, int batch) const {
   IOB_EXPECTS(input.rank() == 4 && input.shape()[0] == batch,
               "dwconv batched input must be [N, H, W, C]");
   const Shape sample_shape{input.shape()[1], input.shape()[2], input.shape()[3]};
@@ -262,6 +350,9 @@ Conv1D::Conv1D(int in_channels, int out_channels, int kernel, int stride, Paddin
   IOB_EXPECTS(weights_.size() == static_cast<std::size_t>(out_c_) * k_ * in_c_,
               "conv1d weight size mismatch");
   IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(out_c_), "conv1d bias size mismatch");
+  // Repack [oc][kk][ic] -> [kk*ic][oc] for the GEMM (see Conv2D).
+  packed_.resize(weights_.size());
+  pack_k_major(weights_.data(), out_c_, static_cast<std::int64_t>(k_) * in_c_, packed_.data());
 }
 
 Shape Conv1D::output_shape(const Shape& input) const {
@@ -273,6 +364,51 @@ Shape Conv1D::output_shape(const Shape& input) const {
 }
 
 Tensor Conv1D::forward(const Tensor& input) const {
+  Tensor out(output_shape(input.shape()));
+  forward_into(input.data(), input.shape(), 1, out.data(), detail::thread_workspace());
+  return out;
+}
+
+Tensor Conv1D::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() == 3 && input.shape()[0] == batch,
+              "conv1d batched input must be [N, L, C]");
+  const Shape sample_shape{input.shape()[1], input.shape()[2]};
+  const Shape os = output_shape(sample_shape);
+  Tensor out(Shape{batch, os[0], os[1]});
+  forward_into(input.data(), sample_shape, batch, out.data(), detail::thread_workspace());
+  return out;
+}
+
+void Conv1D::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                          Workspace& ws) const {
+  IOB_EXPECTS(in_shape.size() == 2, "conv1d expects LC input");
+  IOB_EXPECTS(in_shape[1] == in_c_, "conv1d channel mismatch");
+  const int il = in_shape[0];
+  int ol, pad_lead;
+  conv_axis(il, k_, s_, padding_, ol, pad_lead);
+  if (k_ == 1 && s_ == 1) {
+    gemm_blocked(static_cast<std::int64_t>(batch) * il, out_c_, in_c_, in, packed_.data(),
+                 bias_.data(), out);
+    return;
+  }
+  // An LC signal is an (L x 1 x C) image: reuse the 2-D patch extractor
+  // with kw = ow = 1 so taps land in (kk, ic) order.
+  const std::int64_t K = static_cast<std::int64_t>(k_) * in_c_;
+  const std::int64_t M = static_cast<std::int64_t>(batch) * ol;
+  ws.reserve_im2col(M * K);
+  im2col_nhwc(batch, il, 1, in_c_, k_, 1, s_, 1, pad_lead, 0, ol, 1, in, ws.im2col());
+  gemm_blocked(M, out_c_, K, ws.im2col(), packed_.data(), bias_.data(), out);
+}
+
+std::int64_t Conv1D::scratch_elems(const Shape& in_shape) const {
+  if (in_shape.size() != 2) return 0;
+  if (k_ == 1 && s_ == 1) return 0;
+  int ol, pl;
+  conv_axis(in_shape[0], k_, s_, padding_, ol, pl);
+  return static_cast<std::int64_t>(ol) * k_ * in_c_;
+}
+
+Tensor Conv1D::forward_reference(const Tensor& input) const {
   const Shape os = output_shape(input.shape());
   int pad_lead = 0, dummy;
   conv_axis(input.shape()[0], k_, s_, padding_, dummy, pad_lead);
@@ -296,7 +432,7 @@ Tensor Conv1D::forward(const Tensor& input) const {
   return out;
 }
 
-Tensor Conv1D::forward_batched(const Tensor& input, int batch) const {
+Tensor Conv1D::forward_batched_reference(const Tensor& input, int batch) const {
   IOB_EXPECTS(input.rank() == 3 && input.shape()[0] == batch,
               "conv1d batched input must be [N, L, C]");
   const Shape sample_shape{input.shape()[1], input.shape()[2]};

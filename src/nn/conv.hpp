@@ -4,6 +4,14 @@
 /// biopotential time series). HWC layout; weights stored row-major as
 /// [out_c][kh][kw][in_c] (2-D) / [c][kh][kw] (depthwise) / [out_c][k][in_c]
 /// (1-D).
+///
+/// Execution is lowered onto the blocked GEMM in gemm.hpp: im2col patch
+/// extraction in (ky, kx, ic) order feeds `gemm_blocked` against weights
+/// repacked K-major at construction, so per-element accumulation order —
+/// and hence every result bit — matches the seed nested loops (kept as the
+/// `*_reference` oracles). Depthwise runs the channels-vectorized direct
+/// kernel (`dwconv2d_nhwc`), and 1x1 stride-1 convolutions skip im2col
+/// entirely (the input already is the patch matrix).
 
 #include <vector>
 
@@ -17,9 +25,14 @@ class Conv2D final : public Layer {
          Padding padding, std::vector<float> weights, std::vector<float> bias);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
-  /// Batched pass over [N, H, W, C]: the kernel tensor streams once per
-  /// output position across the whole batch.
+  /// Batched pass over [N, H, W, C]: all batch patches fold into one GEMM,
+  /// so the kernel tensor streams once for the whole batch.
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
+  [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
+  [[nodiscard]] std::int64_t scratch_elems(const Shape& in_shape) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -31,6 +44,7 @@ class Conv2D final : public Layer {
   int in_c_, out_c_, kh_, kw_, sh_, sw_;
   Padding padding_;
   std::vector<float> weights_, bias_;
+  std::vector<float> packed_;  ///< weights repacked to [kh*kw*in_c][out_c]
 };
 
 class DepthwiseConv2D final : public Layer {
@@ -40,6 +54,10 @@ class DepthwiseConv2D final : public Layer {
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
+  [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -49,6 +67,7 @@ class DepthwiseConv2D final : public Layer {
   int c_, k_, s_;
   Padding padding_;
   std::vector<float> weights_, bias_;
+  std::vector<float> packed_;  ///< weights repacked to [k*k][c]
 };
 
 class Conv1D final : public Layer {
@@ -58,6 +77,11 @@ class Conv1D final : public Layer {
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
+  [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
+  [[nodiscard]] std::int64_t scratch_elems(const Shape& in_shape) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -67,6 +91,7 @@ class Conv1D final : public Layer {
   int in_c_, out_c_, k_, s_;
   Padding padding_;
   std::vector<float> weights_, bias_;
+  std::vector<float> packed_;  ///< weights repacked to [k*in_c][out_c]
 };
 
 }  // namespace iob::nn

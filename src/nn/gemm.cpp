@@ -1,0 +1,213 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__SSE2__) || defined(_M_X64) || defined(_M_AMD64)
+#define IOB_GEMM_SSE2 1
+#include <emmintrin.h>
+#endif
+
+#include "common/expect.hpp"
+
+namespace iob::nn {
+
+namespace {
+
+/// kMr x kNr microkernel: accumulate `kc` terms of A*B into the C tile.
+/// On the first K block the tile starts from the bias row; afterwards the
+/// partial sums re-load from C, so the per-element accumulation order over
+/// the whole K range is the plain increasing-k order.
+///
+/// The SSE2 path issues the exact same per-lane mul/add sequence as the
+/// portable loop (no FMA — fusing would skip the intermediate rounding the
+/// seed loops perform, breaking bit-exactness), it just pins the 4x8
+/// accumulator block into eight xmm registers so the k loop runs ~2 ops
+/// per 4 MACs instead of the compiler's spill-prone autovectorization.
+#if IOB_GEMM_SSE2
+void micro_tile(std::int64_t kc, const float* a, std::int64_t K, const float* b, std::int64_t N,
+                float* c, const float* bias, bool first) {
+  static_assert(kMr == 4 && kNr == 8, "micro_tile is written for a 4x8 register tile");
+  __m128 acc[kMr][2];
+  if (first) {
+    const __m128 b0 = bias != nullptr ? _mm_loadu_ps(bias) : _mm_setzero_ps();
+    const __m128 b1 = bias != nullptr ? _mm_loadu_ps(bias + 4) : _mm_setzero_ps();
+    for (int i = 0; i < kMr; ++i) {
+      acc[i][0] = b0;
+      acc[i][1] = b1;
+    }
+  } else {
+    for (int i = 0; i < kMr; ++i) {
+      acc[i][0] = _mm_loadu_ps(c + i * N);
+      acc[i][1] = _mm_loadu_ps(c + i * N + 4);
+    }
+  }
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* brow = b + k * N;
+    const __m128 b0 = _mm_loadu_ps(brow);
+    const __m128 b1 = _mm_loadu_ps(brow + 4);
+    for (int i = 0; i < kMr; ++i) {
+      const __m128 ai = _mm_set1_ps(a[i * K + k]);
+      acc[i][0] = _mm_add_ps(acc[i][0], _mm_mul_ps(ai, b0));
+      acc[i][1] = _mm_add_ps(acc[i][1], _mm_mul_ps(ai, b1));
+    }
+  }
+  for (int i = 0; i < kMr; ++i) {
+    _mm_storeu_ps(c + i * N, acc[i][0]);
+    _mm_storeu_ps(c + i * N + 4, acc[i][1]);
+  }
+}
+#else
+void micro_tile(std::int64_t kc, const float* a, std::int64_t K, const float* b, std::int64_t N,
+                float* c, const float* bias, bool first) {
+  float acc[kMr][kNr];
+  for (int i = 0; i < kMr; ++i) {
+    for (int j = 0; j < kNr; ++j) {
+      acc[i][j] = first ? (bias != nullptr ? bias[j] : 0.0f) : c[i * N + j];
+    }
+  }
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* brow = b + k * N;
+    for (int i = 0; i < kMr; ++i) {
+      const float ai = a[i * K + k];
+      for (int j = 0; j < kNr; ++j) acc[i][j] += ai * brow[j];
+    }
+  }
+  for (int i = 0; i < kMr; ++i) {
+    for (int j = 0; j < kNr; ++j) c[i * N + j] = acc[i][j];
+  }
+}
+#endif
+
+/// Scalar edge path for the M/N remainders, same accumulation order.
+void edge_tile(std::int64_t rows, std::int64_t cols, std::int64_t kc, const float* a,
+               std::int64_t K, const float* b, std::int64_t N, float* c, const float* bias,
+               bool first) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      float acc = first ? (bias != nullptr ? bias[j] : 0.0f) : c[i * N + j];
+      const float* arow = a + i * K;
+      for (std::int64_t k = 0; k < kc; ++k) acc += arow[k] * b[k * N + j];
+      c[i * N + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void pack_k_major(const float* src, std::int64_t rows, std::int64_t cols, float* dst) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+  }
+}
+
+void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, const float* A, const float* B,
+                  const float* bias, float* C) {
+  IOB_EXPECTS(M >= 0 && N > 0 && K > 0, "gemm dims must be positive");
+  for (std::int64_t k0 = 0; k0 < K; k0 += kKc) {
+    const std::int64_t kc = std::min(kKc, K - k0);
+    const bool first = k0 == 0;
+    const float* bk = B + k0 * N;
+    std::int64_t m = 0;
+    for (; m + kMr <= M; m += kMr) {
+      const float* am = A + m * K + k0;
+      float* cm = C + m * N;
+      std::int64_t n = 0;
+      for (; n + kNr <= N; n += kNr) {
+        micro_tile(kc, am, K, bk + n, N, cm + n, bias != nullptr ? bias + n : nullptr, first);
+      }
+      if (n < N) edge_tile(kMr, N - n, kc, am, K, bk + n, N, cm + n,
+                           bias != nullptr ? bias + n : nullptr, first);
+    }
+    if (m < M) {
+      edge_tile(M - m, N, kc, A + m * K + k0, K, bk, N, C + m * N, bias, first);
+    }
+  }
+}
+
+namespace {
+
+/// Inline float copy: the per-tap slices are tiny (ic floats, often 3-64),
+/// where a libc memcpy call costs more than the copy itself.
+inline void copy_floats(float* dst, const float* src, std::int64_t n) {
+  if (n >= 64) {
+    std::memcpy(dst, src, static_cast<std::size_t>(n) * sizeof(float));
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+  }
+}
+
+inline void zero_floats(float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = 0.0f;
+}
+
+}  // namespace
+
+void im2col_nhwc(int batch, int ih, int iw, int ic, int kh, int kw, int sh, int sw, int pad_top,
+                 int pad_left, int oh, int ow, const float* in, float* col) {
+  const std::int64_t sample_elems = static_cast<std::int64_t>(ih) * iw * ic;
+  for (int s = 0; s < batch; ++s) {
+    const float* ib = in + static_cast<std::int64_t>(s) * sample_elems;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const int x0 = ox * sw - pad_left;
+        for (int ky = 0; ky < kh; ++ky) {
+          const int iy = oy * sh + ky - pad_top;
+          if (iy < 0 || iy >= ih) {
+            zero_floats(col, static_cast<std::int64_t>(kw) * ic);
+            col += static_cast<std::int64_t>(kw) * ic;
+            continue;
+          }
+          const float* irow = ib + static_cast<std::int64_t>(iy) * iw * ic;
+          if (x0 >= 0 && x0 + kw <= iw) {
+            // Interior: the kw taps of this patch row are consecutive input
+            // pixels — one contiguous copy.
+            copy_floats(col, irow + static_cast<std::int64_t>(x0) * ic,
+                        static_cast<std::int64_t>(kw) * ic);
+            col += static_cast<std::int64_t>(kw) * ic;
+            continue;
+          }
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = x0 + kx;
+            if (ix < 0 || ix >= iw) {
+              zero_floats(col, ic);
+            } else {
+              copy_floats(col, irow + static_cast<std::int64_t>(ix) * ic, ic);
+            }
+            col += ic;
+          }
+        }
+      }
+    }
+  }
+}
+
+void dwconv2d_nhwc(int batch, int ih, int iw, int c, int k, int stride, int pad_top, int pad_left,
+                   int oh, int ow, const float* in, const float* wpacked, const float* bias,
+                   float* out) {
+  const std::int64_t in_sample = static_cast<std::int64_t>(ih) * iw * c;
+  const std::int64_t out_sample = static_cast<std::int64_t>(oh) * ow * c;
+  for (int s = 0; s < batch; ++s) {
+    const float* ib = in + static_cast<std::int64_t>(s) * in_sample;
+    float* ob = out + static_cast<std::int64_t>(s) * out_sample;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float* o = ob + (static_cast<std::int64_t>(oy) * ow + ox) * c;
+        for (int ch = 0; ch < c; ++ch) o[ch] = bias[ch];
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * stride + ky - pad_top;
+          if (iy < 0 || iy >= ih) continue;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = ox * stride + kx - pad_left;
+            if (ix < 0 || ix >= iw) continue;
+            const float* w = wpacked + (static_cast<std::int64_t>(ky) * k + kx) * c;
+            const float* p = ib + (static_cast<std::int64_t>(iy) * iw + ix) * c;
+            for (int ch = 0; ch < c; ++ch) o[ch] += w[ch] * p[ch];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace iob::nn

@@ -1,0 +1,58 @@
+#pragma once
+/// \file gemm.hpp
+/// The lowered compute kernels behind the allocation-free inference engine:
+/// a cache-blocked, register-tiled float GEMM plus the im2col patch
+/// extractor that lowers convolutions onto it, and a channels-vectorized
+/// depthwise kernel (depthwise is a diagonal GEMM; running it dense would
+/// waste k*k*C MACs per output position).
+///
+/// Bit-exactness contract: every kernel accumulates each output element in
+/// strictly increasing k order, starting from the bias, with one `acc +=
+/// a * b` per term — the exact per-element operation sequence of the seed
+/// nested loops (`Layer::forward_reference`). Padding taps enter the GEMM
+/// as zero patch entries; `x + a*0` leaves the accumulator value unchanged,
+/// so lowered results equal the seed results bitwise.
+
+#include <cstdint>
+
+namespace iob::nn {
+
+/// Register-tile dims of the GEMM microkernel: kMr x kNr accumulators live
+/// in registers across the k loop (32 floats = 8 SSE registers, leaving
+/// room for the A broadcast and B row loads on the x86-64 baseline).
+inline constexpr int kMr = 4;
+inline constexpr int kNr = 8;
+/// K cache block: one A panel row-block (kMr x kKc) plus the streamed B
+/// rows stay L1/L2-resident while a C tile accumulates.
+inline constexpr std::int64_t kKc = 256;
+
+/// Transpose a [rows][cols] row-major weight matrix into the K-major
+/// [cols][rows] layout `gemm_blocked` streams as B (dst[c * rows + r] =
+/// src[r * cols + c]). The one packing rule every lowered layer shares:
+/// term k of output r stays input k, preserving seed accumulation order.
+void pack_k_major(const float* src, std::int64_t rows, std::int64_t cols, float* dst);
+
+/// C[M x N] = bias (broadcast per column, nullptr = 0) + A[M x K] * B[K x N].
+/// All matrices row-major and contiguous. Accumulation per C element runs
+/// in increasing k order (K blocks processed in order, the partial sum
+/// parked in C between blocks), so results are bit-exact vs the naive
+/// `for k: acc += A[m][k] * B[k][n]` loop.
+void gemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K, const float* A, const float* B,
+                  const float* bias, float* C);
+
+/// Extract NHWC conv patches into `col` ([batch * oh * ow] rows of
+/// kh * kw * ic floats, taps in (ky, kx, ic) order), zero-filling
+/// out-of-range taps. Conv1D lowers through the same extractor with
+/// kw = 1, ow = 1 (an LC signal is an Hx1xC image).
+void im2col_nhwc(int batch, int ih, int iw, int ic, int kh, int kw, int sh, int sw, int pad_top,
+                 int pad_left, int oh, int ow, const float* in, float* col);
+
+/// Depthwise 2-D convolution over NHWC input with weights repacked to
+/// [ky * k + kx][c] (channel-major per tap, so the channel loop vectorizes
+/// over contiguous weight and input lanes). Out-of-range taps are skipped,
+/// matching the seed loop tap-for-tap.
+void dwconv2d_nhwc(int batch, int ih, int iw, int c, int k, int stride, int pad_top, int pad_left,
+                   int oh, int ow, const float* in, const float* wpacked, const float* bias,
+                   float* out);
+
+}  // namespace iob::nn

@@ -12,6 +12,8 @@
 
 namespace iob::nn {
 
+class Workspace;
+
 enum class Padding { kValid, kSame };
 
 class Layer {
@@ -28,6 +30,37 @@ class Layer {
   /// samples; layers with weights override it to amortize weight reads
   /// across the batch.
   [[nodiscard]] virtual Tensor forward_batched(const Tensor& input, int batch) const;
+
+  /// Allocation-free execution: read `batch` contiguous samples of shape
+  /// `in_shape` from `in`, write `batch` output samples to `out` (which
+  /// must hold batch * elems(output_shape(in_shape)) floats; `out` must not
+  /// alias `in`). Results are bit-exact vs `forward_reference` per sample.
+  /// Every shipped layer overrides this with a lowered kernel that never
+  /// touches the heap beyond grow-only workspace scratch; the base
+  /// implementation is an allocating fallback via `forward_batched` for
+  /// exotic out-of-tree layers.
+  virtual void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                            Workspace& ws) const;
+
+  /// Seed-loop oracle: the original naive nested-loop implementation, kept
+  /// verbatim as the bit-exactness reference for the lowered kernels (and
+  /// as the baseline the nn_infer bench measures speedups against). Layers
+  /// whose `forward` was never lowered simply forward to it.
+  [[nodiscard]] virtual Tensor forward_reference(const Tensor& input) const {
+    return forward(input);
+  }
+
+  /// Batched seed-loop oracle (see `forward_reference`).
+  [[nodiscard]] virtual Tensor forward_batched_reference(const Tensor& input, int batch) const {
+    return forward_batched(input, batch);
+  }
+
+  /// Per-sample im2col scratch floats `forward_into` needs for `in_shape`
+  /// (0 for layers that lower without patch extraction).
+  [[nodiscard]] virtual std::int64_t scratch_elems(const Shape& in_shape) const {
+    (void)in_shape;
+    return 0;
+  }
 
   /// Output shape for an input shape (throws on incompatible input).
   [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;

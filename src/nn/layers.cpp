@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <utility>
 
 #include "common/expect.hpp"
+#include "nn/gemm.hpp"
+#include "nn/workspace.hpp"
 
 namespace iob::nn {
 
@@ -30,6 +33,17 @@ Tensor Layer::forward_batched(const Tensor& input, int batch) const {
   return out;
 }
 
+void Layer::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                         Workspace& ws) const {
+  // Allocating fallback for layers without a lowered kernel; every layer
+  // shipped in this library overrides it.
+  (void)ws;
+  Shape batched_shape{batch};
+  batched_shape.insert(batched_shape.end(), in_shape.begin(), in_shape.end());
+  const Tensor y = forward_batched(Tensor::from_data(std::move(batched_shape), in), batch);
+  std::copy(y.data(), y.data() + y.size(), out);
+}
+
 // ---- FullyConnected ---------------------------------------------------------
 
 FullyConnected::FullyConnected(int in_features, int out_features, std::vector<float> weights,
@@ -43,9 +57,38 @@ FullyConnected::FullyConnected(int in_features, int out_features, std::vector<fl
                   static_cast<std::size_t>(in_features_) * static_cast<std::size_t>(out_features_),
               "weight size mismatch");
   IOB_EXPECTS(bias_.size() == static_cast<std::size_t>(out_features_), "bias size mismatch");
+  // Repack [out][in] -> [in][out] once so the GEMM streams B rows
+  // contiguously; the k-th term of every output stays the k-th input.
+  packed_.resize(weights_.size());
+  pack_k_major(weights_.data(), out_features_, in_features_, packed_.data());
 }
 
 Tensor FullyConnected::forward(const Tensor& input) const {
+  IOB_EXPECTS(input.size() == in_features_, "fc input size mismatch");
+  Tensor out(Shape{out_features_});
+  forward_into(input.data(), input.shape(), 1, out.data(), detail::thread_workspace());
+  return out;
+}
+
+Tensor FullyConnected::forward_batched(const Tensor& input, int batch) const {
+  IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
+              "batched input must carry the batch as its leading dim");
+  IOB_EXPECTS(input.size() == static_cast<std::int64_t>(batch) * in_features_,
+              "fc batched input size mismatch");
+  Tensor out(Shape{batch, out_features_});
+  const Shape sample_shape(input.shape().begin() + 1, input.shape().end());
+  forward_into(input.data(), sample_shape, batch, out.data(), detail::thread_workspace());
+  return out;
+}
+
+void FullyConnected::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                                  Workspace& ws) const {
+  (void)ws;
+  IOB_EXPECTS(shape_elems(in_shape) == in_features_, "fc input size mismatch");
+  gemm_blocked(batch, out_features_, in_features_, in, packed_.data(), bias_.data(), out);
+}
+
+Tensor FullyConnected::forward_reference(const Tensor& input) const {
   IOB_EXPECTS(input.size() == in_features_, "fc input size mismatch");
   Tensor out(Shape{out_features_});
   for (int o = 0; o < out_features_; ++o) {
@@ -57,7 +100,7 @@ Tensor FullyConnected::forward(const Tensor& input) const {
   return out;
 }
 
-Tensor FullyConnected::forward_batched(const Tensor& input, int batch) const {
+Tensor FullyConnected::forward_batched_reference(const Tensor& input, int batch) const {
   IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
               "batched input must carry the batch as its leading dim");
   IOB_EXPECTS(input.size() == static_cast<std::int64_t>(batch) * in_features_,
@@ -118,6 +161,17 @@ Tensor Relu::forward_batched(const Tensor& input, int batch) const {
   return forward(input);  // elementwise: the batched tensor is just more elements
 }
 
+void Relu::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                        Workspace& ws) const {
+  (void)ws;
+  const std::int64_t total = shape_elems(in_shape) * batch;
+  for (std::int64_t i = 0; i < total; ++i) {
+    float v = std::max(0.0f, in[i]);
+    if (cap_ > 0.0f) v = std::min(cap_, v);
+    out[i] = v;
+  }
+}
+
 Shape Relu::output_shape(const Shape& input) const { return input; }
 
 std::uint64_t Relu::macs(const Shape& input) const {
@@ -163,6 +217,36 @@ Tensor Pool2D::forward(const Tensor& input) const {
   return out;
 }
 
+void Pool2D::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                          Workspace& ws) const {
+  (void)ws;
+  IOB_EXPECTS(in_shape.size() == 3, "pool2d expects HWC input");
+  IOB_EXPECTS(in_shape[0] >= kernel_ && in_shape[1] >= kernel_, "pool kernel exceeds input");
+  const int ih = in_shape[0], iw = in_shape[1], c = in_shape[2];
+  const int oh = (ih - kernel_) / stride_ + 1;
+  const int ow = (iw - kernel_) / stride_ + 1;
+  const std::int64_t in_sample = static_cast<std::int64_t>(ih) * iw * c;
+  for (int s = 0; s < batch; ++s) {
+    const float* ib = in + s * in_sample;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int ch = 0; ch < c; ++ch) {
+          float acc = kind_ == PoolKind::kMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const float v = ib[(static_cast<std::int64_t>(oy * stride_ + ky) * iw +
+                                 (ox * stride_ + kx)) * c + ch];
+              acc = kind_ == PoolKind::kMax ? std::max(acc, v) : acc + v;
+            }
+          }
+          if (kind_ == PoolKind::kAvg) acc /= static_cast<float>(kernel_ * kernel_);
+          *out++ = acc;
+        }
+      }
+    }
+  }
+}
+
 std::uint64_t Pool2D::macs(const Shape& input) const {
   const Shape os = output_shape(input);
   return static_cast<std::uint64_t>(shape_elems(os)) * kernel_ * kernel_;
@@ -193,6 +277,28 @@ Tensor GlobalAvgPool::forward(const Tensor& input) const {
   return out;
 }
 
+void GlobalAvgPool::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                                 Workspace& ws) const {
+  (void)ws;
+  IOB_EXPECTS(in_shape.size() == 2 || in_shape.size() == 3, "global pool expects LC or HWC input");
+  const int c = in_shape.back();
+  const std::int64_t elems = shape_elems(in_shape);
+  const std::int64_t spatial = elems / c;
+  // Same per-channel accumulation order as the seed loop (channel ch sums
+  // positions ch, ch+c, ch+2c, ... in storage order), expressed as nested
+  // loops so the hot path skips the seed's per-element modulo.
+  for (int s = 0; s < batch; ++s) {
+    const float* ib = in + s * elems;
+    float* ob = out + static_cast<std::int64_t>(s) * c;
+    for (int ch = 0; ch < c; ++ch) ob[ch] = 0.0f;
+    for (std::int64_t sp = 0; sp < spatial; ++sp) {
+      const float* row = ib + sp * c;
+      for (int ch = 0; ch < c; ++ch) ob[ch] += row[ch];
+    }
+    for (int ch = 0; ch < c; ++ch) ob[ch] /= static_cast<float>(spatial);
+  }
+}
+
 std::uint64_t GlobalAvgPool::macs(const Shape& input) const {
   return static_cast<std::uint64_t>(shape_elems(input));
 }
@@ -209,6 +315,13 @@ Tensor Flatten::forward_batched(const Tensor& input, int batch) const {
   IOB_EXPECTS(input.rank() >= 2 && input.shape()[0] == batch,
               "batched input must carry the batch as its leading dim");
   return input.reshaped(Shape{batch, static_cast<int>(input.size() / batch)});
+}
+
+void Flatten::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                           Workspace& ws) const {
+  (void)ws;
+  const std::int64_t total = shape_elems(in_shape) * batch;
+  std::memcpy(out, in, static_cast<std::size_t>(total) * sizeof(float));
 }
 
 Shape Flatten::output_shape(const Shape& input) const {
@@ -263,6 +376,22 @@ Tensor BatchNorm::forward_batched(const Tensor& input, int batch) const {
   return forward(input);
 }
 
+void BatchNorm::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                             Workspace& ws) const {
+  (void)ws;
+  IOB_EXPECTS(in_shape.back() == static_cast<int>(scale_.size()),
+              "batchnorm channel count mismatch");
+  const auto c = static_cast<std::int64_t>(scale_.size());
+  const std::int64_t rows = shape_elems(in_shape) * batch / c;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const auto i = r * c + ch;
+      out[i] = scale_[static_cast<std::size_t>(ch)] * in[i] +
+               shift_[static_cast<std::size_t>(ch)];
+    }
+  }
+}
+
 std::uint64_t BatchNorm::macs(const Shape& input) const {
   return static_cast<std::uint64_t>(shape_elems(input));
 }
@@ -308,6 +437,16 @@ Tensor Softmax::forward_batched(const Tensor& input, int batch) const {
     softmax_inplace(out.data() + static_cast<std::ptrdiff_t>(s) * stride, stride);
   }
   return out;
+}
+
+void Softmax::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                           Workspace& ws) const {
+  (void)ws;
+  const std::int64_t stride = shape_elems(in_shape);
+  std::memcpy(out, in, static_cast<std::size_t>(stride * batch) * sizeof(float));
+  for (int s = 0; s < batch; ++s) {
+    softmax_inplace(out + static_cast<std::ptrdiff_t>(s) * stride, stride);
+  }
 }
 
 Shape Softmax::output_shape(const Shape& input) const { return input; }

@@ -18,6 +18,10 @@ class FullyConnected final : public Layer {
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   /// Batched pass streaming each weight row once across the batch.
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
+  [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
+  [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -26,6 +30,7 @@ class FullyConnected final : public Layer {
  private:
   int in_features_, out_features_;
   std::vector<float> weights_, bias_;
+  std::vector<float> packed_;  ///< weights transposed to [in][out] for the GEMM
 };
 
 /// ReLU with optional clamp (ReLU6 when cap = 6).
@@ -35,6 +40,8 @@ class Relu final : public Layer {
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
@@ -52,6 +59,8 @@ class Pool2D final : public Layer {
   Pool2D(PoolKind kind, int kernel, int stride);
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
@@ -66,6 +75,8 @@ class Pool2D final : public Layer {
 class GlobalAvgPool final : public Layer {
  public:
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
@@ -77,6 +88,8 @@ class Flatten final : public Layer {
  public:
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override { (void)input; return 0; }
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
@@ -99,6 +112,8 @@ class BatchNorm final : public Layer {
 
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
@@ -113,6 +128,8 @@ class Softmax final : public Layer {
  public:
   [[nodiscard]] Tensor forward(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
+  void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
+                    Workspace& ws) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "nn/workspace.hpp"
 
 namespace iob::nn {
 
@@ -12,6 +13,7 @@ Model::Model(std::string name, Shape input_shape)
     : name_(std::move(name)), input_shape_(std::move(input_shape)),
       current_output_shape_(input_shape_) {
   IOB_EXPECTS(!input_shape_.empty(), "model input shape must be non-empty");
+  max_activation_elems_ = shape_elems(input_shape_);
 }
 
 void Model::add(LayerPtr layer) {
@@ -27,6 +29,8 @@ void Model::add(LayerPtr layer) {
   p.output_bytes_i8 = shape_elems(out);
   profiles_.push_back(std::move(p));
 
+  max_activation_elems_ = std::max(max_activation_elems_, shape_elems(out));
+  max_scratch_elems_ = std::max(max_scratch_elems_, layer->scratch_elems(current_output_shape_));
   layers_.push_back(std::move(layer));
   current_output_shape_ = out;
 }
@@ -36,6 +40,95 @@ Tensor Model::forward(const Tensor& input) const {
 }
 
 Tensor Model::run_batched(const Tensor& batched_input) const {
+  const int batch = batched_input.rank() >= 1 ? batched_input.shape()[0] : 0;
+  const ConstSpan out = run_into(detail::thread_workspace(), batched_input);
+  Shape out_shape{batch};
+  const Shape& out_sample =
+      layers_.empty() ? input_shape_ : profiles_.back().output_shape;
+  out_shape.insert(out_shape.end(), out_sample.begin(), out_sample.end());
+  return Tensor::from_data(std::move(out_shape), out.data);
+}
+
+std::vector<Tensor> Model::run_batched(const std::vector<Tensor>& inputs) const {
+  IOB_EXPECTS(!inputs.empty(), "run_batched needs at least one sample");
+  const int batch = static_cast<int>(inputs.size());
+  const std::int64_t sample_elems = shape_elems(input_shape_);
+  Workspace& ws = detail::thread_workspace();
+  ws.configure(*this, batch);
+  // Stage samples straight into the workspace — no stacked intermediate.
+  float* staging = ws.ping();
+  for (int s = 0; s < batch; ++s) {
+    const Tensor& x = inputs[static_cast<std::size_t>(s)];
+    IOB_EXPECTS(x.shape() == input_shape_, "run_batched sample shape mismatch");
+    std::copy(x.data(), x.data() + sample_elems,
+              staging + static_cast<std::ptrdiff_t>(s) * sample_elems);
+  }
+  const ConstSpan out = run_into(ws, staging, batch);
+  const Shape& out_sample = layers_.empty() ? input_shape_ : profiles_.back().output_shape;
+  const std::int64_t out_stride = out.size / batch;
+  std::vector<Tensor> results;
+  results.reserve(inputs.size());
+  for (int s = 0; s < batch; ++s) {
+    results.push_back(
+        Tensor::from_data(out_sample, out.data + static_cast<std::ptrdiff_t>(s) * out_stride));
+  }
+  return results;
+}
+
+ConstSpan Model::run_into(Workspace& ws, const float* input, int batch) const {
+  return run_range_into(ws, input, batch, 0, layers_.size());
+}
+
+ConstSpan Model::run_into(Workspace& ws, const Tensor& batched_input) const {
+  IOB_EXPECTS(batched_input.rank() == static_cast<int>(input_shape_.size()) + 1,
+              "batched input must add one leading batch dim to the model input shape");
+  const int batch = batched_input.shape()[0];
+  IOB_EXPECTS(std::equal(batched_input.shape().begin() + 1, batched_input.shape().end(),
+                         input_shape_.begin(), input_shape_.end()),
+              "batched input sample shape mismatch");
+  return run_range_into(ws, batched_input.data(), batch, 0, layers_.size());
+}
+
+ConstSpan Model::run_range_into(Workspace& ws, const float* input, int batch, std::size_t first,
+                                std::size_t last) const {
+  IOB_EXPECTS(first <= last && last <= layers_.size(), "invalid layer range");
+  IOB_EXPECTS(batch >= 1, "batch must be >= 1");
+  // Keep the "input may alias workspace staging" contract safe across a
+  // growth: configure may reallocate the arena, and vector::resize
+  // preserves contents, so a pointer into ping()/pong() is re-derived
+  // rather than left dangling.
+  const bool staged_in_ping = ws.activation_capacity() > 0 && input == ws.ping();
+  const bool staged_in_pong = ws.activation_capacity() > 0 && input == ws.pong();
+  ws.configure(*this, batch);
+  const float* cur = staged_in_ping ? ws.ping() : staged_in_pong ? ws.pong() : input;
+  for (std::size_t i = first; i < last; ++i) {
+    // Ping-pong: write into whichever arena buffer `cur` does not occupy
+    // (the first hop off a caller-supplied pointer lands in ping unless the
+    // caller staged there).
+    float* next = cur == ws.ping() ? ws.pong() : ws.ping();
+    layers_[i]->forward_into(cur, layer_input_shape(i), batch, next, ws);
+    cur = next;
+  }
+  const Shape& out_sample = last == 0 ? input_shape_ : profiles_[last - 1].output_shape;
+  return ConstSpan{cur, shape_elems(out_sample) * batch};
+}
+
+Tensor Model::forward_range(const Tensor& input, std::size_t first, std::size_t last) const {
+  IOB_EXPECTS(first <= last && last <= layers_.size(), "invalid layer range");
+  IOB_EXPECTS(input.shape() == layer_input_shape(first),
+              "forward_range input shape mismatch");
+  const ConstSpan out = run_range_into(detail::thread_workspace(), input.data(), 1, first, last);
+  const Shape& out_sample = last == 0 ? input_shape_ : profiles_[last - 1].output_shape;
+  return Tensor::from_data(out_sample, out.data);
+}
+
+Tensor Model::forward_reference(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->forward_reference(x);
+  return x;
+}
+
+Tensor Model::run_batched_reference(const Tensor& batched_input) const {
   IOB_EXPECTS(batched_input.rank() == static_cast<int>(input_shape_.size()) + 1,
               "batched input must add one leading batch dim to the model input shape");
   const int batch = batched_input.shape()[0];
@@ -43,18 +136,7 @@ Tensor Model::run_batched(const Tensor& batched_input) const {
                          input_shape_.begin(), input_shape_.end()),
               "batched input sample shape mismatch");
   Tensor x = batched_input;
-  for (const auto& layer : layers_) x = layer->forward_batched(x, batch);
-  return x;
-}
-
-std::vector<Tensor> Model::run_batched(const std::vector<Tensor>& inputs) const {
-  return unstack_batch(run_batched(stack_batch(inputs)));
-}
-
-Tensor Model::forward_range(const Tensor& input, std::size_t first, std::size_t last) const {
-  IOB_EXPECTS(first <= last && last <= layers_.size(), "invalid layer range");
-  Tensor x = input;
-  for (std::size_t i = first; i < last; ++i) x = layers_[i]->forward(x);
+  for (const auto& layer : layers_) x = layer->forward_batched_reference(x, batch);
   return x;
 }
 

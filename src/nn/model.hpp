@@ -22,6 +22,8 @@ struct LayerProfile {
   std::int64_t output_bytes_i8 = 0;   ///< same, int8-quantized transport
 };
 
+class Workspace;
+
 class Model {
  public:
   Model(std::string name, Shape input_shape);
@@ -38,14 +40,41 @@ class Model {
   /// equal to `forward` on each sample.
   [[nodiscard]] Tensor run_batched(const Tensor& batched_input) const;
 
-  /// Convenience overload: stack, run, unstack.
+  /// Convenience overload: samples stage directly into the workspace (no
+  /// intermediate stacked tensor), run, and unpack per-sample outputs.
   [[nodiscard]] std::vector<Tensor> run_batched(const std::vector<Tensor>& inputs) const;
+
+  /// Allocation-free hot path: run `batch` contiguous samples from `input`
+  /// through the lowered layer chain, ping-ponging activations inside `ws`.
+  /// Returns a view of the final activations (into `ws`, or `input` itself
+  /// for an empty model) valid until the workspace is reused. Zero heap
+  /// allocations once `ws` has reached its high-water size (grow-only).
+  /// `input` may alias `ws` staging (`Workspace::ping()`/`pong()`): staged
+  /// samples survive an internal arena growth (pointers are re-derived and
+  /// resize preserves contents).
+  ConstSpan run_into(Workspace& ws, const float* input, int batch) const;
+
+  /// Validating overload over a batched tensor (shape [N, ...input_shape]).
+  ConstSpan run_into(Workspace& ws, const Tensor& batched_input) const;
+
+  /// Layer-range core of `run_into`: run layers [first, last) only — the
+  /// building block for split execution across leaf/hub/cloud venues.
+  ConstSpan run_range_into(Workspace& ws, const float* input, int batch, std::size_t first,
+                           std::size_t last) const;
 
   /// Run layers [first, last) only — the building block for split execution
   /// across leaf/hub/cloud venues. `input` must have the shape produced by
   /// layer first-1 (or the model input for first == 0).
   [[nodiscard]] Tensor forward_range(const Tensor& input, std::size_t first,
                                      std::size_t last) const;
+
+  /// Seed-loop oracle chain: executes every layer's `forward_reference`
+  /// (the original naive nested loops). The lowered engine is tested — and
+  /// benchmarked — bit-exact against this.
+  [[nodiscard]] Tensor forward_reference(const Tensor& input) const;
+
+  /// Batched seed-loop oracle (see `forward_reference`).
+  [[nodiscard]] Tensor run_batched_reference(const Tensor& batched_input) const;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
@@ -62,15 +91,29 @@ class Model {
   [[nodiscard]] std::int64_t input_bytes_f32() const;
   [[nodiscard]] std::int64_t input_bytes_i8() const;
 
+  /// Largest per-sample activation (input or any layer output), in floats —
+  /// what one ping-pong workspace buffer must hold per batched sample.
+  [[nodiscard]] std::int64_t max_activation_elems() const { return max_activation_elems_; }
+
+  /// Largest per-sample im2col scratch any layer requests, in floats.
+  [[nodiscard]] std::int64_t max_scratch_elems() const { return max_scratch_elems_; }
+
   /// Multi-line layer table (for reports and examples).
   [[nodiscard]] std::string summary() const;
 
  private:
+  /// Input shape of layer `i` (the model input for i == 0).
+  [[nodiscard]] const Shape& layer_input_shape(std::size_t i) const {
+    return i == 0 ? input_shape_ : profiles_[i - 1].output_shape;
+  }
+
   std::string name_;
   Shape input_shape_;
   std::vector<LayerPtr> layers_;
   std::vector<LayerProfile> profiles_;
   Shape current_output_shape_;
+  std::int64_t max_activation_elems_ = 0;
+  std::int64_t max_scratch_elems_ = 0;
 };
 
 }  // namespace iob::nn

@@ -60,15 +60,36 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return out;
 }
 
+Tensor::Tensor(Shape shape, const float* src)
+    : shape_(std::move(shape)),
+      data_(src, src + static_cast<std::size_t>(shape_elems(shape_))) {
+  IOB_EXPECTS(!shape_.empty() && shape_.size() <= 4, "tensor rank must be 1-4");
+}
+
+Tensor Tensor::from_data(Shape shape, const float* data) {
+  IOB_EXPECTS(data != nullptr, "from_data needs a source pointer");
+  return Tensor(std::move(shape), data);
+}
+
 Tensor Tensor::batch_item(int i) const {
-  IOB_EXPECTS(rank() >= 2, "batch_item needs a leading batch dim");
+  const ConstSpan s = batch_span(i);
+  return from_data(Shape(shape_.begin() + 1, shape_.end()), s.data);
+}
+
+ConstSpan Tensor::batch_span(int i) const {
+  IOB_EXPECTS(rank() >= 2, "batch_span needs a leading batch dim");
   IOB_EXPECTS(i >= 0 && i < shape_[0], "batch index out of range");
-  const Shape sample_shape(shape_.begin() + 1, shape_.end());
-  Tensor out(sample_shape);
-  const std::int64_t stride = out.size();
-  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i) * stride,
-            data_.begin() + static_cast<std::ptrdiff_t>(i + 1) * stride, out.data_.begin());
-  return out;
+  const std::int64_t stride = size() / shape_[0];
+  return ConstSpan{data() + static_cast<std::ptrdiff_t>(i) * stride, stride};
+}
+
+Tensor patterned_tensor(Shape shape, int salt) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    const auto h = static_cast<std::uint32_t>(i * 2654435761u + salt * 97u);
+    t[i] = static_cast<float>(h % 1000u) / 500.0f - 1.0f;
+  }
+  return t;
 }
 
 Tensor stack_batch(const std::vector<Tensor>& samples) {
@@ -89,19 +110,27 @@ Tensor stack_batch(const std::vector<Tensor>& samples) {
 
 std::vector<Tensor> unstack_batch(const Tensor& batched) {
   IOB_EXPECTS(batched.rank() >= 2, "unstack_batch needs a leading batch dim");
+  const Shape sample_shape(batched.shape().begin() + 1, batched.shape().end());
   std::vector<Tensor> out;
   out.reserve(static_cast<std::size_t>(batched.shape()[0]));
-  for (int i = 0; i < batched.shape()[0]; ++i) out.push_back(batched.batch_item(i));
+  for (int i = 0; i < batched.shape()[0]; ++i) {
+    out.push_back(Tensor::from_data(sample_shape, batched.batch_span(i).data));
+  }
   return out;
+}
+
+double max_abs_diff(ConstSpan a, ConstSpan b) {
+  IOB_EXPECTS(a.size == b.size, "span size mismatch");
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.size; ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(a[i] - b[i])));
+  }
+  return m;
 }
 
 double Tensor::max_abs_diff(const Tensor& other) const {
   IOB_EXPECTS(shape_ == other.shape_, "shape mismatch");
-  double m = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    m = std::max(m, static_cast<double>(std::fabs(data_[i] - other.data_[i])));
-  }
-  return m;
+  return nn::max_abs_diff(ConstSpan{data(), size()}, ConstSpan{other.data(), other.size()});
 }
 
 }  // namespace iob::nn

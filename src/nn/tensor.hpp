@@ -23,10 +23,28 @@ std::int64_t shape_elems(const Shape& shape);
 /// Human-readable "HxWxC" rendering.
 std::string shape_str(const Shape& shape);
 
+/// Non-owning read-only view of `size` contiguous floats — the C++17
+/// stand-in for std::span<const float> the allocation-free inference entry
+/// points (`Model::run_into`, `Tensor::batch_span`) traffic in.
+struct ConstSpan {
+  const float* data = nullptr;
+  std::int64_t size = 0;
+
+  [[nodiscard]] const float* begin() const { return data; }
+  [[nodiscard]] const float* end() const { return data + size; }
+  float operator[](std::int64_t i) const { return data[static_cast<std::size_t>(i)]; }
+};
+
+/// Elementwise maximum |a - b| of two equal-sized spans.
+[[nodiscard]] double max_abs_diff(ConstSpan a, ConstSpan b);
+
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(Shape shape, float fill = 0.0f);
+
+  /// Build a tensor by copying `shape_elems(shape)` floats from `data`.
+  [[nodiscard]] static Tensor from_data(Shape shape, const float* data);
 
   [[nodiscard]] const Shape& shape() const { return shape_; }
   [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
@@ -57,10 +75,25 @@ class Tensor {
   /// this tensor's shape minus the leading dim.
   [[nodiscard]] Tensor batch_item(int i) const;
 
+  /// Zero-copy view of sample `i` of a batched tensor (leading dim =
+  /// batch). Preferred over `batch_item` wherever the sample is only read;
+  /// the view is invalidated by any mutation of this tensor.
+  [[nodiscard]] ConstSpan batch_span(int i) const;
+
  private:
+  /// Direct copy-construction from raw storage (single write; the public
+  /// fill constructor would zero-fill first). Backs `from_data`.
+  Tensor(Shape shape, const float* src);
+
   Shape shape_;
   std::vector<float> data_;
 };
+
+/// Deterministic synthetic activations: a hash-pattern fill in [-1, 1),
+/// varied by `salt` so batched samples differ. The one input generator
+/// behind the engine's bit-exactness tests and benches (a drifted copy
+/// would silently decouple what they exercise).
+[[nodiscard]] Tensor patterned_tensor(Shape shape, int salt);
 
 /// Stack equal-shaped samples into one batched tensor of shape
 /// [N, ...sample]. Sample rank must be <= 3 (the result honors the rank-4

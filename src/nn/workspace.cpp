@@ -1,0 +1,38 @@
+#include "nn/workspace.hpp"
+
+#include "common/expect.hpp"
+#include "nn/model.hpp"
+
+namespace iob::nn {
+
+void Workspace::reserve_activations(std::int64_t elems) {
+  IOB_EXPECTS(elems >= 0, "activation size must be non-negative");
+  if (static_cast<std::int64_t>(ping_.size()) < elems) {
+    ping_.resize(static_cast<std::size_t>(elems));
+    pong_.resize(static_cast<std::size_t>(elems));
+  }
+}
+
+void Workspace::reserve_im2col(std::int64_t elems) {
+  IOB_EXPECTS(elems >= 0, "im2col size must be non-negative");
+  if (static_cast<std::int64_t>(im2col_.size()) < elems) {
+    im2col_.resize(static_cast<std::size_t>(elems));
+  }
+}
+
+void Workspace::configure(const Model& model, int max_batch) {
+  IOB_EXPECTS(max_batch >= 1, "max_batch must be >= 1");
+  reserve_activations(model.max_activation_elems() * max_batch);
+  reserve_im2col(model.max_scratch_elems() * max_batch);
+}
+
+namespace detail {
+
+Workspace& thread_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace detail
+
+}  // namespace iob::nn

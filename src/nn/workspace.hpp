@@ -1,0 +1,59 @@
+#pragma once
+/// \file workspace.hpp
+/// Reusable inference arena: two ping-pong activation buffers plus an
+/// im2col scratch pad. Sized once per (model, max batch) — or grown lazily
+/// to the high-water mark — and reused across inferences, so the
+/// steady-state inference loop (`Model::run_into`) performs zero heap
+/// allocations (interposer-verified by bench/nn_infer.cpp and
+/// tests/nn_engine_test.cpp).
+///
+/// Thread model: a Workspace is single-threaded scratch. One workspace per
+/// thread (e.g. the `thread_workspace()` used by the Tensor-returning
+/// convenience wrappers, or one per `core::SweepRunner` worker) keeps
+/// parallel sweeps race-free; results never depend on which workspace ran
+/// the pass, since every buffer is fully overwritten before it is read.
+
+#include <cstdint>
+#include <vector>
+
+namespace iob::nn {
+
+class Model;
+
+class Workspace {
+ public:
+  /// Grow the ping-pong activation buffers to hold `elems` floats each.
+  /// Grow-only: no allocation when the capacity already suffices.
+  void reserve_activations(std::int64_t elems);
+
+  /// Grow the im2col scratch pad to `elems` floats. Grow-only.
+  void reserve_im2col(std::int64_t elems);
+
+  /// Size every buffer for `model` at batch sizes up to `max_batch` in one
+  /// shot (the "sized once per (model, max_batch)" entry point). Subsequent
+  /// `Model::run_into` calls at any batch <= max_batch never allocate.
+  void configure(const Model& model, int max_batch);
+
+  [[nodiscard]] float* ping() { return ping_.data(); }
+  [[nodiscard]] float* pong() { return pong_.data(); }
+  [[nodiscard]] float* im2col() { return im2col_.data(); }
+
+  [[nodiscard]] std::int64_t activation_capacity() const {
+    return static_cast<std::int64_t>(ping_.size());
+  }
+  [[nodiscard]] std::int64_t im2col_capacity() const {
+    return static_cast<std::int64_t>(im2col_.size());
+  }
+
+ private:
+  std::vector<float> ping_, pong_, im2col_;
+};
+
+namespace detail {
+/// Per-thread scratch workspace backing the Tensor-returning convenience
+/// APIs (`Model::forward`, `Layer::forward`, `run_batched`). Grows to each
+/// thread's high-water mark and is reused for the life of the thread.
+Workspace& thread_workspace();
+}  // namespace detail
+
+}  // namespace iob::nn
