@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -33,6 +34,32 @@ inline int run_microbenchmarks(int argc, char** argv) {
 inline double wall_time_s() {
   using clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Run `fn` repeatedly until `budget_s` elapses (>= 2 calls), returning
+/// calls per second. Coarse but stable enough for the trajectory gate; the
+/// one timing loop behind the nn engine benches.
+template <typename F>
+inline double rate_per_s(double budget_s, F&& fn) {
+  fn();  // warm-up
+  const double start = wall_time_s();
+  std::uint64_t calls = 0;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++calls;
+    elapsed = wall_time_s() - start;
+  } while (elapsed < budget_s || calls < 2);
+  return static_cast<double>(calls) / elapsed;
+}
+
+/// Index of the largest element (top-1 class of a logit vector).
+inline int argmax(const float* d, std::int64_t n) {
+  int best = 0;
+  for (std::int64_t i = 1; i < n; ++i) {
+    if (d[i] > d[best]) best = static_cast<int>(i);
+  }
+  return best;
 }
 
 /// Collects headline metrics (events/s, sweep points/s, wall time, ...) and

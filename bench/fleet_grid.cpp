@@ -1,7 +1,8 @@
 // Fleet-scale design-space sweep (ROADMAP "fleet harness" item): a
 // declarative grid of full `net::NetworkSim` discrete-event simulations —
 // node count x MAC variant x leaf population mix x harvesting profile x
-// replicate seeds — expanded and fanned across `core::SweepRunner` by
+// batch window x hub precision x replicate seeds — expanded and fanned
+// across `core::SweepRunner` by
 // `core::Fleet`, then folded into per-axis marginal summaries (lifetime
 // percentiles, goodput, drop rate, bus utilization). This is the paper's
 // system-level claim probed as a region, not a point: >= 2,000 independent
@@ -20,6 +21,7 @@
 #include "common/units.hpp"
 #include "core/fleet.hpp"
 #include "core/sweep_runner.hpp"
+#include "nn/precision.hpp"
 
 namespace {
 
@@ -102,8 +104,13 @@ core::FleetAxes make_axes(bool smoke) {
   // window (concurrent KWS sessions fold into one batched pass).
   axes.batch_windows = {0, 8};
 
+  // Hub precision axis: f32 hubs vs int8 hubs (the analytic ledger prices
+  // int8 MACs at HubConfig::int8_mac_energy_scale; weight streaming is
+  // int8-priced on both).
+  axes.precisions = {nn::Precision::kF32, nn::Precision::kInt8};
+
   if (smoke) {
-    // <= 64-point CI configuration: 2 x 2 x 2 x 2 x 1 x 2 x 1 = 32 points.
+    // <= 64-point CI configuration: 2 x 2 x 2 x 2 x 1 x 2 x 2 x 1 = 64 points.
     axes.node_counts = {2, 8};
     axes.macs.resize(2);
     axes.mixes.resize(2);
@@ -111,8 +118,8 @@ core::FleetAxes make_axes(bool smoke) {
     axes.seeds = {42};
     axes.duration_s = 2.0;
   } else {
-    // 8 x 3 x 3 x 3 x 1 x 2 x 5 = 2,160 points.
-    axes.node_counts = {2, 4, 8, 12, 16, 24, 32, 48};
+    // 4 x 3 x 3 x 3 x 1 x 2 x 2 x 5 = 2,160 points.
+    axes.node_counts = {2, 8, 16, 32};
     axes.seeds = {42, 43, 44, 45, 46};
     axes.duration_s = 4.0;
   }
@@ -122,9 +129,10 @@ core::FleetAxes make_axes(bool smoke) {
 void print_grid() {
   const bool smoke = std::getenv("IOB_FLEET_SMOKE") != nullptr;
   const core::Fleet fleet(make_axes(smoke));
-  common::print_banner("Fleet grid — " + std::to_string(fleet.size()) +
-                       " NetworkSim points (node count x MAC x mix x harvesting x batch x seed)" +
-                       (smoke ? " [smoke]" : ""));
+  common::print_banner(
+      "Fleet grid — " + std::to_string(fleet.size()) +
+      " NetworkSim points (node count x MAC x mix x harvesting x batch x precision x seed)" +
+      (smoke ? " [smoke]" : ""));
 
   const core::SweepRunner runner;
   const double t0 = bench::wall_time_s();

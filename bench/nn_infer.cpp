@@ -36,22 +36,6 @@ using namespace iob;
 
 constexpr int kBatch = 8;
 
-/// Run `fn` repeatedly until `budget_s` elapses (>= 2 calls), returning
-/// calls per second. Coarse but stable enough for the trajectory gate.
-template <typename F>
-double rate_per_s(double budget_s, F&& fn) {
-  fn();  // warm-up
-  const double start = bench::wall_time_s();
-  std::uint64_t calls = 0;
-  double elapsed = 0.0;
-  do {
-    fn();
-    ++calls;
-    elapsed = bench::wall_time_s() - start;
-  } while (elapsed < budget_s || calls < 2);
-  return static_cast<double>(calls) / elapsed;
-}
-
 struct ModelEntry {
   const char* key;
   nn::Model model;
@@ -95,16 +79,16 @@ void print_headline() {
                   "lowered batched pass diverged from seed");
     }
 
-    const double single = rate_per_s(budget_s, [&] {
+    const double single = bench::rate_per_s(budget_s, [&] {
       benchmark::DoNotOptimize(m.run_into(ws, x.data(), 1).data);
     });
-    const double single_seed = rate_per_s(budget_s, [&] {
+    const double single_seed = bench::rate_per_s(budget_s, [&] {
       benchmark::DoNotOptimize(m.forward_reference(x).data());
     });
-    const double batched = kBatch * rate_per_s(budget_s, [&] {
+    const double batched = kBatch * bench::rate_per_s(budget_s, [&] {
       benchmark::DoNotOptimize(m.run_into(ws, stacked.data(), kBatch).data);
     });
-    const double batched_seed = kBatch * rate_per_s(budget_s, [&] {
+    const double batched_seed = kBatch * bench::rate_per_s(budget_s, [&] {
       benchmark::DoNotOptimize(m.run_batched_reference(stacked).data());
     });
 

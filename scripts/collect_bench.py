@@ -27,15 +27,17 @@ import sys
 
 DEFAULT_HISTORY = "bench_history.jsonl"
 # Higher-is-better series watched by default (ROADMAP headline numbers).
-# The nn_* pair covers the lowered GEMM inference engine (bench_nn_infer):
-# a >threshold drop in single-inference or batched VWW throughput fails the
-# strict CI gate just like the event-core and fleet series.
+# The nn_* trio covers the inference engines: the f32 lowered GEMM pair
+# (bench_nn_infer) and the int8 quantized path (bench_nn_int8): a
+# >threshold drop in any of them fails the strict CI gate just like the
+# event-core and fleet series.
 DEFAULT_WATCH = [
     "events_per_s",
     "sweep_points_per_s",
     "fleet_points_per_s",
     "nn_single_infer_per_s_vww",
     "nn_batched_items_per_s_vww",
+    "nn_int8_batched_items_per_s_vww",
 ]
 
 

@@ -75,25 +75,12 @@ double DesignSpaceExplorer::required_harvest_w(double rate_bps) const {
 
 double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
                                           double lo_j, double hi_j) {
-  IOB_EXPECTS(lo_j > 0 && hi_j > lo_j, "invalid bisection range");
-  const auto offload_wins = [&](double e_bit) {
-    partition::CostModel cm = base;
-    cm.leaf_hub.sender_energy_per_bit_j = e_bit;
-    const partition::Partitioner part(model, cm);
-    return part.full_offload().leaf_energy_j() < part.all_on_leaf().leaf_energy_j();
-  };
-  if (!offload_wins(lo_j)) return 0.0;       // offload never wins
-  if (offload_wins(hi_j)) return hi_j;        // offload always wins in range
-  double lo = lo_j, hi = hi_j;
-  for (int i = 0; i < 200; ++i) {
-    const double mid = std::sqrt(lo * hi);
-    if (offload_wins(mid)) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  // Single implementation: the runner grid-refine path on a 1-thread pool
+  // (bit-exact identical at every thread count, including this one). The
+  // historical serial bisection converged to the same bracket; keeping one
+  // refinement algorithm means every call site shares it.
+  const SweepRunner serial(1);
+  return offload_crossover_energy_per_bit_j(model, base, serial, lo_j, hi_j);
 }
 
 double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,

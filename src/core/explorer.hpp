@@ -71,16 +71,17 @@ class DesignSpaceExplorer {
 
 /// Link energy/bit below which *full offload* of `model` beats all-on-leaf
 /// for leaf energy (the architectural crossover the paper's Wi-R enables).
-/// Bisects over sender energy/bit in [lo, hi]; the rest of the cost model
-/// is taken from `base`.
+/// Refines over sender energy/bit in [lo, hi]; the rest of the cost model
+/// is taken from `base`. Delegates to the runner grid-refine overload on a
+/// 1-thread pool — there is one refinement algorithm, and its result is
+/// bit-exact identical at every thread count.
 double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
                                           double lo_j = 1e-13, double hi_j = 1e-6);
 
-/// Runner-parallel variant: each refinement round evaluates a log-spaced
+/// Runner-parallel core: each refinement round evaluates a log-spaced
 /// batch of candidate energies across the pool and narrows the bracket to
 /// the first losing candidate (scanned in index order), so the result is
 /// bit-exact identical at every thread count — including a 1-thread runner.
-/// Converges to the same bracket the serial bisection finds.
 double offload_crossover_energy_per_bit_j(const nn::Model& model, partition::CostModel base,
                                           const SweepRunner& runner, double lo_j = 1e-13,
                                           double hi_j = 1e-6);

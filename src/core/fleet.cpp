@@ -51,6 +51,7 @@ std::string to_string(FleetAxis axis) {
     case kAxisHarvest: return "harvesting";
     case kAxisBus: return "bus";
     case kAxisBatch: return "batch window";
+    case kAxisPrecision: return "precision";
     case kAxisSeed: return "seed";
     default: return "unknown";
   }
@@ -70,7 +71,7 @@ std::unique_ptr<const comm::Link> make_bus_link(BusKind kind) {
 
 std::size_t FleetAxes::size() const {
   return node_counts.size() * macs.size() * mixes.size() * harvests.size() *
-         buses.size() * batch_windows.size() * seeds.size();
+         buses.size() * batch_windows.size() * precisions.size() * seeds.size();
 }
 
 namespace {
@@ -128,6 +129,7 @@ std::unique_ptr<net::NetworkSim> build_fleet_point(const FleetPoint& p) {
     if (cls.session) {
       net::SessionConfig s = *cls.session;
       s.stream = stream;
+      s.precision = p.precision;  // the precision axis reaches every session
       sim->add_session(std::move(s));
     }
   }
@@ -219,6 +221,7 @@ Fleet::Fleet(FleetAxes axes) : axes_(std::move(axes)) {
   IOB_EXPECTS(!axes_.harvests.empty(), "harvests axis is empty");
   IOB_EXPECTS(!axes_.buses.empty(), "buses axis is empty");
   IOB_EXPECTS(!axes_.batch_windows.empty(), "batch_windows axis is empty");
+  IOB_EXPECTS(!axes_.precisions.empty(), "precisions axis is empty");
   IOB_EXPECTS(!axes_.seeds.empty(), "seeds axis is empty");
   IOB_EXPECTS(axes_.duration_s > 0, "duration must be positive");
   for (const int n : axes_.node_counts) {
@@ -240,19 +243,22 @@ std::vector<FleetPoint> Fleet::expand() const {
         for (std::size_t hi = 0; hi < axes_.harvests.size(); ++hi) {
           for (std::size_t bi = 0; bi < axes_.buses.size(); ++bi) {
             for (std::size_t wi = 0; wi < axes_.batch_windows.size(); ++wi) {
-              for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
-                FleetPoint p;
-                p.index = points.size();
-                p.coord = {ni, mi, xi, hi, bi, wi, si};
-                p.node_count = axes_.node_counts[ni];
-                p.mac = axes_.macs[mi];
-                p.mix = axes_.mixes[xi];
-                p.harvest = axes_.harvests[hi];
-                p.bus = axes_.buses[bi];
-                p.batch_window = axes_.batch_windows[wi];
-                p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
-                p.duration_s = axes_.duration_s;
-                points.push_back(std::move(p));
+              for (std::size_t pi = 0; pi < axes_.precisions.size(); ++pi) {
+                for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
+                  FleetPoint p;
+                  p.index = points.size();
+                  p.coord = {ni, mi, xi, hi, bi, wi, pi, si};
+                  p.node_count = axes_.node_counts[ni];
+                  p.mac = axes_.macs[mi];
+                  p.mix = axes_.mixes[xi];
+                  p.harvest = axes_.harvests[hi];
+                  p.bus = axes_.buses[bi];
+                  p.batch_window = axes_.batch_windows[wi];
+                  p.precision = axes_.precisions[pi];
+                  p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
+                  p.duration_s = axes_.duration_s;
+                  points.push_back(std::move(p));
+                }
               }
             }
           }
@@ -318,7 +324,7 @@ FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) cons
   const std::array<std::size_t, kAxisCount> axis_sizes = {
       axes_.node_counts.size(), axes_.macs.size(),          axes_.mixes.size(),
       axes_.harvests.size(),    axes_.buses.size(),         axes_.batch_windows.size(),
-      axes_.seeds.size()};
+      axes_.precisions.size(),  axes_.seeds.size()};
   for (std::size_t a = 0; a < kAxisCount; ++a) {
     std::vector<AxisCell> cells;
     for (std::size_t v = 0; v < axis_sizes[a]; ++v) {
@@ -338,6 +344,7 @@ FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) cons
                       ? "per-frame"
                       : "batch-w" + std::to_string(axes_.batch_windows[v]);
           break;
+        case kAxisPrecision: label = nn::to_string(axes_.precisions[v]); break;
         case kAxisSeed: label = "seed=" + std::to_string(axes_.seeds[v]); break;
         default: label = "?"; break;
       }

@@ -18,7 +18,7 @@
 /// nested loops with `node_counts` outermost and `seeds` innermost —
 ///   for n in node_counts / for m in macs / for x in mixes /
 ///   for h in harvests / for b in buses / for w in batch_windows /
-///   for s in seeds
+///   for p in precisions / for s in seeds
 /// and `FleetPoint::seed = SweepRunner::point_seed(s, flat_index)`, so
 /// sibling points never share an RNG stream even when the seed axis holds a
 /// single value.
@@ -43,6 +43,7 @@
 #include "energy/harvester.hpp"
 #include "net/network_sim.hpp"
 #include "net/session.hpp"
+#include "nn/precision.hpp"
 
 namespace iob::core {
 
@@ -104,6 +105,10 @@ struct FleetAxes {
   /// K >= 1 = one batched flush every K superframes. Lets grids sweep
   /// batched vs unbatched hub inference.
   std::vector<unsigned> batch_windows{0};
+  /// Hub inference precision axis: every session of a point executes (and
+  /// is priced) at this `nn::Precision` — f32 hubs vs int8 hubs in one
+  /// grid. f32 keeps the ledger bit-identical to pre-precision grids.
+  std::vector<nn::Precision> precisions{nn::Precision::kF32};
   std::vector<std::uint64_t> seeds{42};
   double duration_s = 5.0;  ///< simulated seconds per point
 
@@ -119,6 +124,7 @@ enum FleetAxis : std::size_t {
   kAxisHarvest,
   kAxisBus,
   kAxisBatch,
+  kAxisPrecision,
   kAxisSeed,
   kAxisCount,
 };
@@ -136,6 +142,7 @@ struct FleetPoint {
   HarvestVariant harvest{};
   BusKind bus = BusKind::kWiR;
   unsigned batch_window = 0;  ///< HubConfig::batch_window for this point
+  nn::Precision precision = nn::Precision::kF32;  ///< session execution precision
   std::uint64_t seed = 0;   ///< SweepRunner::point_seed(seed_axis_value, index)
   double duration_s = 5.0;
 };

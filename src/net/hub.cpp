@@ -16,6 +16,23 @@ double wall_clock_s() {
       .count();
 }
 
+/// Analytic MAC-energy factor for a session's precision. 1.0 for f32 (the
+/// multiply is exact, keeping the pre-precision ledger bit-identical).
+double mac_scale(const HubConfig& hub, const SessionConfig& cfg) {
+  return cfg.precision == nn::Precision::kInt8 ? hub.int8_mac_energy_scale : 1.0;
+}
+
+/// Index into the per-precision metering arrays.
+std::size_t prec_idx(nn::Precision p) { return p == nn::Precision::kInt8 ? 1 : 0; }
+
+/// Group key of a session: shared model tag, or a per-stream private
+/// group. The "~" prefix keeps private keys out of any user model
+/// namespace. The single definition behind add_session's group
+/// bookkeeping and the adaptive-flush group lookup.
+std::string group_key(const SessionConfig& cfg) {
+  return cfg.model.empty() ? "~stream:" + cfg.stream : cfg.model;
+}
+
 }  // namespace
 
 Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
@@ -24,6 +41,7 @@ Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
   IOB_EXPECTS(config_.energy_per_weight_byte_j >= 0,
               "energy per weight byte must be non-negative");
   IOB_EXPECTS(config_.compute_power_w >= 0, "compute power must be non-negative");
+  IOB_EXPECTS(config_.int8_mac_energy_scale >= 0, "int8 mac scale must be non-negative");
   bus_.set_delivery_handler(
       [this](const comm::Frame& f, sim::Time t) { on_frame(f, t); });
   if (config_.batch_window > 0) {
@@ -34,10 +52,16 @@ Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
 void Hub::add_session(SessionConfig config) {
   IOB_EXPECTS(!config.stream.empty(), "session stream tag must be non-empty");
   IOB_EXPECTS(config.bytes_per_inference > 0, "bytes per inference must be positive");
+  // Quantize-at-load: int8 metered sessions get their QuantizedModel here,
+  // never inside the timed execute path. Analytic-only runs (the
+  // deterministic sweeps) skip the cost entirely.
+  if (config_.execute_and_meter && config.net != nullptr &&
+      config.precision == nn::Precision::kInt8 &&
+      qmodels_.find(config.net) == qmodels_.end()) {
+    qmodels_.emplace(config.net, std::make_unique<nn::QuantizedModel>(*config.net));
+  }
   const std::string key = config.stream;
-  // Group key: shared model tag, or a per-stream private group. The "~"
-  // prefix keeps private keys out of any user model namespace.
-  const std::string group = config.model.empty() ? "~stream:" + key : config.model;
+  const std::string group = group_key(config);
   session_configs_[key] = std::move(config);
   session_stats_[key];   // default-construct
   staged_[key];
@@ -57,6 +81,12 @@ void Hub::add_session(SessionConfig config) {
   } else if (std::find(it->second.begin(), it->second.end(), key) == it->second.end()) {
     it->second.push_back(key);
   }
+  // Group vector indices may have shifted (empty-group compaction above):
+  // rebuild the stream -> group map. add_session is setup, not hot path.
+  group_index_.clear();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const std::string& member : groups_[g].second) group_index_[member] = g;
+  }
 }
 
 void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
@@ -73,8 +103,15 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
   Staged& staged = staged_[frame.stream];
   staged.pending_bytes += frame.payload_bytes;
   if (config_.batch_window > 0) {
-    // Batched path: stage until the superframe flush.
+    // Batched path: stage until the superframe flush — or, with an
+    // adaptive target, flush the window early the moment this group's
+    // staged batch reaches it (bounding queued latency under bursts).
     staged.frame_times.push_back(delivered_at);
+    if (config_.max_staged_batch > 0 &&
+        group_staged_inferences(frame.stream) >= config_.max_staged_batch) {
+      superframes_since_flush_ = 0;
+      flush_batches(delivered_at);
+    }
     return;
   }
 
@@ -87,16 +124,22 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
     // to the historical macs-only charge, and with batch_window == 1 a
     // one-inference flush accumulates the exact same double.
     const double analytic =
-        static_cast<double>(cfg.macs_per_inference) * config_.energy_per_mac_j +
+        static_cast<double>(cfg.macs_per_inference) * config_.energy_per_mac_j *
+            mac_scale(config_, cfg) +
         static_cast<double>(cfg.weight_bytes) * config_.energy_per_weight_byte_j;
     st.analytic_compute_energy_j += analytic;
+    const bool int8 = cfg.precision == nn::Precision::kInt8;
     if (config_.execute_and_meter && cfg.net != nullptr) {
-      const double t = execute_pass(*cfg.net, 1);
+      const double t = execute_pass(*cfg.net, cfg.precision, 1);
       st.kernel_time_s += t;
+      (int8 ? st.kernel_time_int8_s : st.kernel_time_f32_s) += t;
       ++st.executed_inferences;
-      st.compute_energy_j += t * config_.compute_power_w;
+      const double e = t * config_.compute_power_w;
+      st.compute_energy_j += e;
+      (int8 ? st.compute_energy_int8_j : st.compute_energy_f32_j) += e;
     } else {
       st.compute_energy_j += analytic;
+      (int8 ? st.compute_energy_int8_j : st.compute_energy_f32_j) += analytic;
     }
     if (cfg.forward_to_cloud) {
       st.uplink_energy_j +=
@@ -150,12 +193,12 @@ void Hub::flush_batches(sim::Time boundary) {
 
     // Execute-and-meter: run the staged inferences of the members that
     // carry an executable model (the group shares one by construction)
-    // through the nn engine once, and attribute the measured kernel time by
-    // share of that metered batch. Members without a model stay analytic,
-    // exactly as on the per-frame path.
+    // through the nn engine once per precision, and attribute each measured
+    // kernel time by share of its precision's metered batch. Members
+    // without a model stay analytic, exactly as on the per-frame path.
     const nn::Model* net = nullptr;
-    std::uint64_t metered_total = 0;
-    double pass_time_s = 0.0;
+    std::uint64_t metered_total[2] = {0, 0};  // [f32, int8]
+    double pass_time_s[2] = {0.0, 0.0};
     if (config_.execute_and_meter) {
       for (const std::string& stream : streams) {
         const SessionConfig& cfg = session_configs_[stream];
@@ -163,9 +206,15 @@ void Hub::flush_batches(sim::Time boundary) {
         IOB_EXPECTS(net == nullptr || net == cfg.net,
                     "sessions sharing a model tag must share one nn::Model instance");
         net = cfg.net;
-        metered_total += staged_[stream].pending_bytes / cfg.bytes_per_inference;
+        metered_total[prec_idx(cfg.precision)] +=
+            staged_[stream].pending_bytes / cfg.bytes_per_inference;
       }
-      if (metered_total > 0) pass_time_s = execute_pass(*net, metered_total);
+      if (metered_total[0] > 0) {
+        pass_time_s[0] = execute_pass(*net, nn::Precision::kF32, metered_total[0]);
+      }
+      if (metered_total[1] > 0) {
+        pass_time_s[1] = execute_pass(*net, nn::Precision::kInt8, metered_total[1]);
+      }
     }
 
     // Pass 2: one batched model pass of size `total`. Weights stream once;
@@ -183,18 +232,23 @@ void Hub::flush_batches(sim::Time boundary) {
       st.batched_inferences += n;
       ++st.batched_passes;
       const double analytic =
-          static_cast<double>(n * cfg.macs_per_inference) * config_.energy_per_mac_j +
+          static_cast<double>(n * cfg.macs_per_inference) * config_.energy_per_mac_j *
+              mac_scale(config_, cfg) +
           weight_energy_j * (static_cast<double>(n) / static_cast<double>(total));
       st.analytic_compute_energy_j += analytic;
+      const bool int8 = cfg.precision == nn::Precision::kInt8;
       double charged = analytic;
-      if (metered_total > 0 && cfg.net != nullptr) {
+      const std::size_t pi = prec_idx(cfg.precision);
+      if (metered_total[pi] > 0 && cfg.net != nullptr) {
         const double time_share =
-            pass_time_s * (static_cast<double>(n) / static_cast<double>(metered_total));
+            pass_time_s[pi] * (static_cast<double>(n) / static_cast<double>(metered_total[pi]));
         st.kernel_time_s += time_share;
+        (int8 ? st.kernel_time_int8_s : st.kernel_time_f32_s) += time_share;
         st.executed_inferences += n;
         charged = time_share * config_.compute_power_w;
       }
       st.compute_energy_j += charged;
+      (int8 ? st.compute_energy_int8_j : st.compute_energy_f32_j) += charged;
       st.batched_compute_energy_j += charged;
       if (cfg.forward_to_cloud) {
         st.uplink_energy_j += static_cast<double>(n) * static_cast<double>(cfg.result_bytes) *
@@ -204,16 +258,40 @@ void Hub::flush_batches(sim::Time boundary) {
   }
 }
 
-double Hub::execute_pass(const nn::Model& net, std::uint64_t count) {
+std::uint64_t Hub::group_staged_inferences(const std::string& stream) const {
+  const auto idx_it = group_index_.find(stream);
+  if (idx_it == group_index_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const std::string& member : groups_[idx_it->second].second) {
+    const auto member_cfg = session_configs_.find(member);
+    const auto member_staged = staged_.find(member);
+    if (member_cfg == session_configs_.end() || member_staged == staged_.end()) continue;
+    total += member_staged->second.pending_bytes / member_cfg->second.bytes_per_inference;
+  }
+  return total;
+}
+
+double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count) {
+  const nn::QuantizedModel* qm = nullptr;
+  if (precision == nn::Precision::kInt8) {
+    const auto it = qmodels_.find(&net);
+    IOB_EXPECTS(it != qmodels_.end(), "int8 metered session has no quantized model");
+    qm = it->second.get();
+  }
   double elapsed = 0.0;
   while (count > 0) {
     const int b = static_cast<int>(std::min(count, kMeterBatchCap));
     float* in = synth_input(net, b);
     // Size the arena outside the timed region: one-time buffer growth is
     // setup cost, not kernel time, and would skew short metered runs.
-    ws_.configure(net, b);
+    if (qm != nullptr) {
+      ws_.configure(*qm, b);
+    } else {
+      ws_.configure(net, b);
+    }
     const double t0 = wall_clock_s();
-    const nn::ConstSpan out = net.run_into(ws_, in, b);
+    const nn::ConstSpan out =
+        qm != nullptr ? qm->run_into(ws_, in, b) : net.run_into(ws_, in, b);
     elapsed += wall_clock_s() - t0;
     // Touch the result so the pass is observably executed.
     IOB_ENSURES(out.size > 0, "metered pass produced no output");

@@ -19,6 +19,7 @@
 ///    delay in `SessionStats::queued_latency_s`.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -26,6 +27,7 @@
 
 #include "comm/tdma.hpp"
 #include "net/session.hpp"
+#include "nn/qmodel.hpp"
 #include "nn/workspace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -38,6 +40,12 @@ struct HubConfig {
   double base_power_w = 50e-3;       ///< SoC idle/display/OS floor
   /// Superframes staged per batched flush; 0 keeps the per-frame path.
   unsigned batch_window = 0;
+  /// Adaptive batch flush: when > 0 (batched path only), a delivery that
+  /// brings any model group's staged inference count to this target flushes
+  /// the whole batch window immediately instead of waiting for the
+  /// superframe boundary — bounding `queued_latency_s` under bursty
+  /// traffic. 0 keeps the fixed-window behavior bit-identical.
+  std::uint64_t max_staged_batch = 0;
   /// int8 weight-streaming cost per byte (DRAM-class), paid once per model
   /// pass. Only sessions with `weight_bytes > 0` are affected.
   double energy_per_weight_byte_j = 50e-12;
@@ -54,6 +62,13 @@ struct HubConfig {
   /// Active power of the hub's inference engine while a metered kernel
   /// runs (W). The 250 mW default is a wearable-SoC NPU/DSP class figure.
   double compute_power_w = 0.25;
+  /// Analytic MAC-energy discount for int8 sessions: an int8 MAC costs
+  /// roughly a quarter of an f32 MAC in silicon (Horowitz, ISSCC'14 class
+  /// numbers), so sessions with `SessionConfig::precision == kInt8` charge
+  /// `macs * energy_per_mac_j * int8_mac_energy_scale`. The weight term is
+  /// untouched — `energy_per_weight_byte_j` already prices int8 bytes.
+  /// f32 sessions never consult this, keeping their ledger bit-identical.
+  double int8_mac_energy_scale = 0.25;
 };
 
 class Hub {
@@ -100,10 +115,15 @@ class Hub {
   void on_superframe_end(sim::Time boundary);
   void flush_batches(sim::Time boundary);
 
-  /// Execute `count` inferences on `net` through the hub workspace (in
-  /// sub-batches of at most kMeterBatchCap) and return the measured kernel
-  /// wall time in seconds.
-  double execute_pass(const nn::Model& net, std::uint64_t count);
+  /// Staged inference count of the model group containing `stream` (the
+  /// adaptive-flush trigger quantity).
+  [[nodiscard]] std::uint64_t group_staged_inferences(const std::string& stream) const;
+
+  /// Execute `count` inferences on `net` at `precision` through the hub
+  /// workspace (in sub-batches of at most kMeterBatchCap) and return the
+  /// measured kernel wall time in seconds. Int8 sessions run the hub's
+  /// `nn::QuantizedModel` lowering (built once at `add_session`).
+  double execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count);
 
   /// Deterministic synthetic input staging for metered passes: the frames'
   /// payload bytes are window counters, not tensor payloads, so the hub
@@ -123,6 +143,11 @@ class Hub {
   /// Iterated at flush so energy accumulation order is deterministic and
   /// compiler-independent (never hash-map order).
   std::vector<std::pair<std::string, std::vector<std::string>>> groups_;
+  /// Stream tag -> index into groups_, maintained by add_session so the
+  /// adaptive-flush check on the frame-delivery hot path is a hash lookup
+  /// plus a member walk — no string building, no group scan, no
+  /// allocations.
+  std::unordered_map<std::string, std::size_t> group_index_;
   unsigned superframes_since_flush_ = 0;
   std::uint64_t batched_passes_ = 0;
   std::uint64_t frames_received_ = 0;
@@ -131,6 +156,10 @@ class Hub {
   nn::Workspace ws_;             ///< reused across metered passes (grow-only)
   std::vector<float> synth_;     ///< patterned input staging for metered passes
   std::int64_t synth_filled_ = 0;  ///< prefix of synth_ already patterned
+  /// Quantize-at-load cache: one `nn::QuantizedModel` per distinct source
+  /// model, built when an int8 session registers under execute-and-meter
+  /// (never in the metered hot path).
+  std::unordered_map<const nn::Model*, std::unique_ptr<nn::QuantizedModel>> qmodels_;
 };
 
 }  // namespace iob::net

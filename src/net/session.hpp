@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "nn/precision.hpp"
 #include "sim/stats.hpp"
 
 namespace iob::nn {
@@ -44,6 +45,16 @@ struct SessionConfig {
   /// sharing a `model` tag must point at the same instance (they fold into
   /// one batched pass; the hub's flush enforces this).
   const nn::Model* net = nullptr;
+  /// Execution precision of this session's inferences — the same
+  /// `nn::Precision` the partitioner's transport flag derives from. With
+  /// `kInt8` the analytic ledger discounts MAC energy by
+  /// `HubConfig::int8_mac_energy_scale` (the weight-streaming term is
+  /// already int8-priced), and execute-and-meter runs the staged
+  /// inferences through the hub's `nn::QuantizedModel` lowering of `net`
+  /// instead of the f32 engine — the meter finally measures the precision
+  /// the weight-energy model prices. `kF32` keeps every energy number
+  /// bit-identical to the pre-precision ledger.
+  nn::Precision precision = nn::Precision::kF32;
 };
 
 struct SessionStats {
@@ -73,6 +84,15 @@ struct SessionStats {
   /// execute-and-meter mode it runs alongside the measured number so the
   /// two energy models can be compared point-for-point.
   double analytic_compute_energy_j = 0.0;
+  /// Per-precision split of `compute_energy_j`: every charge lands in the
+  /// bucket of the session's `SessionConfig::precision`, on both the
+  /// analytic and the metered path (the two buckets sum to
+  /// `compute_energy_j`).
+  double compute_energy_f32_j = 0.0;
+  double compute_energy_int8_j = 0.0;
+  /// Per-precision split of `kernel_time_s` (execute-and-meter only).
+  double kernel_time_f32_s = 0.0;
+  double kernel_time_int8_s = 0.0;
 };
 
 }  // namespace iob::net

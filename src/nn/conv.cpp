@@ -56,6 +56,10 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, in
 
 void Conv2D::pad_amounts(const Shape& input, int& pad_top, int& pad_left) const {
   int oh, ow;
+  geometry(input, oh, ow, pad_top, pad_left);
+}
+
+void Conv2D::geometry(const Shape& input, int& oh, int& ow, int& pad_top, int& pad_left) const {
   conv_axis(input[0], kh_, sh_, padding_, oh, pad_top);
   conv_axis(input[1], kw_, sw_, padding_, ow, pad_left);
 }
@@ -87,6 +91,11 @@ Tensor Conv2D::forward_batched(const Tensor& input, int batch) const {
 
 void Conv2D::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
                           Workspace& ws) const {
+  forward_into_fused(in, in_shape, batch, out, ws, GemmTail{});
+}
+
+void Conv2D::forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                                Workspace& ws, const GemmTail& tail) const {
   IOB_EXPECTS(in_shape.size() == 3, "conv2d expects HWC input");
   IOB_EXPECTS(in_shape[2] == in_c_, "conv2d channel mismatch");
   const int ih = in_shape[0], iw = in_shape[1];
@@ -97,14 +106,14 @@ void Conv2D::forward_into(const float* in, const Shape& in_shape, int batch, flo
   if (kh_ == 1 && kw_ == 1 && sh_ == 1 && sw_ == 1) {
     // Pointwise stride-1: the HWC input already is the patch matrix.
     gemm_blocked(static_cast<std::int64_t>(batch) * ih * iw, out_c_, in_c_, in, packed_.data(),
-                 bias_.data(), out);
+                 bias_.data(), out, tail);
     return;
   }
   const std::int64_t M = static_cast<std::int64_t>(batch) * oh * ow;
   ws.reserve_im2col(M * K);
   im2col_nhwc(batch, ih, iw, in_c_, kh_, kw_, sh_, sw_, pad_top, pad_left, oh, ow, in,
               ws.im2col());
-  gemm_blocked(M, out_c_, K, ws.im2col(), packed_.data(), bias_.data(), out);
+  gemm_blocked(M, out_c_, K, ws.im2col(), packed_.data(), bias_.data(), out, tail);
 }
 
 std::int64_t Conv2D::scratch_elems(const Shape& in_shape) const {
@@ -218,6 +227,12 @@ DepthwiseConv2D::DepthwiseConv2D(int channels, int kernel, int stride, Padding p
   // then reads contiguous weight lanes.
   packed_.resize(weights_.size());
   pack_k_major(weights_.data(), c_, static_cast<std::int64_t>(k_) * k_, packed_.data());
+}
+
+void DepthwiseConv2D::geometry(const Shape& input, int& oh, int& ow, int& pad_top,
+                               int& pad_left) const {
+  conv_axis(input[0], k_, s_, padding_, oh, pad_top);
+  conv_axis(input[1], k_, s_, padding_, ow, pad_left);
 }
 
 Shape DepthwiseConv2D::output_shape(const Shape& input) const {
@@ -381,6 +396,11 @@ Tensor Conv1D::forward_batched(const Tensor& input, int batch) const {
 
 void Conv1D::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
                           Workspace& ws) const {
+  forward_into_fused(in, in_shape, batch, out, ws, GemmTail{});
+}
+
+void Conv1D::forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                                Workspace& ws, const GemmTail& tail) const {
   IOB_EXPECTS(in_shape.size() == 2, "conv1d expects LC input");
   IOB_EXPECTS(in_shape[1] == in_c_, "conv1d channel mismatch");
   const int il = in_shape[0];
@@ -388,7 +408,7 @@ void Conv1D::forward_into(const float* in, const Shape& in_shape, int batch, flo
   conv_axis(il, k_, s_, padding_, ol, pad_lead);
   if (k_ == 1 && s_ == 1) {
     gemm_blocked(static_cast<std::int64_t>(batch) * il, out_c_, in_c_, in, packed_.data(),
-                 bias_.data(), out);
+                 bias_.data(), out, tail);
     return;
   }
   // An LC signal is an (L x 1 x C) image: reuse the 2-D patch extractor
@@ -397,7 +417,11 @@ void Conv1D::forward_into(const float* in, const Shape& in_shape, int batch, flo
   const std::int64_t M = static_cast<std::int64_t>(batch) * ol;
   ws.reserve_im2col(M * K);
   im2col_nhwc(batch, il, 1, in_c_, k_, 1, s_, 1, pad_lead, 0, ol, 1, in, ws.im2col());
-  gemm_blocked(M, out_c_, K, ws.im2col(), packed_.data(), bias_.data(), out);
+  gemm_blocked(M, out_c_, K, ws.im2col(), packed_.data(), bias_.data(), out, tail);
+}
+
+void Conv1D::geometry(const Shape& input, int& ol, int& pad_lead) const {
+  conv_axis(input[0], k_, s_, padding_, ol, pad_lead);
 }
 
 std::int64_t Conv1D::scratch_elems(const Shape& in_shape) const {

@@ -32,11 +32,26 @@ class Conv2D final : public Layer {
                     Workspace& ws) const override;
   [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
+  [[nodiscard]] bool supports_gemm_tail_fusion() const override { return true; }
+  void forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                          Workspace& ws, const GemmTail& tail) const override;
   [[nodiscard]] std::int64_t scratch_elems(const Shape& in_shape) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] int in_channels() const { return in_c_; }
+  [[nodiscard]] int out_channels() const { return out_c_; }
+  [[nodiscard]] int kernel_h() const { return kh_; }
+  [[nodiscard]] int kernel_w() const { return kw_; }
+  [[nodiscard]] int stride_h() const { return sh_; }
+  [[nodiscard]] int stride_w() const { return sw_; }
+  /// Row-major [out_c][kh][kw][in_c] weights (the quantizer's source).
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return bias_; }
+  /// Spatial geometry for `input`: output dims and leading pads.
+  void geometry(const Shape& input, int& oh, int& ow, int& pad_top, int& pad_left) const;
 
  private:
   void pad_amounts(const Shape& input, int& pad_top, int& pad_left) const;
@@ -63,6 +78,15 @@ class DepthwiseConv2D final : public Layer {
   [[nodiscard]] std::uint64_t param_count() const override;
   [[nodiscard]] std::string describe() const override;
 
+  [[nodiscard]] int channels() const { return c_; }
+  [[nodiscard]] int kernel() const { return k_; }
+  [[nodiscard]] int stride() const { return s_; }
+  /// Row-major [c][k][k] weights (the quantizer's source).
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return bias_; }
+  /// Spatial geometry for `input`: output dims and leading pads.
+  void geometry(const Shape& input, int& oh, int& ow, int& pad_top, int& pad_left) const;
+
  private:
   int c_, k_, s_;
   Padding padding_;
@@ -81,11 +105,24 @@ class Conv1D final : public Layer {
                     Workspace& ws) const override;
   [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
+  [[nodiscard]] bool supports_gemm_tail_fusion() const override { return true; }
+  void forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                          Workspace& ws, const GemmTail& tail) const override;
   [[nodiscard]] std::int64_t scratch_elems(const Shape& in_shape) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] int in_channels() const { return in_c_; }
+  [[nodiscard]] int out_channels() const { return out_c_; }
+  [[nodiscard]] int kernel() const { return k_; }
+  [[nodiscard]] int stride() const { return s_; }
+  /// Row-major [out_c][k][in_c] weights (the quantizer's source).
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return bias_; }
+  /// Axis geometry for `input`: output length and leading pad.
+  void geometry(const Shape& input, int& ol, int& pad_lead) const;
 
  private:
   int in_c_, out_c_, k_, s_;

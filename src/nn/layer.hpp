@@ -13,6 +13,7 @@
 namespace iob::nn {
 
 class Workspace;
+struct GemmTail;
 
 enum class Padding { kValid, kSame };
 
@@ -61,6 +62,29 @@ class Layer {
     (void)in_shape;
     return 0;
   }
+
+  /// Describe this layer as a fusable elementwise GEMM-epilogue tail over
+  /// `channels` output columns (the producer's trailing dim). Relu and
+  /// BatchNorm override it; everything else is not a tail. Returning true
+  /// fills `tail`; the fused pair is bit-exact vs running the tail as its
+  /// own pass, so `Model::run_into` fuses whenever both sides agree.
+  [[nodiscard]] virtual bool gemm_tail(int channels, GemmTail& tail) const {
+    (void)channels;
+    (void)tail;
+    return false;
+  }
+
+  /// True for layers whose `forward_into` lowers onto `gemm_blocked` and
+  /// can absorb a `GemmTail` in the epilogue (Conv2D, Conv1D,
+  /// FullyConnected). Such layers must also override `forward_into_fused`.
+  [[nodiscard]] virtual bool supports_gemm_tail_fusion() const { return false; }
+
+  /// Fused execution: `forward_into` with `tail` applied inside the GEMM
+  /// epilogue — output shape and contents equal running this layer then the
+  /// tail layer, with one ping-pong hop saved. Only called when
+  /// `supports_gemm_tail_fusion()` is true.
+  virtual void forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                                  Workspace& ws, const GemmTail& tail) const;
 
   /// Output shape for an input shape (throws on incompatible input).
   [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;

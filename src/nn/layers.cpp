@@ -44,6 +44,17 @@ void Layer::forward_into(const float* in, const Shape& in_shape, int batch, floa
   std::copy(y.data(), y.data() + y.size(), out);
 }
 
+void Layer::forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                               Workspace& ws, const GemmTail& tail) const {
+  (void)in;
+  (void)in_shape;
+  (void)batch;
+  (void)out;
+  (void)ws;
+  (void)tail;
+  IOB_EXPECTS(false, "layer does not support gemm-tail fusion");
+}
+
 // ---- FullyConnected ---------------------------------------------------------
 
 FullyConnected::FullyConnected(int in_features, int out_features, std::vector<float> weights,
@@ -83,9 +94,14 @@ Tensor FullyConnected::forward_batched(const Tensor& input, int batch) const {
 
 void FullyConnected::forward_into(const float* in, const Shape& in_shape, int batch, float* out,
                                   Workspace& ws) const {
+  forward_into_fused(in, in_shape, batch, out, ws, GemmTail{});
+}
+
+void FullyConnected::forward_into_fused(const float* in, const Shape& in_shape, int batch,
+                                        float* out, Workspace& ws, const GemmTail& tail) const {
   (void)ws;
   IOB_EXPECTS(shape_elems(in_shape) == in_features_, "fc input size mismatch");
-  gemm_blocked(batch, out_features_, in_features_, in, packed_.data(), bias_.data(), out);
+  gemm_blocked(batch, out_features_, in_features_, in, packed_.data(), bias_.data(), out, tail);
 }
 
 Tensor FullyConnected::forward_reference(const Tensor& input) const {
@@ -170,6 +186,13 @@ void Relu::forward_into(const float* in, const Shape& in_shape, int batch, float
     if (cap_ > 0.0f) v = std::min(cap_, v);
     out[i] = v;
   }
+}
+
+bool Relu::gemm_tail(int channels, GemmTail& tail) const {
+  (void)channels;  // relu is channel-agnostic
+  tail.kind = GemmTail::Kind::kRelu;
+  tail.cap = cap_;
+  return true;
 }
 
 Shape Relu::output_shape(const Shape& input) const { return input; }
@@ -390,6 +413,16 @@ void BatchNorm::forward_into(const float* in, const Shape& in_shape, int batch, 
                shift_[static_cast<std::size_t>(ch)];
     }
   }
+}
+
+bool BatchNorm::gemm_tail(int channels, GemmTail& tail) const {
+  // Only fusable when the producer's columns are exactly this layer's
+  // channels (the per-column epilogue IS the per-channel affine).
+  if (channels != static_cast<int>(scale_.size())) return false;
+  tail.kind = GemmTail::Kind::kBatchNorm;
+  tail.scale = scale_.data();
+  tail.shift = shift_.data();
+  return true;
 }
 
 std::uint64_t BatchNorm::macs(const Shape& input) const {

@@ -22,10 +22,18 @@ class FullyConnected final : public Layer {
                     Workspace& ws) const override;
   [[nodiscard]] Tensor forward_reference(const Tensor& input) const override;
   [[nodiscard]] Tensor forward_batched_reference(const Tensor& input, int batch) const override;
+  [[nodiscard]] bool supports_gemm_tail_fusion() const override { return true; }
+  void forward_into_fused(const float* in, const Shape& in_shape, int batch, float* out,
+                          Workspace& ws, const GemmTail& tail) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] int in_features() const { return in_features_; }
+  [[nodiscard]] int out_features() const { return out_features_; }
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return bias_; }
 
  private:
   int in_features_, out_features_;
@@ -42,10 +50,13 @@ class Relu final : public Layer {
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
                     Workspace& ws) const override;
+  [[nodiscard]] bool gemm_tail(int channels, GemmTail& tail) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] float cap() const { return cap_; }
 
  private:
   float cap_;
@@ -65,6 +76,10 @@ class Pool2D final : public Layer {
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override { return 0; }
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] PoolKind kind() const { return kind_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+  [[nodiscard]] int stride() const { return stride_; }
 
  private:
   PoolKind kind_;
@@ -114,10 +129,14 @@ class BatchNorm final : public Layer {
   [[nodiscard]] Tensor forward_batched(const Tensor& input, int batch) const override;
   void forward_into(const float* in, const Shape& in_shape, int batch, float* out,
                     Workspace& ws) const override;
+  [[nodiscard]] bool gemm_tail(int channels, GemmTail& tail) const override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
   [[nodiscard]] std::uint64_t macs(const Shape& input) const override;
   [[nodiscard]] std::uint64_t param_count() const override;
   [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::vector<float>& scale() const { return scale_; }
+  [[nodiscard]] const std::vector<float>& shift() const { return shift_; }
 
  private:
   std::vector<float> scale_, shift_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "nn/gemm.hpp"
 #include "nn/workspace.hpp"
 
 namespace iob::nn {
@@ -32,6 +33,16 @@ void Model::add(LayerPtr layer) {
   max_activation_elems_ = std::max(max_activation_elems_, shape_elems(out));
   max_scratch_elems_ = std::max(max_scratch_elems_, layer->scratch_elems(current_output_shape_));
   layers_.push_back(std::move(layer));
+  fuse_with_next_.push_back(false);
+  // Fusion plan: a GEMM-lowered producer absorbs an immediately following
+  // elementwise tail into its epilogue (one ping-pong hop saved, bit-exact).
+  const std::size_t j = layers_.size() - 1;
+  if (j > 0 && layers_[j - 1]->supports_gemm_tail_fusion()) {
+    GemmTail tail;
+    if (layers_[j]->gemm_tail(profiles_[j - 1].output_shape.back(), tail)) {
+      fuse_with_next_[j - 1] = true;
+    }
+  }
   current_output_shape_ = out;
 }
 
@@ -101,12 +112,23 @@ ConstSpan Model::run_range_into(Workspace& ws, const float* input, int batch, st
   const bool staged_in_pong = ws.activation_capacity() > 0 && input == ws.pong();
   ws.configure(*this, batch);
   const float* cur = staged_in_ping ? ws.ping() : staged_in_pong ? ws.pong() : input;
-  for (std::size_t i = first; i < last; ++i) {
+  for (std::size_t i = first; i < last;) {
     // Ping-pong: write into whichever arena buffer `cur` does not occupy
     // (the first hop off a caller-supplied pointer lands in ping unless the
     // caller staged there).
     float* next = cur == ws.ping() ? ws.pong() : ws.ping();
-    layers_[i]->forward_into(cur, layer_input_shape(i), batch, next, ws);
+    if (fuse_with_next_[i] && i + 1 < last) {
+      // Fused producer+tail pair: one hop, tail applied in the GEMM
+      // epilogue (`cur` then holds layer i+1's output — same shape, since
+      // the tail is elementwise).
+      GemmTail tail;
+      layers_[i + 1]->gemm_tail(profiles_[i].output_shape.back(), tail);
+      layers_[i]->forward_into_fused(cur, layer_input_shape(i), batch, next, ws, tail);
+      i += 2;
+    } else {
+      layers_[i]->forward_into(cur, layer_input_shape(i), batch, next, ws);
+      ++i;
+    }
     cur = next;
   }
   const Shape& out_sample = last == 0 ? input_shape_ : profiles_[last - 1].output_shape;

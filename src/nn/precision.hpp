@@ -1,0 +1,27 @@
+#pragma once
+/// \file precision.hpp
+/// Numeric precision of an execution or transport path. The one enum every
+/// layer that reasons about precision shares: the partitioner's transport
+/// format (`partition::CostModel::transport`), the hub session's execution
+/// precision (`net::SessionConfig::precision`), and the fleet grid's
+/// precision axis (`core::FleetAxes::precisions`) all derive from it, so
+/// "int8" means the same thing from the GEMM kernel up to the fleet grid.
+
+namespace iob::nn {
+
+enum class Precision {
+  kF32,   ///< 32-bit float: the reference engine and the accuracy oracle
+  kInt8,  ///< 8-bit affine-quantized: the on-body deployment precision
+};
+
+[[nodiscard]] constexpr const char* to_string(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "f32";
+}
+
+/// Activation bytes per element at a given precision (the "bytes on the
+/// wire" factor behind the partitioner's transfer costs).
+[[nodiscard]] constexpr int bytes_per_element(Precision p) {
+  return p == Precision::kInt8 ? 1 : 4;
+}
+
+}  // namespace iob::nn

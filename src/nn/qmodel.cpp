@@ -1,0 +1,456 @@
+#include "nn/qmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/expect.hpp"
+#include "nn/conv.hpp"
+#include "nn/gemm.hpp"
+#include "nn/layers.hpp"
+#include "nn/workspace.hpp"
+
+namespace iob::nn {
+
+namespace {
+
+/// Per-output-channel quantized weights, transposed to the K-major [K][N]
+/// layout the int8 GEMM's B operand packing expects.
+struct QWeights {
+  std::vector<std::int8_t> km;   ///< K-major [cols][rows] int8
+  std::vector<float> scales;     ///< per-row (= per-column of km) scale
+  std::vector<std::int32_t> zps; ///< per-row zero point
+};
+
+/// Quantize each output channel (row of the [rows][cols] matrix) with its
+/// own affine params via the quantize.hpp machinery, then transpose.
+QWeights quantize_weights_k_major(const std::vector<float>& w, std::int64_t rows,
+                                  std::int64_t cols) {
+  QWeights out;
+  out.km.resize(w.size());
+  out.scales.resize(static_cast<std::size_t>(rows));
+  out.zps.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const QuantizedTensor q = quantize(
+        Tensor::from_data(Shape{static_cast<int>(cols)}, w.data() + r * cols));
+    out.scales[static_cast<std::size_t>(r)] = q.params.scale;
+    out.zps[static_cast<std::size_t>(r)] = q.params.zero_point;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.km[static_cast<std::size_t>(c * rows + r)] = q.data[static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+bool is_weighted(const Layer& layer) {
+  return dynamic_cast<const Conv2D*>(&layer) != nullptr ||
+         dynamic_cast<const Conv1D*>(&layer) != nullptr ||
+         dynamic_cast<const DepthwiseConv2D*>(&layer) != nullptr ||
+         dynamic_cast<const FullyConnected*>(&layer) != nullptr;
+}
+
+}  // namespace
+
+QuantizedModel::QuantizedModel(const Model& model, int calibration_samples) : model_(&model) {
+  IOB_EXPECTS(calibration_samples >= 1, "need at least one calibration sample");
+  const std::size_t n = model.layer_count();
+
+  // ---- calibration: per-layer activation ranges over the f32 oracle ----
+  std::vector<float> mins(n + 1, std::numeric_limits<float>::infinity());
+  std::vector<float> maxs(n + 1, -std::numeric_limits<float>::infinity());
+  const auto track = [&](std::size_t idx, const Tensor& t) {
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      mins[idx] = std::min(mins[idx], t[i]);
+      maxs[idx] = std::max(maxs[idx], t[i]);
+    }
+  };
+  for (int s = 0; s < calibration_samples; ++s) {
+    Tensor x = patterned_tensor(model.input_shape(), s);
+    track(0, x);
+    for (std::size_t i = 0; i < n; ++i) {
+      x = model.layer(i).forward(x);
+      track(i + 1, x);
+    }
+  }
+  input_q_ = choose_quant_params(mins[0], maxs[0]);
+
+  // ---- find the int8 span: everything up to the last weighted layer ----
+  std::ptrdiff_t last_w = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_weighted(model.layer(i))) last_w = static_cast<std::ptrdiff_t>(i);
+  }
+
+  const auto& profiles = model.profiles();
+  const auto in_shape_of = [&](std::size_t i) -> const Shape& {
+    return i == 0 ? model.input_shape() : profiles[i - 1].output_shape;
+  };
+
+  QuantParams cur_q = input_q_;
+  std::size_t i = 0;
+  while (static_cast<std::ptrdiff_t>(i) <= last_w) {
+    const Layer& layer = model.layer(i);
+    Op op;
+    op.in_shape = in_shape_of(i);
+    op.out_shape = profiles[i].output_shape;
+    op.in_q = cur_q;
+    std::size_t consumed = 1;
+
+    const bool weighted = is_weighted(layer);
+    if (weighted) {
+      // Fuse an immediately following ReLU into the requantize epilogue
+      // (clamp applied on the real value, before rounding): the fused pair
+      // consumes the relu's calibrated output range, which is tighter than
+      // the raw accumulator's — finer int8 resolution for free.
+      const Relu* relu =
+          i + 1 < n ? dynamic_cast<const Relu*>(&model.layer(i + 1)) : nullptr;
+      if (relu != nullptr) {
+        op.relu_cap = relu->cap() > 0.0f ? relu->cap() : 0.0f;
+        op.out_shape = profiles[i + 1].output_shape;
+        consumed = 2;
+      }
+      op.out_q = choose_quant_params(mins[i + consumed], maxs[i + consumed]);
+    }
+
+    if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      op.kind = Op::Kind::kGemm;
+      op.is_conv = true;
+      op.ih = op.in_shape[0];
+      op.iw = op.in_shape[1];
+      op.ic = conv->in_channels();
+      op.oc = conv->out_channels();
+      op.kh = conv->kernel_h();
+      op.kw = conv->kernel_w();
+      op.sh = conv->stride_h();
+      op.sw = conv->stride_w();
+      conv->geometry(op.in_shape, op.oh, op.ow, op.pad_top, op.pad_left);
+      op.pointwise = op.kh == 1 && op.kw == 1 && op.sh == 1 && op.sw == 1;
+      op.k_dim = static_cast<std::int64_t>(op.kh) * op.kw * op.ic;
+      op.rows_per_sample = static_cast<std::int64_t>(op.oh) * op.ow;
+      QWeights qw = quantize_weights_k_major(conv->weights(), op.oc, op.k_dim);
+      op.qweights = std::move(qw.km);
+      op.col_scales = std::move(qw.scales);
+      op.wzps = std::move(qw.zps);
+      op.bias = conv->bias();
+    } else if (const auto* conv1 = dynamic_cast<const Conv1D*>(&layer)) {
+      // An LC signal is an (L x 1 x C) image — identical mapping to the
+      // f32 lowering.
+      op.kind = Op::Kind::kGemm;
+      op.is_conv = true;
+      op.ih = op.in_shape[0];
+      op.iw = 1;
+      op.ic = conv1->in_channels();
+      op.oc = conv1->out_channels();
+      op.kh = conv1->kernel();
+      op.kw = 1;
+      op.sh = conv1->stride();
+      op.sw = 1;
+      int ol = 0, pad_lead = 0;
+      conv1->geometry(op.in_shape, ol, pad_lead);
+      op.oh = ol;
+      op.ow = 1;
+      op.pad_top = pad_lead;
+      op.pad_left = 0;
+      op.pointwise = op.kh == 1 && op.sh == 1;
+      op.k_dim = static_cast<std::int64_t>(op.kh) * op.ic;
+      op.rows_per_sample = ol;
+      QWeights qw = quantize_weights_k_major(conv1->weights(), op.oc, op.k_dim);
+      op.qweights = std::move(qw.km);
+      op.col_scales = std::move(qw.scales);
+      op.wzps = std::move(qw.zps);
+      op.bias = conv1->bias();
+    } else if (const auto* fc = dynamic_cast<const FullyConnected*>(&layer)) {
+      op.kind = Op::Kind::kGemm;
+      op.oc = fc->out_features();
+      op.k_dim = fc->in_features();
+      op.rows_per_sample = 1;
+      QWeights qw = quantize_weights_k_major(fc->weights(), op.oc, op.k_dim);
+      op.qweights = std::move(qw.km);
+      op.col_scales = std::move(qw.scales);
+      op.wzps = std::move(qw.zps);
+      op.bias = fc->bias();
+    } else if (const auto* dw = dynamic_cast<const DepthwiseConv2D*>(&layer)) {
+      op.kind = Op::Kind::kDwConv;
+      op.ih = op.in_shape[0];
+      op.iw = op.in_shape[1];
+      op.ic = dw->channels();
+      op.oc = dw->channels();
+      op.kh = dw->kernel();
+      op.kw = dw->kernel();
+      op.sh = dw->stride();
+      op.sw = dw->stride();
+      dw->geometry(op.in_shape, op.oh, op.ow, op.pad_top, op.pad_left);
+      QWeights qw = quantize_weights_k_major(dw->weights(), op.ic,
+                                             static_cast<std::int64_t>(op.kh) * op.kw);
+      op.qweights = std::move(qw.km);
+      op.col_scales = std::move(qw.scales);
+      op.wzps = std::move(qw.zps);
+      op.bias = dw->bias();
+    } else if (const auto* relu = dynamic_cast<const Relu*>(&layer)) {
+      op.kind = Op::Kind::kRelu;
+      op.elt_cap = relu->cap();
+      op.out_q = choose_quant_params(mins[i + 1], maxs[i + 1]);
+    } else if (const auto* bn = dynamic_cast<const BatchNorm*>(&layer)) {
+      op.kind = Op::Kind::kBatchNorm;
+      op.bn_scale = &bn->scale();
+      op.bn_shift = &bn->shift();
+      op.out_q = choose_quant_params(mins[i + 1], maxs[i + 1]);
+    } else if (const auto* pool = dynamic_cast<const Pool2D*>(&layer)) {
+      op.kind = pool->kind() == PoolKind::kMax ? Op::Kind::kMaxPool : Op::Kind::kAvgPool;
+      op.pool_k = pool->kernel();
+      op.pool_s = pool->stride();
+      op.out_q = cur_q;  // pooling never widens the range: params propagate
+    } else if (dynamic_cast<const GlobalAvgPool*>(&layer) != nullptr) {
+      op.kind = Op::Kind::kGlobalAvg;
+      op.out_q = cur_q;
+    } else if (dynamic_cast<const Flatten*>(&layer) != nullptr) {
+      op.kind = Op::Kind::kCopy;
+      op.out_q = cur_q;
+    } else if (dynamic_cast<const Softmax*>(&layer) != nullptr) {
+      op.kind = Op::Kind::kSoftmax;
+      op.out_q = choose_quant_params(mins[i + 1], maxs[i + 1]);
+    } else {
+      IOB_EXPECTS(false, "int8 lowering does not support this layer type: " + layer.describe());
+    }
+
+    if (op.kind == Op::Kind::kGemm) {
+      const std::int64_t kp = (op.k_dim + 1) / 2;
+      op.wop16.resize(static_cast<std::size_t>(kp * op.oc * 2));
+      pack_b_s8(op.qweights.data(), op.k_dim, op.oc, op.wzps.data(), op.wop16.data());
+      max_acc_elems_ = std::max(max_acc_elems_, op.rows_per_sample * op.oc);
+      if (op.is_conv && !op.pointwise) {
+        max_scratch_elems_ = std::max(max_scratch_elems_, op.rows_per_sample * op.k_dim);
+      }
+    } else if (op.kind == Op::Kind::kDwConv) {
+      op.wop16.resize(op.qweights.size());
+      widen_dw_weights_s8(op.qweights.data(), static_cast<std::int64_t>(op.kh) * op.kw, op.ic,
+                          op.wzps.data(), op.wop16.data());
+    }
+    if (op.kind == Op::Kind::kGemm || op.kind == Op::Kind::kDwConv) {
+      // Fold the activation scale into the per-channel weight scales once.
+      for (float& sc : op.col_scales) sc *= op.in_q.scale;
+      weight_bytes_ += static_cast<std::int64_t>(op.qweights.size());
+    }
+
+    cur_q = op.out_q;
+    i += consumed;
+    ops_.push_back(std::move(op));
+  }
+  tail_start_ = i;
+  if (!ops_.empty()) ops_.back().dequant_out = true;
+}
+
+void QuantizedModel::run_op(const Op& op, Workspace& ws, const std::int8_t* in8,
+                            std::int8_t* out8, float* outf, int batch) const {
+  const std::int64_t in_elems = shape_elems(op.in_shape);
+  const std::int64_t out_elems = shape_elems(op.out_shape);
+  const float s_in = op.in_q.scale;
+  const std::int32_t z_in = op.in_q.zero_point;
+  const float inv_out = 1.0f / op.out_q.scale;
+  const std::int32_t z_out = op.out_q.zero_point;
+
+  switch (op.kind) {
+    case Op::Kind::kGemm: {
+      const std::int8_t* a = in8;
+      if (op.is_conv && !op.pointwise) {
+        ws.reserve_im2col_s8(static_cast<std::int64_t>(batch) * op.rows_per_sample * op.k_dim);
+        im2col_s8_nhwc(batch, op.ih, op.iw, op.ic, op.kh, op.kw, op.sh, op.sw, op.pad_top,
+                       op.pad_left, op.oh, op.ow, static_cast<std::int8_t>(z_in), in8,
+                       ws.im2col8());
+        a = ws.im2col8();
+      }
+      const std::int64_t m = static_cast<std::int64_t>(batch) * op.rows_per_sample;
+      ws.reserve_acc(m * op.oc);
+      QuantEpilogue epi;
+      epi.bias = op.bias.data();
+      epi.col_scales = op.col_scales.data();
+      epi.relu_cap = op.relu_cap;
+      epi.inv_out_scale = 1.0f / op.out_q.scale;
+      epi.out_zero = z_out;
+      if (op.dequant_out) {
+        epi.dstf = outf;
+      } else {
+        epi.dst = out8;
+      }
+      gemm_s8(m, op.oc, op.k_dim, a, z_in, op.wop16.data(), ws.acc(), &epi);
+      break;
+    }
+    case Op::Kind::kDwConv:
+      dwconv2d_s8(batch, op.ih, op.iw, op.ic, op.kh, op.sh, op.pad_top, op.pad_left, op.oh,
+                  op.ow, in8, z_in, op.wop16.data(), op.bias.data(), op.col_scales.data(),
+                  op.relu_cap, op.out_q.scale, z_out, op.dequant_out ? nullptr : out8,
+                  op.dequant_out ? outf : nullptr);
+      break;
+    case Op::Kind::kRelu: {
+      const std::int64_t total = in_elems * batch;
+      for (std::int64_t j = 0; j < total; ++j) {
+        float v = std::max(0.0f, s_in * static_cast<float>(in8[j] - z_in));
+        if (op.elt_cap > 0.0f) v = std::min(op.elt_cap, v);
+        out8[j] = requantize_value(v, inv_out, z_out);
+      }
+      break;
+    }
+    case Op::Kind::kBatchNorm: {
+      const auto c = static_cast<std::int64_t>(op.bn_scale->size());
+      const std::int64_t rows = in_elems * batch / c;
+      const float* bscale = op.bn_scale->data();
+      const float* bshift = op.bn_shift->data();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          const std::int64_t j = r * c + ch;
+          const float v = bscale[ch] * (s_in * static_cast<float>(in8[j] - z_in)) + bshift[ch];
+          out8[j] = requantize_value(v, inv_out, z_out);
+        }
+      }
+      break;
+    }
+    case Op::Kind::kMaxPool:
+    case Op::Kind::kAvgPool: {
+      const int iw = op.in_shape[1], c = op.in_shape[2];
+      const int oh = op.out_shape[0], ow = op.out_shape[1];
+      const int pk = op.pool_k, ps = op.pool_s;
+      for (int s = 0; s < batch; ++s) {
+        const std::int8_t* ib = in8 + static_cast<std::int64_t>(s) * in_elems;
+        std::int8_t* ob = out8 + static_cast<std::int64_t>(s) * out_elems;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            for (int ch = 0; ch < c; ++ch) {
+              if (op.kind == Op::Kind::kMaxPool) {
+                // Quantization is monotone: max over quantized values IS the
+                // quantized max — exact, no requant needed (out_q == in_q).
+                std::int8_t m = std::numeric_limits<std::int8_t>::min();
+                for (int ky = 0; ky < pk; ++ky) {
+                  for (int kx = 0; kx < pk; ++kx) {
+                    m = std::max(m, ib[(static_cast<std::int64_t>(oy * ps + ky) * iw +
+                                        (ox * ps + kx)) * c + ch]);
+                  }
+                }
+                *ob++ = m;
+              } else {
+                std::int32_t sum = 0;
+                for (int ky = 0; ky < pk; ++ky) {
+                  for (int kx = 0; kx < pk; ++kx) {
+                    sum += ib[(static_cast<std::int64_t>(oy * ps + ky) * iw +
+                               (ox * ps + kx)) * c + ch];
+                  }
+                }
+                const float v =
+                    s_in * (static_cast<float>(sum) / static_cast<float>(pk * pk) -
+                            static_cast<float>(z_in));
+                *ob++ = requantize_value(v, inv_out, z_out);
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Op::Kind::kGlobalAvg: {
+      const int c = op.in_shape.back();
+      const std::int64_t spatial = in_elems / c;
+      for (int s = 0; s < batch; ++s) {
+        const std::int8_t* ib = in8 + static_cast<std::int64_t>(s) * in_elems;
+        std::int8_t* ob = out8 + static_cast<std::int64_t>(s) * c;
+        for (int ch = 0; ch < c; ++ch) {
+          std::int32_t sum = 0;
+          for (std::int64_t sp = 0; sp < spatial; ++sp) sum += ib[sp * c + ch];
+          const float v = s_in * (static_cast<float>(sum) / static_cast<float>(spatial) -
+                                  static_cast<float>(z_in));
+          ob[ch] = requantize_value(v, inv_out, z_out);
+        }
+      }
+      break;
+    }
+    case Op::Kind::kCopy:
+      std::memcpy(out8, in8, static_cast<std::size_t>(in_elems * batch));
+      break;
+    case Op::Kind::kSoftmax: {
+      // Mid-chain softmax (not the usual float tail): dequantize the sample
+      // into the f32 arena, run the stable softmax, requantize.
+      float* scratch = ws.ping();
+      for (int s = 0; s < batch; ++s) {
+        const std::int8_t* ib = in8 + static_cast<std::int64_t>(s) * in_elems;
+        std::int8_t* ob = out8 + static_cast<std::int64_t>(s) * in_elems;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t j = 0; j < in_elems; ++j) {
+          scratch[j] = s_in * static_cast<float>(ib[j] - z_in);
+          mx = std::max(mx, scratch[j]);
+        }
+        double sum = 0.0;
+        for (std::int64_t j = 0; j < in_elems; ++j) {
+          scratch[j] = std::exp(scratch[j] - mx);
+          sum += scratch[j];
+        }
+        for (std::int64_t j = 0; j < in_elems; ++j) {
+          ob[j] = requantize_value(static_cast<float>(scratch[j] / sum), inv_out, z_out);
+        }
+      }
+      break;
+    }
+  }
+}
+
+ConstSpan QuantizedModel::run_into(Workspace& ws, const float* input, int batch) const {
+  IOB_EXPECTS(batch >= 1, "batch must be >= 1");
+  if (ops_.empty()) return model_->run_into(ws, input, batch);
+  ws.configure(*this, batch);
+
+  // Stage: quantize the f32 input into the int8 arena (same
+  // round-half-away rule as the load-time quantizer; the division by scale
+  // is computed as multiplication by the reciprocal, which can differ from
+  // `quantize()`'s exact division by one step at half-way ties).
+  std::int8_t* cur8 = ws.ping8();
+  quantize_f32_to_s8(input, shape_elems(model_->input_shape()) * batch, input_q_.scale,
+                     input_q_.zero_point, cur8);
+
+  // int8 chain; the last op dequantizes into the f32 arena.
+  for (const Op& op : ops_) {
+    if (op.dequant_out) {
+      run_op(op, ws, cur8, nullptr, ws.ping(), batch);
+    } else {
+      std::int8_t* next8 = cur8 == ws.ping8() ? ws.pong8() : ws.ping8();
+      run_op(op, ws, cur8, next8, nullptr, batch);
+      cur8 = next8;
+    }
+  }
+
+  // Float tail (softmax and friends) on the source model's lowered layers.
+  const auto& profiles = model_->profiles();
+  const float* curf = ws.ping();
+  for (std::size_t i = tail_start_; i < model_->layer_count(); ++i) {
+    const Shape& in_shape = i == 0 ? model_->input_shape() : profiles[i - 1].output_shape;
+    float* nextf = curf == ws.ping() ? ws.pong() : ws.ping();
+    model_->layer(i).forward_into(curf, in_shape, batch, nextf, ws);
+    curf = nextf;
+  }
+  const Shape& out_shape =
+      model_->layer_count() == 0 ? model_->input_shape() : profiles.back().output_shape;
+  return ConstSpan{curf, shape_elems(out_shape) * batch};
+}
+
+Tensor QuantizedModel::forward(const Tensor& input) const {
+  IOB_EXPECTS(input.shape() == model_->input_shape(), "quantized forward input shape mismatch");
+  const ConstSpan out = run_into(detail::thread_workspace(), input.data(), 1);
+  const Shape& out_shape = model_->layer_count() == 0
+                               ? model_->input_shape()
+                               : model_->profiles().back().output_shape;
+  return Tensor::from_data(out_shape, out.data);
+}
+
+Tensor QuantizedModel::run_batched(const Tensor& batched_input) const {
+  IOB_EXPECTS(batched_input.rank() == static_cast<int>(model_->input_shape().size()) + 1,
+              "batched input must add one leading batch dim to the model input shape");
+  const int batch = batched_input.shape()[0];
+  IOB_EXPECTS(std::equal(batched_input.shape().begin() + 1, batched_input.shape().end(),
+                         model_->input_shape().begin(), model_->input_shape().end()),
+              "batched input sample shape mismatch");
+  const ConstSpan out = run_into(detail::thread_workspace(), batched_input.data(), batch);
+  const Shape& out_sample = model_->layer_count() == 0
+                                ? model_->input_shape()
+                                : model_->profiles().back().output_shape;
+  Shape out_shape{batch};
+  out_shape.insert(out_shape.end(), out_sample.begin(), out_sample.end());
+  return Tensor::from_data(std::move(out_shape), out.data);
+}
+
+}  // namespace iob::nn

@@ -2,6 +2,7 @@
 
 #include "common/expect.hpp"
 #include "nn/model.hpp"
+#include "nn/qmodel.hpp"
 
 namespace iob::nn {
 
@@ -20,10 +21,41 @@ void Workspace::reserve_im2col(std::int64_t elems) {
   }
 }
 
+void Workspace::reserve_activations_s8(std::int64_t elems) {
+  IOB_EXPECTS(elems >= 0, "activation size must be non-negative");
+  if (static_cast<std::int64_t>(ping8_.size()) < elems) {
+    ping8_.resize(static_cast<std::size_t>(elems));
+    pong8_.resize(static_cast<std::size_t>(elems));
+  }
+}
+
+void Workspace::reserve_im2col_s8(std::int64_t elems) {
+  IOB_EXPECTS(elems >= 0, "im2col size must be non-negative");
+  if (static_cast<std::int64_t>(im2col8_.size()) < elems) {
+    im2col8_.resize(static_cast<std::size_t>(elems));
+  }
+}
+
+void Workspace::reserve_acc(std::int64_t elems) {
+  IOB_EXPECTS(elems >= 0, "accumulator size must be non-negative");
+  if (static_cast<std::int64_t>(acc_.size()) < elems) {
+    acc_.resize(static_cast<std::size_t>(elems));
+  }
+}
+
 void Workspace::configure(const Model& model, int max_batch) {
   IOB_EXPECTS(max_batch >= 1, "max_batch must be >= 1");
   reserve_activations(model.max_activation_elems() * max_batch);
   reserve_im2col(model.max_scratch_elems() * max_batch);
+}
+
+void Workspace::configure(const QuantizedModel& model, int max_batch) {
+  IOB_EXPECTS(max_batch >= 1, "max_batch must be >= 1");
+  reserve_activations_s8(model.max_activation_elems() * max_batch);
+  reserve_im2col_s8(model.max_scratch_elems() * max_batch);
+  reserve_acc(model.max_acc_elems() * max_batch);
+  // The float tail (and the dequantized logits) live in the f32 arena.
+  reserve_activations(model.max_activation_elems() * max_batch);
 }
 
 namespace detail {

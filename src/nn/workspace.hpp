@@ -19,6 +19,7 @@
 namespace iob::nn {
 
 class Model;
+class QuantizedModel;
 
 class Workspace {
  public:
@@ -29,14 +30,35 @@ class Workspace {
   /// Grow the im2col scratch pad to `elems` floats. Grow-only.
   void reserve_im2col(std::int64_t elems);
 
+  /// Grow the int8 ping-pong activation arenas to `elems` bytes each
+  /// (the quantized engine's counterpart of `reserve_activations`).
+  void reserve_activations_s8(std::int64_t elems);
+
+  /// Grow the int8 im2col scratch pad to `elems` bytes. Grow-only.
+  void reserve_im2col_s8(std::int64_t elems);
+
+  /// Grow the int32 GEMM accumulator pad to `elems` int32s — the staging
+  /// tile between `gemm_s8` and the requantize/dequantize epilogue.
+  void reserve_acc(std::int64_t elems);
+
   /// Size every buffer for `model` at batch sizes up to `max_batch` in one
   /// shot (the "sized once per (model, max_batch)" entry point). Subsequent
   /// `Model::run_into` calls at any batch <= max_batch never allocate.
   void configure(const Model& model, int max_batch);
 
+  /// int8-engine counterpart: sizes the int8 arenas, the int32 accumulator,
+  /// AND the f32 arenas (the quantized chain dequantizes into the float
+  /// arena for its float tail). `QuantizedModel::run_into` at any batch <=
+  /// max_batch then never allocates.
+  void configure(const QuantizedModel& model, int max_batch);
+
   [[nodiscard]] float* ping() { return ping_.data(); }
   [[nodiscard]] float* pong() { return pong_.data(); }
   [[nodiscard]] float* im2col() { return im2col_.data(); }
+  [[nodiscard]] std::int8_t* ping8() { return ping8_.data(); }
+  [[nodiscard]] std::int8_t* pong8() { return pong8_.data(); }
+  [[nodiscard]] std::int8_t* im2col8() { return im2col8_.data(); }
+  [[nodiscard]] std::int32_t* acc() { return acc_.data(); }
 
   [[nodiscard]] std::int64_t activation_capacity() const {
     return static_cast<std::int64_t>(ping_.size());
@@ -44,9 +66,20 @@ class Workspace {
   [[nodiscard]] std::int64_t im2col_capacity() const {
     return static_cast<std::int64_t>(im2col_.size());
   }
+  [[nodiscard]] std::int64_t activation_s8_capacity() const {
+    return static_cast<std::int64_t>(ping8_.size());
+  }
+  [[nodiscard]] std::int64_t im2col_s8_capacity() const {
+    return static_cast<std::int64_t>(im2col8_.size());
+  }
+  [[nodiscard]] std::int64_t acc_capacity() const {
+    return static_cast<std::int64_t>(acc_.size());
+  }
 
  private:
   std::vector<float> ping_, pong_, im2col_;
+  std::vector<std::int8_t> ping8_, pong8_, im2col8_;
+  std::vector<std::int32_t> acc_;
 };
 
 namespace detail {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "comm/link.hpp"
+#include "nn/precision.hpp"
 
 namespace iob::partition {
 
@@ -36,7 +37,10 @@ struct CostModel {
   VenueSpec cloud{"cloud", 1e-12, 100e9};              ///< effectively unconstrained
   TransferSpec leaf_hub;   ///< body-bus leg (Wi-R or BLE)
   TransferSpec hub_cloud;  ///< uplink leg (Wi-Fi/LTE class)
-  bool int8_transport = true;  ///< ship activations quantized (1 B/element)
+  /// Activation precision on the wire (`nn::Precision::kInt8` ships 1
+  /// B/element quantized activations — the same precision the int8
+  /// execution path (`nn::QuantizedModel`) actually computes in).
+  nn::Precision transport = nn::Precision::kInt8;
 
   /// Build the leaf->hub leg from a body-bus link model at a given offered
   /// rate (the effective energy/bit includes protocol and idle overheads).

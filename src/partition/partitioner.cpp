@@ -30,11 +30,12 @@ Partitioner::Partitioner(const nn::Model& model, CostModel cost)
 }
 
 std::int64_t Partitioner::boundary_bytes(std::size_t split) const {
+  const bool int8 = cost_.transport == nn::Precision::kInt8;
   if (split == 0) {
-    return cost_.int8_transport ? model_.input_bytes_i8() : model_.input_bytes_f32();
+    return int8 ? model_.input_bytes_i8() : model_.input_bytes_f32();
   }
   const auto& p = model_.profiles()[split - 1];
-  return cost_.int8_transport ? p.output_bytes_i8 : p.output_bytes_f32;
+  return int8 ? p.output_bytes_i8 : p.output_bytes_f32;
 }
 
 PartitionPlan Partitioner::evaluate(std::size_t s1, std::size_t s2) const {

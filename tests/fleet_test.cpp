@@ -41,6 +41,7 @@ core::FleetAxes small_axes() {
   axes.harvests = {{"none", std::nullopt}, {"pv", pv}};
   axes.buses = {core::BusKind::kWiR};
   axes.batch_windows = {0, 1};
+  axes.precisions = {nn::Precision::kF32, nn::Precision::kInt8};
   axes.seeds = {7, 9};
   axes.duration_s = 0.5;
   return axes;
@@ -51,7 +52,7 @@ core::FleetAxes small_axes() {
 TEST(Fleet, ExpansionIsExhaustiveAndOrdered) {
   const core::FleetAxes axes = small_axes();
   const core::Fleet fleet(axes);
-  EXPECT_EQ(fleet.size(), 2u * 2u * 1u * 2u * 1u * 2u * 2u);
+  EXPECT_EQ(fleet.size(), 2u * 2u * 1u * 2u * 1u * 2u * 2u * 2u);
 
   const std::vector<core::FleetPoint> points = fleet.expand();
   ASSERT_EQ(points.size(), fleet.size());
@@ -64,24 +65,28 @@ TEST(Fleet, ExpansionIsExhaustiveAndOrdered) {
         for (std::size_t hi = 0; hi < axes.harvests.size(); ++hi) {
           for (std::size_t bi = 0; bi < axes.buses.size(); ++bi) {
             for (std::size_t wi = 0; wi < axes.batch_windows.size(); ++wi) {
-              for (std::size_t si = 0; si < axes.seeds.size(); ++si) {
-                const core::FleetPoint& p = points[idx];
-                EXPECT_EQ(p.index, idx);
-                const std::array<std::size_t, core::kAxisCount> want{ni, mi, xi, hi, bi, wi, si};
-                EXPECT_EQ(p.coord, want);
-                // Every field resolves to the axis value it names.
-                EXPECT_EQ(p.node_count, axes.node_counts[ni]);
-                EXPECT_EQ(p.mac.label, axes.macs[mi].label);
-                EXPECT_EQ(p.mac.config.slot_s, axes.macs[mi].config.slot_s);
-                EXPECT_EQ(p.mix.label, axes.mixes[xi].label);
-                EXPECT_EQ(p.harvest.label, axes.harvests[hi].label);
-                EXPECT_EQ(p.harvest.harvester.has_value(),
-                          axes.harvests[hi].harvester.has_value());
-                EXPECT_EQ(p.bus, axes.buses[bi]);
-                EXPECT_EQ(p.batch_window, axes.batch_windows[wi]);
-                EXPECT_EQ(p.seed, core::SweepRunner::point_seed(axes.seeds[si], idx));
-                EXPECT_EQ(p.duration_s, axes.duration_s);
-                ++idx;
+              for (std::size_t pi = 0; pi < axes.precisions.size(); ++pi) {
+                for (std::size_t si = 0; si < axes.seeds.size(); ++si) {
+                  const core::FleetPoint& p = points[idx];
+                  EXPECT_EQ(p.index, idx);
+                  const std::array<std::size_t, core::kAxisCount> want{ni, mi, xi, hi,
+                                                                       bi, wi, pi, si};
+                  EXPECT_EQ(p.coord, want);
+                  // Every field resolves to the axis value it names.
+                  EXPECT_EQ(p.node_count, axes.node_counts[ni]);
+                  EXPECT_EQ(p.mac.label, axes.macs[mi].label);
+                  EXPECT_EQ(p.mac.config.slot_s, axes.macs[mi].config.slot_s);
+                  EXPECT_EQ(p.mix.label, axes.mixes[xi].label);
+                  EXPECT_EQ(p.harvest.label, axes.harvests[hi].label);
+                  EXPECT_EQ(p.harvest.harvester.has_value(),
+                            axes.harvests[hi].harvester.has_value());
+                  EXPECT_EQ(p.bus, axes.buses[bi]);
+                  EXPECT_EQ(p.batch_window, axes.batch_windows[wi]);
+                  EXPECT_EQ(p.precision, axes.precisions[pi]);
+                  EXPECT_EQ(p.seed, core::SweepRunner::point_seed(axes.seeds[si], idx));
+                  EXPECT_EQ(p.duration_s, axes.duration_s);
+                  ++idx;
+                }
               }
             }
           }
@@ -132,6 +137,9 @@ TEST(Fleet, RejectsEmptyAxes) {
   EXPECT_THROW(core::Fleet{axes}, std::invalid_argument);
   axes = small_axes();
   axes.batch_windows.clear();
+  EXPECT_THROW(core::Fleet{axes}, std::invalid_argument);
+  axes = small_axes();
+  axes.precisions.clear();
   EXPECT_THROW(core::Fleet{axes}, std::invalid_argument);
 }
 

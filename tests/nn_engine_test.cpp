@@ -93,6 +93,95 @@ TEST(GemmBlocked, MatchesNaiveBitExactAcrossShapes) {
   }
 }
 
+// ---- fused elementwise GEMM tails -------------------------------------------
+
+TEST(GemmTailFusion, ReluAndBatchNormTailsBitExactVsSeparatePasses) {
+  const std::int64_t M = 7, N = 19, K = 33;
+  std::vector<float> A(static_cast<std::size_t>(M * K)), B(static_cast<std::size_t>(K * N)),
+      bias(static_cast<std::size_t>(N)), scale(static_cast<std::size_t>(N)),
+      shift(static_cast<std::size_t>(N));
+  for (std::size_t i = 0; i < A.size(); ++i) A[i] = std::sin(static_cast<double>(i) * 0.31);
+  for (std::size_t i = 0; i < B.size(); ++i) B[i] = std::cos(static_cast<double>(i) * 0.17);
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    bias[i] = 0.1f * static_cast<float>(i) - 0.9f;
+    scale[i] = 0.5f + 0.05f * static_cast<float>(i);
+    shift[i] = -0.2f + 0.03f * static_cast<float>(i);
+  }
+  std::vector<float> plain(static_cast<std::size_t>(M * N)), fused(plain.size());
+  gemm_blocked(M, N, K, A.data(), B.data(), bias.data(), plain.data());
+
+  for (const float cap : {0.0f, 6.0f}) {
+    GemmTail relu;
+    relu.kind = GemmTail::Kind::kRelu;
+    relu.cap = cap;
+    gemm_blocked(M, N, K, A.data(), B.data(), bias.data(), fused.data(), relu);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      float want = std::max(0.0f, plain[i]);
+      if (cap > 0.0f) want = std::min(cap, want);
+      ASSERT_EQ(fused[i], want) << "cap " << cap << " i " << i;
+    }
+  }
+
+  GemmTail bn;
+  bn.kind = GemmTail::Kind::kBatchNorm;
+  bn.scale = scale.data();
+  bn.shift = shift.data();
+  gemm_blocked(M, N, K, A.data(), B.data(), bias.data(), fused.data(), bn);
+  for (std::int64_t m = 0; m < M; ++m) {
+    for (std::int64_t n = 0; n < N; ++n) {
+      const std::size_t i = static_cast<std::size_t>(m * N + n);
+      ASSERT_EQ(fused[i], scale[static_cast<std::size_t>(n)] * plain[i] +
+                              shift[static_cast<std::size_t>(n)])
+          << "m " << m << " n " << n;
+    }
+  }
+}
+
+TEST(GemmTailFusion, ModelChainFusesAndStaysBitExactVsReference) {
+  // fc -> batchnorm -> relu6 -> fc -> relu: two fusable pairs plus an
+  // unfused tail. run_into (which fuses) must equal the seed-loop oracle.
+  WeightGen gen(77);
+  Model m("fused-chain", Shape{10});
+  m.add(std::make_unique<FullyConnected>(10, 24, gen.weights(240, 10), gen.biases(24)));
+  std::vector<float> scale(24), shift(24);
+  for (int i = 0; i < 24; ++i) {
+    scale[static_cast<std::size_t>(i)] = 0.8f + 0.02f * static_cast<float>(i);
+    shift[static_cast<std::size_t>(i)] = -0.1f + 0.01f * static_cast<float>(i);
+  }
+  m.add(std::make_unique<BatchNorm>(scale, shift));
+  m.add(std::make_unique<Relu>(6.0f));
+  m.add(std::make_unique<FullyConnected>(24, 5, gen.weights(120, 24), gen.biases(5)));
+  m.add(std::make_unique<Relu>());
+
+  for (const int batch : {1, 3}) {
+    std::vector<Tensor> inputs;
+    for (int s = 0; s < batch; ++s) inputs.push_back(patterned_tensor(Shape{10}, 60 + s));
+    const Tensor stacked = stack_batch(inputs);
+    const Tensor ref = m.run_batched_reference(stacked);
+    Workspace ws;
+    const ConstSpan out = m.run_into(ws, stacked.data(), batch);
+    ASSERT_EQ(out.size, ref.size());
+    EXPECT_EQ(max_abs_diff(out, ConstSpan{ref.data(), ref.size()}), 0.0) << "batch " << batch;
+  }
+}
+
+TEST(GemmTailFusion, RangeSplitInsideAFusedPairStaysExact)  {
+  // A layer-range boundary between producer and tail must suppress the
+  // fusion (the tail belongs to the other side of the split).
+  WeightGen gen(78);
+  Model m("split-chain", Shape{8});
+  m.add(std::make_unique<FullyConnected>(8, 12, gen.weights(96, 8), gen.biases(12)));
+  m.add(std::make_unique<Relu>());
+  const Tensor x = patterned_tensor(Shape{8}, 9);
+  const Tensor full = m.forward_reference(x);
+  Workspace ws;
+  const ConstSpan head = m.run_range_into(ws, x.data(), 1, 0, 1);  // fc only
+  const std::vector<float> h(head.data, head.data + head.size);
+  const ConstSpan tail = m.run_range_into(ws, h.data(), 1, 1, 2);  // relu only
+  ASSERT_EQ(tail.size, full.size());
+  EXPECT_EQ(max_abs_diff(tail, ConstSpan{full.data(), full.size()}), 0.0);
+}
+
 // ---- zero-copy batch spans --------------------------------------------------
 
 TEST(BatchSpan, ViewsAliasTheBatchedStorage) {

@@ -1,0 +1,527 @@
+// Tests for the int8 quantized execution path (ISSUE 5): quantization
+// round-trip error against `quant_error_bound`, the int8 GEMM against a
+// naive int32 reference on edge shapes (every dispatch tier shares exact
+// integer arithmetic), the fused quantize/dequantize epilogue against the
+// standalone helpers, zoo-model accuracy bounds and top-1 agreement with
+// the f32 oracle, batch invariance, the interposer-verified zero-allocation
+// steady state, precision-aware hub sessions (analytic + execute-and-meter),
+// and 1/2/8-thread fleet-CSV determinism with the precision axis enabled.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "comm/wir_link.hpp"
+#include "common/alloc_interposer.hpp"  // defines global operator new/delete
+#include "core/fleet.hpp"
+#include "core/sweep_runner.hpp"
+#include "net/network_sim.hpp"
+#include "nn/gemm.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/precision.hpp"
+#include "nn/qmodel.hpp"
+#include "nn/quantize.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
+#include "partition/partitioner.hpp"
+
+namespace iob {
+namespace {
+
+std::atomic<std::uint64_t>& g_alloc_count = iob::alloc_interposer::new_calls;
+
+using namespace iob::nn;
+
+Model zoo_model(int idx) {
+  return idx == 0 ? make_kws_dscnn() : idx == 1 ? make_ecg_cnn1d() : make_vww_micronet();
+}
+
+int argmax(const float* d, std::int64_t n) {
+  int best = 0;
+  for (std::int64_t i = 1; i < n; ++i) {
+    if (d[i] > d[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+// ---- quantize.hpp round-trip property ---------------------------------------
+
+TEST(QuantizeProperty, RoundTripErrorWithinBoundAcrossRandomTensors) {
+  for (int salt = 0; salt < 24; ++salt) {
+    Tensor t = patterned_tensor(Shape{7, 11}, salt);
+    // Vary the dynamic range across salts (asymmetric, tiny, large).
+    const float stretch = 0.01f + 37.5f * static_cast<float>(salt) / 24.0f;
+    const float offset = (salt % 3 == 0 ? 2.0f : salt % 3 == 1 ? -0.5f : 0.0f);
+    for (std::int64_t i = 0; i < t.size(); ++i) t[i] = t[i] * stretch + offset;
+
+    const QuantizedTensor q = quantize(t);
+    const Tensor back = dequantize(q);
+    const double bound = quant_error_bound(q.params);
+    EXPECT_GT(bound, 0.0);
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      EXPECT_LE(std::abs(static_cast<double>(t[i]) - back[i]), bound + 1e-7)
+          << "salt " << salt << " elem " << i;
+    }
+  }
+}
+
+TEST(QuantizeProperty, StagingQuantizerMatchesQuantize) {
+  // Same round-half-away rule; the staging kernel multiplies by the
+  // reciprocal where quantize() divides, which may legitimately differ by
+  // one step exactly at half-way ties — never more.
+  const Tensor t = patterned_tensor(Shape{333}, 5);
+  const QuantizedTensor q = quantize(t);
+  std::vector<std::int8_t> staged(static_cast<std::size_t>(t.size()));
+  quantize_f32_to_s8(t.data(), t.size(), q.params.scale, q.params.zero_point, staged.data());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(static_cast<int>(staged[static_cast<std::size_t>(i)]) -
+                       static_cast<int>(q.data[static_cast<std::size_t>(i)])),
+              1)
+        << "elem " << i;
+  }
+}
+
+// ---- int8 GEMM vs naive int32 reference -------------------------------------
+
+/// Naive reference over the raw quantized operands (row-major A with zero
+/// point za, K-major B with per-column zero points).
+void naive_gemm_s8(std::int64_t M, std::int64_t N, std::int64_t K, const std::int8_t* A,
+                   std::int32_t za, const std::int8_t* Bkm, const std::int32_t* zw,
+                   std::int32_t* C) {
+  for (std::int64_t m = 0; m < M; ++m) {
+    for (std::int64_t n = 0; n < N; ++n) {
+      std::int32_t acc = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        acc += (A[m * K + k] - za) * (Bkm[k * N + n] - zw[n]);
+      }
+      C[m * N + n] = acc;
+    }
+  }
+}
+
+TEST(GemmS8, MatchesNaiveInt32AcrossEdgeShapes) {
+  // Shapes straddle every dispatch tier and remainder: scalar-only (N < 8),
+  // SSE2 tiles, AVX2 (N = 16+), AVX-512 (N = 32+), odd K (pair padding),
+  // M remainders, K spanning multiple 256-element blocks.
+  const struct {
+    std::int64_t M, N, K;
+  } cases[] = {{5, 3, 7},    {8, 8, 16},   {9, 16, 27},  {4, 32, 31},  {13, 40, 64},
+               {7, 64, 129}, {3, 48, 300}, {1, 33, 513}, {6, 17, 255}, {2, 128, 600}};
+  for (const auto& c : cases) {
+    std::vector<std::int8_t> A(static_cast<std::size_t>(c.M * c.K));
+    std::vector<std::int8_t> B(static_cast<std::size_t>(c.K * c.N));
+    std::vector<std::int32_t> zw(static_cast<std::size_t>(c.N));
+    for (std::size_t i = 0; i < A.size(); ++i) {
+      A[i] = static_cast<std::int8_t>((static_cast<int>(i) * 37 + 11) % 251 - 125);
+    }
+    for (std::size_t i = 0; i < B.size(); ++i) {
+      B[i] = static_cast<std::int8_t>((static_cast<int>(i) * 53 + 7) % 249 - 124);
+    }
+    for (std::size_t i = 0; i < zw.size(); ++i) zw[i] = static_cast<std::int32_t>(i % 11) - 5;
+    const std::int32_t za = -3;
+
+    std::vector<std::int16_t> bop(static_cast<std::size_t>(((c.K + 1) / 2) * c.N * 2));
+    pack_b_s8(B.data(), c.K, c.N, zw.data(), bop.data());
+    std::vector<std::int32_t> got(static_cast<std::size_t>(c.M * c.N));
+    std::vector<std::int32_t> ref(static_cast<std::size_t>(c.M * c.N));
+    gemm_s8(c.M, c.N, c.K, A.data(), za, bop.data(), got.data());
+    naive_gemm_s8(c.M, c.N, c.K, A.data(), za, B.data(), zw.data(), ref.data());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(ref[i], got[i]) << "M=" << c.M << " N=" << c.N << " K=" << c.K << " i=" << i;
+    }
+  }
+}
+
+TEST(GemmS8, DispatchTiersBitIdenticalUnderForcedCaps) {
+  // On a wide-ISA host (CI containers have AVX-512BW) this exercises every
+  // dispatch tier against the scalar/SSE2 baseline via the test hook; on
+  // narrower hosts the higher caps clamp to the hardware and the test
+  // degenerates gracefully.
+  const std::int64_t M = 11, N = 72, K = 129;
+  std::vector<std::int8_t> A(static_cast<std::size_t>(M * K));
+  std::vector<std::int8_t> B(static_cast<std::size_t>(K * N));
+  std::vector<std::int32_t> zw(static_cast<std::size_t>(N));
+  std::vector<float> bias(static_cast<std::size_t>(N), 0.05f);
+  for (std::size_t i = 0; i < A.size(); ++i) {
+    A[i] = static_cast<std::int8_t>((static_cast<int>(i) * 29 + 3) % 255 - 127);
+  }
+  for (std::size_t i = 0; i < B.size(); ++i) {
+    B[i] = static_cast<std::int8_t>((static_cast<int>(i) * 43 + 17) % 253 - 126);
+  }
+  for (std::size_t i = 0; i < zw.size(); ++i) zw[i] = static_cast<std::int32_t>(i % 7) - 3;
+  std::vector<std::int16_t> bop(static_cast<std::size_t>(((K + 1) / 2) * N * 2));
+  pack_b_s8(B.data(), K, N, zw.data(), bop.data());
+
+  std::vector<std::vector<std::int32_t>> raw;
+  std::vector<std::vector<std::int8_t>> quant;
+  for (const int cap : {0, 1, 2, -1}) {
+    set_int8_dispatch_cap(cap);
+    raw.emplace_back(static_cast<std::size_t>(M * N));
+    gemm_s8(M, N, K, A.data(), 2, bop.data(), raw.back().data());
+    quant.emplace_back(static_cast<std::size_t>(M * N));
+    std::vector<std::int32_t> scratch(static_cast<std::size_t>(M * N));
+    QuantEpilogue epi;
+    epi.bias = bias.data();
+    epi.scale = 0.002f;
+    epi.relu_cap = 0.0f;
+    epi.inv_out_scale = 25.0f;
+    epi.out_zero = -5;
+    epi.dst = quant.back().data();
+    gemm_s8(M, N, K, A.data(), 2, bop.data(), scratch.data(), &epi);
+  }
+  set_int8_dispatch_cap(-1);
+  for (std::size_t t = 1; t < raw.size(); ++t) {
+    EXPECT_EQ(raw[0], raw[t]) << "tier cap index " << t;
+    EXPECT_EQ(quant[0], quant[t]) << "tier cap index " << t;
+  }
+}
+
+TEST(GemmS8, FusedEpilogueMatchesStandaloneRequantize) {
+  const std::int64_t M = 9, N = 40, K = 55;
+  std::vector<std::int8_t> A(static_cast<std::size_t>(M * K));
+  std::vector<std::int8_t> B(static_cast<std::size_t>(K * N));
+  std::vector<std::int32_t> zw(static_cast<std::size_t>(N), 2);
+  std::vector<float> bias(static_cast<std::size_t>(N));
+  for (std::size_t i = 0; i < A.size(); ++i) A[i] = static_cast<std::int8_t>(i % 200 - 100);
+  for (std::size_t i = 0; i < B.size(); ++i) B[i] = static_cast<std::int8_t>(i % 190 - 95);
+  for (std::size_t i = 0; i < bias.size(); ++i) bias[i] = 0.02f * static_cast<float>(i) - 0.3f;
+  std::vector<std::int16_t> bop(static_cast<std::size_t>(((K + 1) / 2) * N * 2));
+  pack_b_s8(B.data(), K, N, zw.data(), bop.data());
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(M * N));
+  gemm_s8(M, N, K, A.data(), -1, bop.data(), acc.data());
+
+  for (const float relu_cap : {-1.0f, 0.0f, 6.0f}) {
+    // Requant mode.
+    std::vector<std::int8_t> want8(static_cast<std::size_t>(M * N));
+    requantize_s8(acc.data(), M, N, bias.data(), 0.003f, relu_cap, 0.05f, -7, want8.data());
+    std::vector<std::int8_t> got8(static_cast<std::size_t>(M * N));
+    std::vector<std::int32_t> scratch(static_cast<std::size_t>(M * N));
+    QuantEpilogue epi;
+    epi.bias = bias.data();
+    epi.scale = 0.003f;
+    epi.relu_cap = relu_cap;
+    epi.inv_out_scale = 1.0f / 0.05f;
+    epi.out_zero = -7;
+    epi.dst = got8.data();
+    gemm_s8(M, N, K, A.data(), -1, bop.data(), scratch.data(), &epi);
+    for (std::size_t i = 0; i < want8.size(); ++i) {
+      ASSERT_EQ(want8[i], got8[i]) << "relu_cap " << relu_cap << " i " << i;
+    }
+
+    // Dequant mode.
+    std::vector<float> wantf(static_cast<std::size_t>(M * N));
+    dequantize_f32(acc.data(), M, N, bias.data(), 0.003f, relu_cap, wantf.data());
+    std::vector<float> gotf(static_cast<std::size_t>(M * N));
+    QuantEpilogue epif = epi;
+    epif.dst = nullptr;
+    epif.dstf = gotf.data();
+    gemm_s8(M, N, K, A.data(), -1, bop.data(), scratch.data(), &epif);
+    for (std::size_t i = 0; i < wantf.size(); ++i) {
+      ASSERT_EQ(wantf[i], gotf[i]) << "relu_cap " << relu_cap << " i " << i;
+    }
+  }
+}
+
+TEST(GemmS8, Im2colFillsPadTapsWithZeroPoint) {
+  // 3x3 input, 3x3 same-padded kernel: the corner patch has 5 pad taps.
+  const std::int8_t in[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<std::int8_t> col(9 * 9);
+  im2col_s8_nhwc(1, 3, 3, 1, 3, 3, 1, 1, 1, 1, 3, 3, /*zero_point=*/-9, in, col.data());
+  // First output position (0,0): taps (ky,kx) over rows -1..1, cols -1..1.
+  const std::int8_t want[] = {-9, -9, -9, -9, 1, 2, -9, 4, 5};
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(col[static_cast<std::size_t>(i)], want[i]) << i;
+}
+
+// ---- zoo accuracy vs the f32 oracle -----------------------------------------
+
+TEST(QuantizedZoo, BoundedLogitErrorAndTop1AgreementOnDecisiveInputs) {
+  // Quantization error bounds are empirical for these fixed deterministic
+  // models/inputs (integer kernels are bit-stable across platforms). Top-1
+  // agreement is then asserted wherever the f32 decision margin exceeds
+  // TWICE the measured per-logit error — at that margin a flip is
+  // mathematically impossible, so the assertion follows from the bound
+  // instead of being a fourth independent empirical claim. A coin-flip
+  // input (margin ~1e-3 on a 2-class random-weight model) is not decidable
+  // at int8 resolution by construction.
+  const double kMaxLogitErr = 0.05;
+  constexpr int kInputs = 32;
+  for (int idx = 0; idx < 3; ++idx) {
+    const Model m = zoo_model(idx);
+    const QuantizedModel qm(m);
+    // Pass 1: per-input outputs and the model's measured error bound.
+    std::vector<Tensor> f32_out, int8_out;
+    double max_err = 0.0;
+    for (int s = 0; s < kInputs; ++s) {
+      const Tensor x = patterned_tensor(m.input_shape(), 100 + s);
+      f32_out.push_back(m.forward(x));
+      int8_out.push_back(qm.forward(x));
+      ASSERT_EQ(f32_out.back().size(), int8_out.back().size()) << m.name();
+      max_err = std::max(max_err, f32_out.back().max_abs_diff(int8_out.back()));
+    }
+    EXPECT_LE(max_err, kMaxLogitErr) << m.name();
+    // Pass 2: agreement on every decisive input (margin > 2 * max_err).
+    int decisive = 0;
+    for (int s = 0; s < kInputs; ++s) {
+      const Tensor& f = f32_out[static_cast<std::size_t>(s)];
+      const Tensor& q = int8_out[static_cast<std::size_t>(s)];
+      const int af = argmax(f.data(), f.size());
+      double runner_up = -1e30;
+      for (std::int64_t i = 0; i < f.size(); ++i) {
+        if (static_cast<int>(i) != af) runner_up = std::max(runner_up, double{f[i]});
+      }
+      if (f[af] - runner_up > 2.0 * max_err) {
+        ++decisive;
+        EXPECT_EQ(argmax(q.data(), q.size()), af) << m.name() << " sample " << s;
+      }
+    }
+    // The input set must actually exercise the agreement property.
+    EXPECT_GE(decisive, kInputs * 3 / 4) << m.name();
+  }
+}
+
+TEST(QuantizedZoo, WeightBytesMatchParameterFootprint) {
+  for (int idx = 0; idx < 3; ++idx) {
+    const Model m = zoo_model(idx);
+    const QuantizedModel qm(m);
+    // One int8 byte per weight; biases stay f32 (not streamed per pass).
+    std::uint64_t weights = 0;
+    for (std::size_t i = 0; i < m.layer_count(); ++i) weights += m.layer(i).param_count();
+    EXPECT_GT(qm.weight_bytes(), 0);
+    EXPECT_LE(qm.weight_bytes(), static_cast<std::int64_t>(weights)) << m.name();
+  }
+}
+
+// ---- batch invariance -------------------------------------------------------
+
+TEST(QuantizedEngine, BatchedResultsBitIdenticalToSingleSample) {
+  // Integer accumulation is batch-invariant, and the epilogue is
+  // elementwise — so unlike a float engine, the int8 path is bit-identical
+  // across batch sizes by construction. Assert it.
+  for (int idx = 0; idx < 3; ++idx) {
+    const Model m = zoo_model(idx);
+    const QuantizedModel qm(m);
+    constexpr int kBatch = 4;
+    std::vector<Tensor> inputs;
+    for (int s = 0; s < kBatch; ++s) inputs.push_back(patterned_tensor(m.input_shape(), 40 + s));
+    const Tensor stacked = stack_batch(inputs);
+    const Tensor batched = qm.run_batched(stacked);
+    for (int s = 0; s < kBatch; ++s) {
+      const Tensor single = qm.forward(inputs[static_cast<std::size_t>(s)]);
+      EXPECT_EQ(batched.batch_item(s).max_abs_diff(single), 0.0)
+          << m.name() << " sample " << s;
+    }
+  }
+}
+
+// ---- zero-allocation steady state -------------------------------------------
+
+TEST(QuantizedEngine, SteadyStateInferenceLoopNeverTouchesTheHeap) {
+  const Model models[] = {zoo_model(0), zoo_model(1), zoo_model(2)};
+  std::vector<std::unique_ptr<QuantizedModel>> qms;
+  for (const Model& m : models) qms.push_back(std::make_unique<QuantizedModel>(m));
+  Workspace ws;
+  std::vector<Tensor> inputs, batched;
+  for (std::size_t i = 0; i < 3; ++i) {
+    inputs.push_back(patterned_tensor(models[i].input_shape(), 5));
+    Shape bshape{4};
+    const Shape& in = models[i].input_shape();
+    bshape.insert(bshape.end(), in.begin(), in.end());
+    batched.push_back(patterned_tensor(bshape, 6));
+    ws.configure(*qms[i], 4);
+  }
+  // Warm-up: first passes may still grow the arenas to the high-water mark.
+  for (std::size_t i = 0; i < 3; ++i) {
+    qms[i]->run_into(ws, inputs[i].data(), 1);
+    qms[i]->run_into(ws, batched[i].data(), 4);
+  }
+  const std::uint64_t before = g_alloc_count.load();
+  float sink = 0.0f;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      sink += qms[i]->run_into(ws, inputs[i].data(), 1)[0];
+      sink += qms[i]->run_into(ws, batched[i].data(), 4)[0];
+    }
+  }
+  const std::uint64_t allocs = g_alloc_count.load() - before;
+  EXPECT_TRUE(std::isfinite(sink));
+  EXPECT_EQ(allocs, 0u) << "steady-state int8 inference loop performed heap allocations";
+}
+
+// ---- shared Precision enum reaches the partitioner --------------------------
+
+TEST(Precision, TransportPrecisionScalesPartitionerBoundaryBytes) {
+  const Model m = zoo_model(1);  // ecg
+  partition::CostModel cm;
+  cm.leaf_hub = {"bus", 1e6, 100e-12, 40e-12, 1e-4};
+  cm.hub_cloud = {"uplink", 20e6, 30e-9, 30e-9, 20e-3};
+  cm.transport = nn::Precision::kInt8;
+  const partition::PartitionPlan int8_plan =
+      partition::Partitioner(m, cm).full_offload();
+  cm.transport = nn::Precision::kF32;
+  const partition::PartitionPlan f32_plan = partition::Partitioner(m, cm).full_offload();
+  // f32 transport ships exactly 4x the bytes of int8 transport.
+  EXPECT_EQ(f32_plan.bytes_leaf_to_hub, 4 * int8_plan.bytes_leaf_to_hub);
+  EXPECT_EQ(bytes_per_element(nn::Precision::kF32), 4);
+  EXPECT_EQ(bytes_per_element(nn::Precision::kInt8), 1);
+}
+
+// ---- precision-aware hub sessions -------------------------------------------
+
+net::SessionStats run_precision_session(nn::Precision precision, bool execute,
+                                        const Model* net_model, unsigned batch_window = 0) {
+  net::NetworkConfig cfg;
+  cfg.seed = 11;
+  cfg.hub.batch_window = batch_window;
+  cfg.hub.execute_and_meter = execute;
+  net::NetworkSim sim(std::make_unique<comm::WiRLink>(), cfg);
+  net::NodeConfig n;
+  n.name = "ecg-patch";
+  n.stream = "ecg";
+  n.output_rate_bps = 64e3;
+  n.frame_bytes = 240;
+  sim.add_node(n);
+  net::SessionConfig s;
+  s.stream = "ecg";
+  s.macs_per_inference = 185'000;
+  s.bytes_per_inference = 240;
+  s.model = "ecg-cnn1d";
+  s.weight_bytes = 9'000;
+  s.net = net_model;
+  s.precision = precision;
+  sim.add_session(s);
+  sim.run(1.0);
+  return sim.hub().session("ecg");
+}
+
+TEST(PrecisionSessions, Int8AnalyticEnergyAppliesMacScale) {
+  const net::SessionStats f32 = run_precision_session(nn::Precision::kF32, false, nullptr);
+  const net::SessionStats int8 = run_precision_session(nn::Precision::kInt8, false, nullptr);
+  ASSERT_GT(f32.inferences, 10u);
+  ASSERT_EQ(f32.inferences, int8.inferences);
+  const net::HubConfig defaults;
+  // Hand-computed per-inference charges.
+  const double mac_j = 185'000.0 * defaults.energy_per_mac_j;
+  const double weight_j = 9'000.0 * defaults.energy_per_weight_byte_j;
+  const double n = static_cast<double>(f32.inferences);
+  EXPECT_NEAR(f32.compute_energy_j, n * (mac_j + weight_j), n * 1e-18);
+  EXPECT_NEAR(int8.compute_energy_j,
+              n * (mac_j * defaults.int8_mac_energy_scale + weight_j), n * 1e-18);
+  EXPECT_LT(int8.compute_energy_j, f32.compute_energy_j);
+  // The split buckets track the session's precision on the analytic path.
+  EXPECT_EQ(f32.compute_energy_f32_j, f32.compute_energy_j);
+  EXPECT_EQ(f32.compute_energy_int8_j, 0.0);
+  EXPECT_EQ(int8.compute_energy_int8_j, int8.compute_energy_j);
+  EXPECT_EQ(int8.compute_energy_f32_j, 0.0);
+}
+
+TEST(PrecisionSessions, F32LedgerBitIdenticalToPrePrecisionDefaults) {
+  // SessionConfig::precision defaults to f32: the analytic ledger must be
+  // exactly `macs * e_mac + weights * e_w` per inference — the same doubles
+  // the pre-precision hub charged (x1.0 is exact).
+  const net::SessionStats st = run_precision_session(nn::Precision::kF32, false, nullptr);
+  const net::HubConfig defaults;
+  const double per_inference = 185'000.0 * defaults.energy_per_mac_j +
+                               9'000.0 * defaults.energy_per_weight_byte_j;
+  double expect = 0.0;
+  for (std::uint64_t i = 0; i < st.inferences; ++i) expect += per_inference;
+  EXPECT_EQ(st.compute_energy_j, expect);
+  EXPECT_EQ(st.compute_energy_j, st.analytic_compute_energy_j);
+}
+
+TEST(PrecisionSessions, ExecuteAndMeterInt8SplitsKernelTimeByPrecision) {
+  const Model ecg = make_ecg_cnn1d();
+  for (const unsigned window : {0u, 4u}) {
+    const net::SessionStats st =
+        run_precision_session(nn::Precision::kInt8, true, &ecg, window);
+    ASSERT_GT(st.inferences, 10u) << "window " << window;
+    EXPECT_EQ(st.executed_inferences, st.inferences) << "window " << window;
+    EXPECT_GT(st.kernel_time_int8_s, 0.0) << "window " << window;
+    EXPECT_EQ(st.kernel_time_f32_s, 0.0) << "window " << window;
+    EXPECT_DOUBLE_EQ(st.kernel_time_s, st.kernel_time_int8_s) << "window " << window;
+    const net::HubConfig defaults;
+    EXPECT_DOUBLE_EQ(st.compute_energy_j, st.kernel_time_s * defaults.compute_power_w)
+        << "window " << window;
+    EXPECT_DOUBLE_EQ(st.compute_energy_int8_j, st.compute_energy_j) << "window " << window;
+    EXPECT_EQ(st.compute_energy_f32_j, 0.0) << "window " << window;
+    // The analytic ledger is independent of metering (it never clocks).
+    const net::SessionStats analytic =
+        run_precision_session(nn::Precision::kInt8, false, nullptr, window);
+    EXPECT_EQ(st.analytic_compute_energy_j, analytic.analytic_compute_energy_j)
+        << "window " << window;
+  }
+}
+
+// ---- fleet determinism with the precision axis ------------------------------
+
+core::FleetAxes precision_axes() {
+  core::NodeClassSpec audio;
+  audio.base.name = "audio";
+  audio.base.sense_power_w = 150e-6;
+  audio.base.output_rate_bps = 64e3;
+  audio.base.slot_weight = 2;
+  net::SessionConfig kws;
+  kws.macs_per_inference = 2'500'000;
+  kws.bytes_per_inference = 2'000;  // one pass per quarter second of audio
+  kws.model = "kws-dscnn";
+  kws.weight_bytes = 22'604;
+  audio.session = kws;
+  core::NodeClassSpec bio;
+  bio.base.name = "bio";
+  bio.base.sense_power_w = 8e-6;
+  bio.base.output_rate_bps = 5e3;
+
+  core::FleetAxes axes;
+  axes.node_counts = {3};
+  axes.mixes = {{"audio+bio", {audio, bio}}};
+  axes.batch_windows = {0, 4};
+  axes.precisions = {nn::Precision::kF32, nn::Precision::kInt8};
+  axes.seeds = {7};
+  axes.duration_s = 1.0;
+  return axes;
+}
+
+TEST(PrecisionFleet, CsvByteIdenticalAt1_2_8Threads) {
+  const core::Fleet fleet(precision_axes());
+  const core::SweepRunner serial(1);
+  const std::string reference = core::fleet_results_csv(fleet.run(serial));
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const core::SweepRunner runner(threads);
+    EXPECT_EQ(reference, core::fleet_results_csv(fleet.run(runner)))
+        << "thread count " << threads;
+  }
+}
+
+TEST(PrecisionFleet, Int8HubsDrawLessPowerThanF32Hubs) {
+  // The precision axis must actually move the ledger: averaged over the
+  // grid, int8 hubs (MAC energy discounted by int8_mac_energy_scale) draw
+  // less power than f32 hubs. Means absorb the per-point seed jitter
+  // (sibling points intentionally never share an RNG stream).
+  const core::Fleet fleet(precision_axes());
+  const core::SweepRunner runner(1);
+  const std::vector<core::FleetPointResult> results = fleet.run(runner);
+  double f32_power = 0.0, int8_power = 0.0;
+  std::size_t f32_points = 0, int8_points = 0;
+  for (const auto& r : results) {
+    if (r.coord[core::kAxisPrecision] == 0) {
+      f32_power += r.report.hub_power_w;
+      ++f32_points;
+    } else {
+      int8_power += r.report.hub_power_w;
+      ++int8_points;
+    }
+  }
+  ASSERT_GT(f32_points, 0u);
+  ASSERT_EQ(f32_points, int8_points);
+  EXPECT_LT(int8_power / static_cast<double>(int8_points),
+            f32_power / static_cast<double>(f32_points));
+}
+
+}  // namespace
+}  // namespace iob

@@ -41,7 +41,7 @@ CostModel simple_cost() {
   cm.cloud = {"cloud", 1e-12, 100e9};
   cm.leaf_hub = {"bus", 1e6, 100e-12, 40e-12, 1e-4};
   cm.hub_cloud = {"uplink", 20e6, 30e-9, 30e-9, 20e-3};
-  cm.int8_transport = true;
+  cm.transport = nn::Precision::kInt8;
   return cm;
 }
 

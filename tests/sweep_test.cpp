@@ -191,10 +191,11 @@ TEST(SweepRunner, CrossoverParallelBitExactAcrossThreadCountsAndInBracket) {
     const double cn = core::offload_crossover_energy_per_bit_j(m, base, runner);
     EXPECT_EQ(c1, cn) << "thread count " << threads;  // bit-exact
   }
-  // Agrees with the serial bisection to its own convergence tolerance, and
-  // sits in the physically meaningful bracket (above Wi-R, below BLE).
+  // The runner-less overload delegates to the same grid refinement on a
+  // 1-thread pool, so it is exactly equal — and the crossover sits in the
+  // physically meaningful bracket (above Wi-R, below BLE).
   const double bisect = core::offload_crossover_energy_per_bit_j(m, base);
-  EXPECT_NEAR(std::log(c1 / bisect), 0.0, 1e-9);
+  EXPECT_EQ(c1, bisect);
   EXPECT_GT(c1, 100e-12);
   EXPECT_LT(c1, 15e-9);
 }
