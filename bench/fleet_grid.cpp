@@ -1,12 +1,13 @@
 // Fleet-scale design-space sweep (ROADMAP "fleet harness" item): a
 // declarative grid of full `net::NetworkSim` discrete-event simulations —
 // node count x MAC variant x leaf population mix x harvesting profile x
-// batch window x hub precision x replicate seeds — expanded and fanned
-// across `core::SweepRunner` by
+// batch window x hub precision x fault regime x replicate seeds — expanded
+// and fanned across `core::SweepRunner` by
 // `core::Fleet`, then folded into per-axis marginal summaries (lifetime
-// percentiles, goodput, drop rate, bus utilization). This is the paper's
-// system-level claim probed as a region, not a point: >= 2,000 independent
-// simulations per run.
+// percentiles, goodput, drop rate, bus utilization, availability). This is
+// the paper's system-level claim probed as a region, not a point: >= 2,000
+// independent simulations per run, now including the robustness regimes
+// (docs/robustness.md) where the clean-channel assumptions break.
 //
 // Set IOB_FLEET_SMOKE=1 (CI docs job) to shrink the grid to <= 64 points so
 // the harness stays exercised on every push without the full sweep cost.
@@ -110,17 +111,24 @@ core::FleetAxes make_axes(bool smoke) {
   axes.precisions = {nn::Precision::kF32, nn::Precision::kInt8};
 
   if (smoke) {
-    // <= 64-point CI configuration: 2 x 2 x 2 x 2 x 1 x 2 x 2 x 1 = 64 points.
-    axes.node_counts = {2, 8};
+    // <= 64-point CI configuration: 1 x 2 x 2 x 2 x 1 x 2 x 2 x 2 x 1 = 64
+    // points (fault axis: clean path + the combined stressor).
+    axes.node_counts = {8};
     axes.macs.resize(2);
     axes.mixes.resize(2);
     axes.harvests.resize(2);
+    axes.faults = {core::FaultVariant::kNone, core::FaultVariant::kCombined};
     axes.seeds = {42};
     axes.duration_s = 2.0;
   } else {
-    // 4 x 3 x 3 x 3 x 1 x 2 x 2 x 5 = 2,160 points.
+    // 4 x 3 x 3 x 3 x 1 x 2 x 2 x 5 x 1 = 2,160 points: the seed replicates
+    // became the five canonical fault regimes (point_seed still decorrelates
+    // every point, so a single seed value loses no statistical independence).
     axes.node_counts = {2, 8, 16, 32};
-    axes.seeds = {42, 43, 44, 45, 46};
+    axes.faults = {core::FaultVariant::kNone, core::FaultVariant::kBrownout,
+                   core::FaultVariant::kHubFlap, core::FaultVariant::kBurstLoss,
+                   core::FaultVariant::kCombined};
+    axes.seeds = {42};
     axes.duration_s = 4.0;
   }
   return axes;
@@ -131,7 +139,8 @@ void print_grid() {
   const core::Fleet fleet(make_axes(smoke));
   common::print_banner(
       "Fleet grid — " + std::to_string(fleet.size()) +
-      " NetworkSim points (node count x MAC x mix x harvesting x batch x precision x seed)" +
+      " NetworkSim points (node count x MAC x mix x harvesting x batch x precision x faults x "
+      "seed)" +
       (smoke ? " [smoke]" : ""));
 
   const core::SweepRunner runner;
@@ -156,6 +165,7 @@ void print_grid() {
   json.add("overall_mean_goodput_bps", summary.overall.mean_goodput_bps);
   json.add("overall_mean_drop_rate", summary.overall.mean_drop_rate);
   json.add("overall_mean_bus_utilization", summary.overall.mean_bus_utilization);
+  json.add("overall_mean_availability", summary.overall.mean_availability);
   json.write();
 }
 
@@ -165,6 +175,7 @@ core::FleetPoint one_point(int n_nodes) {
   axes.macs.resize(1);
   axes.mixes.resize(1);
   axes.harvests.resize(1);
+  axes.faults = {core::FaultVariant::kNone};
   axes.seeds = {42};
   axes.duration_s = 2.0;
   return core::Fleet(axes).expand().front();

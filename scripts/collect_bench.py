@@ -38,6 +38,9 @@ DEFAULT_WATCH = [
     "nn_single_infer_per_s_vww",
     "nn_batched_items_per_s_vww",
     "nn_int8_batched_items_per_s_vww",
+    # Correctness-as-perf sentinel: clean-path leaf availability must stay
+    # exactly 1.0 (a dip means the default config started injecting faults).
+    "fault_availability_none",
 ]
 
 

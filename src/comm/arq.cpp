@@ -9,6 +9,10 @@ namespace iob::comm {
 Arq::Arq(const Link& link, ArqPolicy policy) : link_(link), policy_(policy) {
   IOB_EXPECTS(policy_.max_attempts >= 1, "ARQ needs at least one attempt");
   IOB_EXPECTS(policy_.ack_timeout_s >= 0.0, "ACK timeout must be non-negative");
+  IOB_EXPECTS(policy_.backoff_base_s >= 0.0, "backoff base must be non-negative");
+  IOB_EXPECTS(policy_.backoff_max_s >= 0.0, "backoff cap must be non-negative");
+  IOB_EXPECTS(policy_.backoff_jitter >= 0.0 && policy_.backoff_jitter < 1.0,
+              "backoff jitter must be in [0, 1)");
 }
 
 double Arq::expected_attempts(std::uint32_t payload_bytes) const {
@@ -38,8 +42,10 @@ double Arq::expected_tx_energy_j(std::uint32_t payload_bytes) const {
 double Arq::expected_latency_s(std::uint32_t payload_bytes) const {
   const double attempts = expected_attempts(payload_bytes);
   const double per_try = link_.frame_time_s(payload_bytes);
-  // Every failed attempt additionally waits out the ACK timeout.
-  return attempts * per_try + (attempts - 1.0) * policy_.ack_timeout_s;
+  // Every failed attempt additionally waits out the ACK timeout, plus the
+  // exponential-backoff window when the policy enables one.
+  return attempts * per_try + (attempts - 1.0) * policy_.ack_timeout_s +
+         expected_backoff_s(payload_bytes);
 }
 
 unsigned Arq::sample_attempts(sim::Rng& rng, std::uint32_t payload_bytes) const {
@@ -48,6 +54,40 @@ unsigned Arq::sample_attempts(sim::Rng& rng, std::uint32_t payload_bytes) const 
     if (!rng.bernoulli(p_fail)) return k;
   }
   return policy_.max_attempts + 1;  // dropped
+}
+
+double Arq::backoff_delay_s(unsigned attempt) const {
+  IOB_EXPECTS(attempt >= 1, "backoff follows a numbered failed attempt");
+  if (policy_.backoff_base_s <= 0.0) return 0.0;
+  // Doubling in closed form, saturating well before overflow territory.
+  double delay = policy_.backoff_base_s;
+  for (unsigned k = 1; k < attempt; ++k) {
+    delay *= 2.0;
+    if (policy_.backoff_max_s > 0.0 && delay >= policy_.backoff_max_s) break;
+  }
+  if (policy_.backoff_max_s > 0.0 && delay > policy_.backoff_max_s) {
+    delay = policy_.backoff_max_s;
+  }
+  return delay;
+}
+
+double Arq::sample_backoff_s(sim::Rng& rng, unsigned attempt) const {
+  const double mean = backoff_delay_s(attempt);
+  if (mean <= 0.0 || policy_.backoff_jitter <= 0.0) return mean;
+  return mean * rng.uniform(1.0 - policy_.backoff_jitter, 1.0 + policy_.backoff_jitter);
+}
+
+double Arq::expected_backoff_s(std::uint32_t payload_bytes) const {
+  if (policy_.backoff_base_s <= 0.0) return 0.0;
+  const double p_fail = link_.frame_error_rate(payload_bytes);
+  // Jitter is symmetric around 1, so the expectation uses the mean delay.
+  double expected = 0.0;
+  double p_reach = p_fail;  // probability the k-th failure happens
+  for (unsigned k = 1; k < policy_.max_attempts; ++k) {
+    expected += p_reach * backoff_delay_s(k);
+    p_reach *= p_fail;
+  }
+  return expected;
 }
 
 }  // namespace iob::comm

@@ -15,6 +15,15 @@ namespace iob::comm {
 struct ArqPolicy {
   unsigned max_attempts = 8;    ///< frame dropped after this many tries
   double ack_timeout_s = 1e-3;  ///< wait before a retry
+  // Exponential backoff under burst loss (docs/robustness.md): after the
+  // k-th failed attempt wait an extra min(backoff_base_s * 2^(k-1),
+  // backoff_max_s), jittered by a uniform factor in [1-j, 1+j]. The
+  // default base of 0 disables backoff entirely, preserving the legacy
+  // stop-and-wait timing bit-for-bit. Fields are appended (not reordered)
+  // so existing aggregate initializers keep their meaning.
+  double backoff_base_s = 0.0;  ///< first-retry backoff; 0 disables
+  double backoff_max_s = 0.0;   ///< cap on the doubled delay; 0 = uncapped
+  double backoff_jitter = 0.0;  ///< relative jitter j in [0, 1)
 };
 
 class Arq {
@@ -38,6 +47,21 @@ class Arq {
   /// Sample the number of attempts for one frame (>= 1; == max_attempts+1
   /// encodes a drop).
   unsigned sample_attempts(sim::Rng& rng, std::uint32_t payload_bytes) const;
+
+  /// Deterministic (mean) backoff delay after the `attempt`-th failure
+  /// (attempt >= 1): min(base * 2^(attempt-1), max). Zero when backoff is
+  /// disabled.
+  [[nodiscard]] double backoff_delay_s(unsigned attempt) const;
+
+  /// Jittered backoff after the `attempt`-th failure, drawn from `rng`
+  /// (pass a forked fault/policy stream to keep traces deterministic).
+  /// When `backoff_jitter == 0` no draw is consumed.
+  double sample_backoff_s(sim::Rng& rng, unsigned attempt) const;
+
+  /// Expected total backoff wait per frame: the k-th failure occurs with
+  /// probability p_fail^k, and only failures before the final attempt are
+  /// followed by a backoff window.
+  [[nodiscard]] double expected_backoff_s(std::uint32_t payload_bytes) const;
 
   [[nodiscard]] const ArqPolicy& policy() const { return policy_; }
 

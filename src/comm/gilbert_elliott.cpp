@@ -1,0 +1,41 @@
+#include "comm/gilbert_elliott.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::comm {
+
+GilbertElliott::GilbertElliott(GilbertElliottParams params, sim::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  IOB_EXPECTS(params_.mean_good_s > 0.0, "good-state sojourn mean must be positive");
+  IOB_EXPECTS(params_.mean_bad_s > 0.0, "bad-state sojourn mean must be positive");
+  IOB_EXPECTS(params_.bad_loss >= 0.0 && params_.bad_loss <= 1.0,
+              "bad-state loss must be a probability");
+  // The chain starts in the good state; draw its first sojourn up front so
+  // the state timeline is fully determined by the fault stream alone.
+  state_end_ = rng_.exponential(params_.mean_good_s);
+}
+
+double GilbertElliott::loss_probability(sim::Time t, double base_fer) {
+  while (state_end_ < t) {
+    bad_ = !bad_;
+    state_end_ += rng_.exponential(bad_ ? params_.mean_bad_s : params_.mean_good_s);
+  }
+  if (!bad_) return base_fer;
+  // Independent loss mechanisms compound: survive the base channel AND the
+  // burst interferer.
+  return 1.0 - (1.0 - base_fer) * (1.0 - params_.bad_loss);
+}
+
+double GilbertElliott::stationary_bad_fraction() const {
+  return params_.mean_bad_s / (params_.mean_good_s + params_.mean_bad_s);
+}
+
+double GilbertElliott::expected_loss(double base_fer) const {
+  const double pi_bad = stationary_bad_fraction();
+  const double bad = 1.0 - (1.0 - base_fer) * (1.0 - params_.bad_loss);
+  return (1.0 - pi_bad) * base_fer + pi_bad * bad;
+}
+
+}  // namespace iob::comm

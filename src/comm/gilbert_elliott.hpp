@@ -1,0 +1,59 @@
+#pragma once
+/// \file gilbert_elliott.hpp
+/// Two-state Gilbert–Elliott burst-loss overlay for the body-bus channel.
+///
+/// The clean-path `Link` draws frame losses i.i.d. from its BER-derived
+/// frame error rate — fine for thermal noise, wrong for the bursty
+/// interference a body-worn channel actually sees (posture changes, nearby
+/// transmitters, contact-impedance excursions). Gilbert–Elliott models this
+/// as a continuous-time two-state Markov chain: a *good* state where the
+/// base FER applies unchanged, and a *bad* state where an additional loss
+/// probability compounds with it, producing the correlated loss episodes
+/// ARQ backoff policies are designed around.
+///
+/// The chain advances lazily: each `loss_probability(t, ...)` query walks
+/// the exponential sojourn sequence forward to cover `t`. Queries must be
+/// non-decreasing in time, which the event-driven MAC guarantees. All
+/// sojourn draws come from the overlay's own forked `Rng` stream so an
+/// enabled overlay never perturbs the MAC's loss-draw sequence.
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace iob::comm {
+
+struct GilbertElliottParams {
+  double mean_good_s = 0.5;   ///< mean sojourn in the good state
+  double mean_bad_s = 0.125;  ///< mean sojourn in the bad (burst) state
+  double bad_loss = 0.5;      ///< extra loss probability while bad
+};
+
+class GilbertElliott {
+ public:
+  GilbertElliott(GilbertElliottParams params, sim::Rng rng);
+
+  /// Effective frame-loss probability at time `t` given the link's base
+  /// frame error rate. Advances the chain up to `t`; queries must be
+  /// non-decreasing in time.
+  [[nodiscard]] double loss_probability(sim::Time t, double base_fer);
+
+  /// True if the chain (as advanced so far) is in the bad state.
+  [[nodiscard]] bool bad() const { return bad_; }
+
+  /// Long-run fraction of time spent in the bad state.
+  [[nodiscard]] double stationary_bad_fraction() const;
+
+  /// Analytic long-run loss rate for a given base FER (stationary mixture
+  /// of the good- and bad-state loss probabilities).
+  [[nodiscard]] double expected_loss(double base_fer) const;
+
+  [[nodiscard]] const GilbertElliottParams& params() const { return params_; }
+
+ private:
+  GilbertElliottParams params_;
+  sim::Rng rng_;
+  bool bad_ = false;          ///< chain starts in the good state
+  sim::Time state_end_ = 0.0; ///< current sojourn ends here
+};
+
+}  // namespace iob::comm

@@ -24,6 +24,16 @@ struct MacNodeStats {
   std::uint64_t downlink_frames = 0;
   std::uint64_t downlink_bytes = 0;
   sim::Accumulator downlink_latency_s;
+  // Drop taxonomy: frames_dropped == dropped_arq + dropped_fault +
+  // dropped_overflow, always. `dropped_arq` is ARQ retry exhaustion (the
+  // only kind the clean path produces); `dropped_fault` is frames purged
+  // when the node browns out or a downlink hits a powered-off node;
+  // `dropped_overflow` is the store-and-retry buffer overflowing while the
+  // hub is down (normal-operation enqueue overflows keep counting only
+  // `queue_overflows`, as before).
+  std::uint64_t frames_dropped_arq = 0;
+  std::uint64_t frames_dropped_fault = 0;
+  std::uint64_t frames_dropped_overflow = 0;
 };
 
 struct MacStats {
@@ -32,6 +42,9 @@ struct MacStats {
   double hub_rx_energy_j = 0.0;   ///< data reception
   double busy_airtime_s = 0.0;    ///< medium occupied
   double elapsed_s = 0.0;
+  /// Superframes elided because the hub was down (no beacon, no slots);
+  /// leaves store-and-retry through these. Zero on the clean path.
+  std::uint64_t superframes_skipped = 0;
 
   [[nodiscard]] double utilization() const {
     return elapsed_s > 0.0 ? busy_airtime_s / elapsed_s : 0.0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "comm/gilbert_elliott.hpp"
 #include "common/expect.hpp"
 
 namespace iob::comm {
@@ -17,7 +18,7 @@ TdmaBus::TdmaBus(sim::Simulator& sim, const Link& link, TdmaConfig config, sim::
 NodeId TdmaBus::add_node(std::string name, unsigned slot_weight) {
   IOB_EXPECTS(slot_weight >= 1, "slot weight must be at least 1");
   IOB_EXPECTS(!running_, "cannot add nodes while the bus is running");
-  nodes_.push_back(NodeState{slot_weight, {}, 0});
+  nodes_.push_back(NodeState{slot_weight, {}, 0, true});
   MacNodeStats s;
   s.name = std::move(name);
   stats_.nodes.push_back(std::move(s));
@@ -31,6 +32,12 @@ bool TdmaBus::enqueue(NodeId node, Frame frame) {
   auto& st = nodes_[node - 1];
   if (st.queue.size() >= config_.max_queue_frames) {
     ++stats_.nodes[node - 1].queue_overflows;
+    if (!hub_up_) {
+      // The queue is acting as the store-and-retry buffer for a hub
+      // outage; this overflow is lost *to the fault*, not to congestion.
+      ++stats_.nodes[node - 1].frames_dropped;
+      ++stats_.nodes[node - 1].frames_dropped_overflow;
+    }
     return false;
   }
   frame.src = node;
@@ -71,14 +78,55 @@ std::size_t TdmaBus::queue_depth(NodeId node) const {
   return nodes_[node - 1].queue.size();
 }
 
+void TdmaBus::set_node_powered(NodeId node, bool powered) {
+  IOB_EXPECTS(node >= 1 && node <= nodes_.size(), "unknown node id");
+  auto& st = nodes_[node - 1];
+  if (st.powered == powered) return;
+  st.powered = powered;
+  if (!powered) {
+    // Brownout loses whatever was staged at the leaf.
+    auto& ns = stats_.nodes[node - 1];
+    ns.frames_dropped += st.queue.size();
+    ns.frames_dropped_fault += st.queue.size();
+    st.queue.clear();
+    st.head_retries = 0;
+  }
+}
+
+bool TdmaBus::node_powered(NodeId node) const {
+  IOB_EXPECTS(node >= 1 && node <= nodes_.size(), "unknown node id");
+  return nodes_[node - 1].powered;
+}
+
+double TdmaBus::frame_loss_probability(sim::Time t, std::uint32_t payload_bytes) {
+  const double base = link_.frame_error_rate(payload_bytes);
+  return channel_fault_ ? channel_fault_->loss_probability(t, base) : base;
+}
+
 void TdmaBus::run_superframe() {
   if (!running_) return;
   const sim::Time t0 = sim_.now();
 
-  // Beacon: hub transmits, every leaf listens to resynchronize.
+  if (!hub_up_) {
+    // Hub crashed: no beacon, no windows. The cadence is preserved so the
+    // restarted hub and the leaves re-synchronize at the next boundary;
+    // leaf queues hold (store-and-retry) until then.
+    ++stats_.superframes_skipped;
+    const sim::Time cursor = t0 + superframe_duration_s();
+    stats_.elapsed_s = (cursor - started_at_);
+    if (trace_) trace_->emit(t0, "tdma", "superframe_skipped", "hub down");
+    sim_.at(cursor, [this] { run_superframe(); });
+    return;
+  }
+
+  // Beacon: hub transmits, every powered leaf listens to resynchronize.
   const double beacon_air = link_.frame_time_s(config_.beacon_bytes);
   stats_.hub_tx_energy_j += link_.frame_tx_energy_j(config_.beacon_bytes);
-  for (auto& ns : stats_.nodes) ns.rx_energy_j += link_.frame_rx_energy_j(config_.beacon_bytes);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].powered) {
+      stats_.nodes[i].rx_energy_j += link_.frame_rx_energy_j(config_.beacon_bytes);
+    }
+  }
   stats_.busy_airtime_s += beacon_air;
   if (trace_) trace_->emit(t0, "tdma", "beacon", "");
 
@@ -107,6 +155,15 @@ double TdmaBus::run_downlink(sim::Time window_start) {
   double used = 0.0;
   while (!downlink_queue_.empty()) {
     Frame& head = downlink_queue_.front();
+    if (!nodes_[head.dst - 1].powered) {
+      // Destination browned out: the hub (which tracks membership via slot
+      // occupancy) drops the actuation frame instead of burning airtime.
+      auto& dead = stats_.nodes[head.dst - 1];
+      ++dead.frames_dropped;
+      ++dead.frames_dropped_fault;
+      downlink_queue_.pop_front();
+      continue;
+    }
     const double air = link_.frame_time_s(head.payload_bytes);
     if (used + air > config_.downlink_slot_s) break;
 
@@ -115,7 +172,7 @@ double TdmaBus::run_downlink(sim::Time window_start) {
     auto& ns = stats_.nodes[head.dst - 1];
     ns.rx_energy_j += link_.frame_rx_energy_j(head.payload_bytes);
 
-    const bool lost = rng_.bernoulli(link_.frame_error_rate(head.payload_bytes));
+    const bool lost = rng_.bernoulli(frame_loss_probability(window_start + used, head.payload_bytes));
     if (!lost) {
       const sim::Time delivered_at = window_start + used;
       ++ns.downlink_frames;
@@ -139,6 +196,8 @@ double TdmaBus::run_slot(std::size_t node_idx, sim::Time slot_start) {
   auto& ns = stats_.nodes[node_idx];
   double used = 0.0;
 
+  if (!node.powered) return 0.0;  // browned-out leaf: its slots idle
+
   while (!node.queue.empty()) {
     Frame& head = node.queue.front();
     const double air = link_.frame_time_s(head.payload_bytes);
@@ -148,11 +207,12 @@ double TdmaBus::run_slot(std::size_t node_idx, sim::Time slot_start) {
     ns.tx_energy_j += link_.frame_tx_energy_j(head.payload_bytes);
     stats_.hub_rx_energy_j += link_.frame_rx_energy_j(head.payload_bytes);
 
-    const bool lost = rng_.bernoulli(link_.frame_error_rate(head.payload_bytes));
+    const bool lost = rng_.bernoulli(frame_loss_probability(slot_start + used, head.payload_bytes));
     if (lost) {
       ++ns.frames_retried;
       if (++node.head_retries > config_.max_retries) {
         ++ns.frames_dropped;
+        ++ns.frames_dropped_arq;
         node.queue.pop_front();
         node.head_retries = 0;
       }

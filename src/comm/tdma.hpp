@@ -24,6 +24,8 @@
 
 namespace iob::comm {
 
+class GilbertElliott;
+
 struct TdmaConfig {
   double slot_s = 1e-3;          ///< per-slot duration
   double guard_s = 20e-6;        ///< inter-slot guard
@@ -77,6 +79,27 @@ class TdmaBus {
   /// Stop issuing superframes (pending one finishes).
   void stop() { running_ = false; }
 
+  // --- Fault hooks (no-ops on the clean path; see docs/robustness.md) ---
+
+  /// Overlay a Gilbert–Elliott burst-loss process on the link's base frame
+  /// error rate (both uplink and downlink draws). Non-owning; pass nullptr
+  /// to restore the clean i.i.d. channel.
+  void set_channel_fault(GilbertElliott* overlay) { channel_fault_ = overlay; }
+
+  /// Hub crash/restart. While down, superframes are elided (no beacon, no
+  /// windows) but the cadence is kept so leaves re-sync on the next
+  /// boundary; leaf queues become bounded store-and-retry buffers whose
+  /// overflows are attributed to `frames_dropped_overflow`.
+  void set_hub_up(bool up) { hub_up_ = up; }
+  [[nodiscard]] bool hub_up() const { return hub_up_; }
+
+  /// Node brownout/reboot. Powering a node off purges its uplink queue
+  /// (counted as `frames_dropped_fault`), stops its beacon listening, and
+  /// leaves its slots idle; downlink frames to it are dropped. Powering it
+  /// back on rejoins the existing schedule at the next superframe.
+  void set_node_powered(NodeId node, bool powered);
+  [[nodiscard]] bool node_powered(NodeId node) const;
+
   [[nodiscard]] const MacStats& stats() const { return stats_; }
   [[nodiscard]] double superframe_duration_s() const;
   [[nodiscard]] std::size_t queue_depth(NodeId node) const;
@@ -87,9 +110,13 @@ class TdmaBus {
     unsigned weight = 1;
     std::deque<Frame> queue;
     unsigned head_retries = 0;
+    bool powered = true;
   };
 
   void run_superframe();
+  /// Frame-loss probability at time `t`: the link's base FER, compounded
+  /// with the burst-loss overlay when one is installed.
+  [[nodiscard]] double frame_loss_probability(sim::Time t, std::uint32_t payload_bytes);
   /// Transmit from `node` inside its slot window; returns airtime used.
   double run_slot(std::size_t node_idx, sim::Time slot_start);
   /// Drain the hub downlink queue inside its window; returns airtime used.
@@ -108,6 +135,8 @@ class TdmaBus {
   bool running_ = false;
   sim::Rng rng_;
   sim::Time started_at_ = 0.0;
+  GilbertElliott* channel_fault_ = nullptr;
+  bool hub_up_ = true;
 };
 
 }  // namespace iob::comm

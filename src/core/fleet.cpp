@@ -53,8 +53,54 @@ std::string to_string(FleetAxis axis) {
     case kAxisBatch: return "batch window";
     case kAxisPrecision: return "precision";
     case kAxisSeed: return "seed";
+    case kAxisFault: return "faults";
     default: return "unknown";
   }
+}
+
+std::string to_string(FaultVariant variant) {
+  switch (variant) {
+    case FaultVariant::kNone: return "none";
+    case FaultVariant::kBrownout: return "brownout";
+    case FaultVariant::kHubFlap: return "hub-flap";
+    case FaultVariant::kBurstLoss: return "burst-loss";
+    case FaultVariant::kCombined: return "combined";
+  }
+  return "unknown";
+}
+
+sim::FaultPlan make_fault_plan(FaultVariant variant, double intensity) {
+  IOB_EXPECTS(intensity > 0.0, "fault intensity must be positive");
+  sim::FaultPlan plan;
+  // Canonical regimes (docs/robustness.md). Intensity raises how *often*
+  // faults strike — crash inter-arrivals and good-channel dwells shrink —
+  // while episode durations and brownout thresholds stay put, so higher
+  // intensity monotonically degrades availability.
+  const sim::BrownoutPlan brownout{/*off_soc=*/0.05, /*on_soc=*/0.15,
+                                   /*reboot_energy_j=*/1e-3, /*sleep_power_w=*/1e-6};
+  const sim::HubFlapPlan hub_flap{/*mean_up_s=*/2.0 / intensity, /*mean_down_s=*/0.5,
+                                  /*periodic=*/false};
+  const sim::BurstLossPlan burst_loss{/*mean_good_s=*/0.5 / intensity,
+                                      /*mean_bad_s=*/0.125, /*bad_loss=*/0.5};
+  switch (variant) {
+    case FaultVariant::kNone:
+      break;
+    case FaultVariant::kBrownout:
+      plan.brownout = brownout;
+      break;
+    case FaultVariant::kHubFlap:
+      plan.hub_flap = hub_flap;
+      break;
+    case FaultVariant::kBurstLoss:
+      plan.burst_loss = burst_loss;
+      break;
+    case FaultVariant::kCombined:
+      plan.brownout = brownout;
+      plan.hub_flap = hub_flap;
+      plan.burst_loss = burst_loss;
+      break;
+  }
+  return plan;
 }
 
 std::unique_ptr<const comm::Link> make_bus_link(BusKind kind) {
@@ -71,7 +117,8 @@ std::unique_ptr<const comm::Link> make_bus_link(BusKind kind) {
 
 std::size_t FleetAxes::size() const {
   return node_counts.size() * macs.size() * mixes.size() * harvests.size() *
-         buses.size() * batch_windows.size() * precisions.size() * seeds.size();
+         buses.size() * batch_windows.size() * precisions.size() * faults.size() *
+         seeds.size();
 }
 
 namespace {
@@ -119,6 +166,7 @@ std::unique_ptr<net::NetworkSim> build_fleet_point(const FleetPoint& p) {
   nc.seed = p.seed;
   nc.mac = p.mac.config;
   nc.hub.batch_window = p.batch_window;
+  nc.faults = make_fault_plan(p.fault);
   auto sim = std::make_unique<net::NetworkSim>(make_bus_link(p.bus), nc);
 
   for (int i = 0; i < p.node_count; ++i) {
@@ -145,7 +193,7 @@ FleetPointResult run_fleet_point(const FleetPoint& p) {
   res.report = sim->run(p.duration_s);
 
   std::uint64_t delivered = 0, dropped = 0;
-  double power = 0.0, latency = 0.0;
+  double power = 0.0, latency = 0.0, avail = 0.0;
   double min_life = std::numeric_limits<double>::infinity();
   std::size_t perpetual = 0;
   for (const auto& n : res.report.nodes) {
@@ -153,6 +201,7 @@ FleetPointResult run_fleet_point(const FleetPoint& p) {
     dropped += n.frames_dropped;
     power += n.average_power_w;
     latency += n.mean_latency_s;
+    avail += n.availability;
     min_life = std::min(min_life, n.projected_life_days);
     if (n.perpetual) ++perpetual;
   }
@@ -163,6 +212,7 @@ FleetPointResult run_fleet_point(const FleetPoint& p) {
   res.min_life_days = min_life;
   res.perpetual_fraction =
       static_cast<double>(perpetual) / static_cast<double>(res.report.nodes.size());
+  res.mean_availability = avail / static_cast<double>(res.report.nodes.size());
   return res;
 }
 
@@ -172,9 +222,14 @@ std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
       "hub_power_w,goodput_bps,bus_utilization,elapsed_s,nodes...\n";
   for (const auto& r : results) {
     out += std::to_string(r.index) + ",";
-    for (std::size_t a = 0; a < kAxisCount; ++a) {
-      out += std::to_string(r.coord[a]) + (a + 1 < kAxisCount ? ":" : "");
+    // Byte-compat contract: the coord prefix serializes exactly the eight
+    // pre-fault axes; the fault coordinate appears only as a ":f<i>" suffix
+    // on points actually swept off the clean regime, so default grids stay
+    // byte-identical to pre-fault output.
+    for (std::size_t a = 0; a <= kAxisSeed; ++a) {
+      out += std::to_string(r.coord[a]) + (a < kAxisSeed ? ":" : "");
     }
+    if (r.coord[kAxisFault] != 0) out += ":f" + std::to_string(r.coord[kAxisFault]);
     out += "," + exact(r.drop_rate) + "," + exact(r.mean_latency_s) + "," +
            exact(r.mean_leaf_power_w) + "," +
            exact(r.min_life_days) + "," + exact(r.perpetual_fraction) + "," +
@@ -185,6 +240,17 @@ std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
              exact(n.projected_life_days) + ":" + (n.perpetual ? "1" : "0") + ":" +
              std::to_string(n.frames_delivered) + ":" + std::to_string(n.frames_dropped) + ":" +
              exact(n.mean_latency_s) + ":" + exact(n.p99ish_latency_s);
+      // Fault telemetry serializes only for nodes that saw fault activity
+      // (clean-path rows, including their ARQ drops, are untouched bytes).
+      if (n.reboots > 0 || n.downtime_s > 0.0 || n.dropped_fault > 0 || n.dropped_overflow > 0) {
+        out += ":flt:" + std::to_string(n.reboots) + ":" + exact(n.downtime_s) + ":" +
+               exact(n.availability) + ":" + std::to_string(n.dropped_arq) + ":" +
+               std::to_string(n.dropped_fault) + ":" + std::to_string(n.dropped_overflow);
+      }
+    }
+    if (r.report.hub_crashes > 0) {
+      out += ",hubflt:" + std::to_string(r.report.hub_crashes) + ":" +
+             exact(r.report.hub_downtime_s) + ":" + exact(r.report.hub_availability);
     }
     out += "\n";
   }
@@ -222,6 +288,7 @@ Fleet::Fleet(FleetAxes axes) : axes_(std::move(axes)) {
   IOB_EXPECTS(!axes_.buses.empty(), "buses axis is empty");
   IOB_EXPECTS(!axes_.batch_windows.empty(), "batch_windows axis is empty");
   IOB_EXPECTS(!axes_.precisions.empty(), "precisions axis is empty");
+  IOB_EXPECTS(!axes_.faults.empty(), "faults axis is empty");
   IOB_EXPECTS(!axes_.seeds.empty(), "seeds axis is empty");
   IOB_EXPECTS(axes_.duration_s > 0, "duration must be positive");
   for (const int n : axes_.node_counts) {
@@ -244,20 +311,23 @@ std::vector<FleetPoint> Fleet::expand() const {
           for (std::size_t bi = 0; bi < axes_.buses.size(); ++bi) {
             for (std::size_t wi = 0; wi < axes_.batch_windows.size(); ++wi) {
               for (std::size_t pi = 0; pi < axes_.precisions.size(); ++pi) {
-                for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
-                  FleetPoint p;
-                  p.index = points.size();
-                  p.coord = {ni, mi, xi, hi, bi, wi, pi, si};
-                  p.node_count = axes_.node_counts[ni];
-                  p.mac = axes_.macs[mi];
-                  p.mix = axes_.mixes[xi];
-                  p.harvest = axes_.harvests[hi];
-                  p.bus = axes_.buses[bi];
-                  p.batch_window = axes_.batch_windows[wi];
-                  p.precision = axes_.precisions[pi];
-                  p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
-                  p.duration_s = axes_.duration_s;
-                  points.push_back(std::move(p));
+                for (std::size_t fi = 0; fi < axes_.faults.size(); ++fi) {
+                  for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
+                    FleetPoint p;
+                    p.index = points.size();
+                    p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi};
+                    p.node_count = axes_.node_counts[ni];
+                    p.mac = axes_.macs[mi];
+                    p.mix = axes_.mixes[xi];
+                    p.harvest = axes_.harvests[hi];
+                    p.bus = axes_.buses[bi];
+                    p.batch_window = axes_.batch_windows[wi];
+                    p.precision = axes_.precisions[pi];
+                    p.fault = axes_.faults[fi];
+                    p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
+                    p.duration_s = axes_.duration_s;
+                    points.push_back(std::move(p));
+                  }
                 }
               }
             }
@@ -285,7 +355,7 @@ AxisCell aggregate_cell(std::string label, const std::vector<const FleetPointRes
 
   std::vector<double> lifetimes;
   double perpetual_nodes = 0.0, total_nodes = 0.0;
-  double goodput = 0.0, drop = 0.0, latency = 0.0, util = 0.0;
+  double goodput = 0.0, drop = 0.0, latency = 0.0, util = 0.0, avail = 0.0;
   for (const FleetPointResult* r : pts) {
     for (const auto& n : r->report.nodes) {
       lifetimes.push_back(n.projected_life_days);
@@ -296,6 +366,7 @@ AxisCell aggregate_cell(std::string label, const std::vector<const FleetPointRes
     drop += r->drop_rate;
     latency += r->mean_latency_s;
     util += r->report.bus_utilization;
+    avail += r->mean_availability;
   }
   const double np = static_cast<double>(pts.size());
   std::sort(lifetimes.begin(), lifetimes.end());  // one sort serves all quantiles
@@ -307,6 +378,7 @@ AxisCell aggregate_cell(std::string label, const std::vector<const FleetPointRes
   cell.mean_drop_rate = drop / np;
   cell.mean_latency_s = latency / np;
   cell.mean_bus_utilization = util / np;
+  cell.mean_availability = avail / np;
   return cell;
 }
 
@@ -324,7 +396,7 @@ FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) cons
   const std::array<std::size_t, kAxisCount> axis_sizes = {
       axes_.node_counts.size(), axes_.macs.size(),          axes_.mixes.size(),
       axes_.harvests.size(),    axes_.buses.size(),         axes_.batch_windows.size(),
-      axes_.precisions.size(),  axes_.seeds.size()};
+      axes_.precisions.size(),  axes_.seeds.size(),         axes_.faults.size()};
   for (std::size_t a = 0; a < kAxisCount; ++a) {
     std::vector<AxisCell> cells;
     for (std::size_t v = 0; v < axis_sizes[a]; ++v) {
@@ -346,6 +418,7 @@ FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) cons
           break;
         case kAxisPrecision: label = nn::to_string(axes_.precisions[v]); break;
         case kAxisSeed: label = "seed=" + std::to_string(axes_.seeds[v]); break;
+        case kAxisFault: label = to_string(axes_.faults[v]); break;
         default: label = "?"; break;
       }
       cells.push_back(aggregate_cell(std::move(label), pts));
@@ -360,7 +433,7 @@ std::string FleetSummary::to_string() const {
   out += "fleet: " + std::to_string(total_points) + " points\n";
   const auto render_axis = [&](const std::string& name, const std::vector<AxisCell>& cells) {
     common::Table t({name, "points", "life p10", "life p50", "life p90", "perpetual",
-                     "mean goodput", "drop rate", "mean latency", "bus util"});
+                     "mean goodput", "drop rate", "mean latency", "bus util", "avail"});
     for (const AxisCell& c : cells) {
       t.add_row({c.label, std::to_string(c.points), life_str(c.life_p10_days),
                  life_str(c.life_p50_days), life_str(c.life_p90_days),
@@ -368,7 +441,8 @@ std::string FleetSummary::to_string() const {
                  common::si_format(c.mean_goodput_bps, "b/s"),
                  common::fixed(c.mean_drop_rate * 100.0, 2) + "%",
                  common::si_format(c.mean_latency_s, "s"),
-                 common::fixed(c.mean_bus_utilization * 100.0, 1) + "%"});
+                 common::fixed(c.mean_bus_utilization * 100.0, 1) + "%",
+                 common::fixed(c.mean_availability * 100.0, 1) + "%"});
     }
     out += t.to_string();
   };

@@ -18,10 +18,12 @@
 /// nested loops with `node_counts` outermost and `seeds` innermost —
 ///   for n in node_counts / for m in macs / for x in mixes /
 ///   for h in harvests / for b in buses / for w in batch_windows /
-///   for p in precisions / for s in seeds
+///   for p in precisions / for f in faults / for s in seeds
 /// and `FleetPoint::seed = SweepRunner::point_seed(s, flat_index)`, so
 /// sibling points never share an RNG stream even when the seed axis holds a
-/// single value.
+/// single value. (The fault axis nests outside seeds but serializes as
+/// `coord[kAxisFault]` — appended after the seed coordinate; see the
+/// FleetAxis comment for the byte-compat reasoning.)
 ///
 /// A `FleetPoint` is self-contained: `run_fleet_point(point)` is a pure
 /// function that builds its own link (owned by the `NetworkSim` — no shared
@@ -44,6 +46,7 @@
 #include "net/network_sim.hpp"
 #include "net/session.hpp"
 #include "nn/precision.hpp"
+#include "sim/fault.hpp"
 
 namespace iob::core {
 
@@ -92,6 +95,20 @@ struct HarvestVariant {
   std::optional<energy::HarvesterParams> harvester{};
 };
 
+/// One value on the fleet's fault axis: which canonical fault regime
+/// (docs/robustness.md) a point simulates under. `kNone` is the clean path
+/// and keeps every result bit-identical to pre-fault grids.
+enum class FaultVariant { kNone, kBrownout, kHubFlap, kBurstLoss, kCombined };
+
+[[nodiscard]] std::string to_string(FaultVariant variant);
+
+/// The canonical `sim::FaultPlan` behind a `FaultVariant`. `intensity`
+/// scales fault *pressure* (>= 1 is harsher): hub crashes arrive
+/// `intensity` times as often and burst episodes recur `intensity` times
+/// as often; outage/episode durations and the brownout thresholds are
+/// intensity-invariant. `kNone` returns an empty plan at any intensity.
+[[nodiscard]] sim::FaultPlan make_fault_plan(FaultVariant variant, double intensity = 1.0);
+
 /// The declarative grid. Every axis must be non-empty; `mixes` has no
 /// default because a population recipe is the one axis with no sane
 /// universal value.
@@ -109,6 +126,11 @@ struct FleetAxes {
   /// is priced) at this `nn::Precision` — f32 hubs vs int8 hubs in one
   /// grid. f32 keeps the ledger bit-identical to pre-precision grids.
   std::vector<nn::Precision> precisions{nn::Precision::kF32};
+  /// Fault-regime axis (`make_fault_plan`): which robustness stressor each
+  /// point runs under. The `{kNone}` default keeps grids byte-identical to
+  /// pre-fault runs (the CSV only ever mentions faults for points/nodes
+  /// that actually saw fault activity).
+  std::vector<FaultVariant> faults{FaultVariant::kNone};
   std::vector<std::uint64_t> seeds{42};
   double duration_s = 5.0;  ///< simulated seconds per point
 
@@ -116,7 +138,11 @@ struct FleetAxes {
   [[nodiscard]] std::size_t size() const;
 };
 
-/// Index of each axis inside `FleetPoint::coord`.
+/// Index of each axis inside `FleetPoint::coord`. `kAxisFault` is appended
+/// *after* `kAxisSeed` even though the expansion loop nests faults outside
+/// seeds: the canonical CSV serializes coords 0..kAxisSeed as the fixed
+/// prefix it always had, so no-fault grids stay byte-identical to pre-fault
+/// output (the fault coordinate only appears as a suffix when non-zero).
 enum FleetAxis : std::size_t {
   kAxisNodeCount = 0,
   kAxisMac,
@@ -126,6 +152,7 @@ enum FleetAxis : std::size_t {
   kAxisBatch,
   kAxisPrecision,
   kAxisSeed,
+  kAxisFault,
   kAxisCount,
 };
 
@@ -143,6 +170,7 @@ struct FleetPoint {
   BusKind bus = BusKind::kWiR;
   unsigned batch_window = 0;  ///< HubConfig::batch_window for this point
   nn::Precision precision = nn::Precision::kF32;  ///< session execution precision
+  FaultVariant fault = FaultVariant::kNone;  ///< fault regime (make_fault_plan)
   std::uint64_t seed = 0;   ///< SweepRunner::point_seed(seed_axis_value, index)
   double duration_s = 5.0;
 };
@@ -166,6 +194,7 @@ struct FleetPointResult {
   double mean_leaf_power_w = 0.0;
   double min_life_days = 0.0;      ///< weakest node (+inf only if no node ever drains)
   double perpetual_fraction = 0.0; ///< fraction of nodes with life > 1 y (energy::is_perpetual)
+  double mean_availability = 1.0;  ///< mean over nodes of powered fraction (1 clean)
 };
 
 /// Run one grid point start to finish. Pure: depends only on `p`.
@@ -191,6 +220,8 @@ struct AxisCell {
   double mean_drop_rate = 0.0;
   double mean_latency_s = 0.0;
   double mean_bus_utilization = 0.0;
+  /// Mean leaf availability over the cell's points (1.0 without faults).
+  double mean_availability = 1.0;
 };
 
 /// Aggregated view of a fleet run: one overall cell plus, per axis, one

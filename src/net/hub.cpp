@@ -258,6 +258,50 @@ void Hub::flush_batches(sim::Time boundary) {
   }
 }
 
+void Hub::on_hub_crash(sim::Time now) {
+  if (!up_) return;
+  up_ = false;
+  ++crashes_;
+  crashed_at_ = now;
+  bus_.set_hub_up(false);
+  // Staged work dies with the crash. Iterate groups_ (insertion order, like
+  // flush_batches) so the attribution order is deterministic.
+  for (const auto& [group, streams] : groups_) {
+    (void)group;
+    for (const std::string& stream : streams) {
+      Staged& staged = staged_[stream];
+      SessionStats& st = session_stats_[stream];
+      st.staged_frames_lost += staged.frame_times.size();
+      st.staged_bytes_lost += staged.pending_bytes;
+      staged.pending_bytes = 0;
+      staged.frame_times.clear();
+    }
+  }
+  superframes_since_flush_ = 0;
+}
+
+void Hub::on_hub_restart(sim::Time now) {
+  if (up_) return;
+  up_ = true;
+  downtime_closed_s_ += now - crashed_at_;
+  bus_.set_hub_up(true);
+  // Sessions restore from their surviving configs; each one re-syncs with
+  // an empty staging buffer.
+  for (const auto& [group, streams] : groups_) {
+    (void)group;
+    for (const std::string& stream : streams) ++session_stats_[stream].fault_resyncs;
+  }
+}
+
+double Hub::downtime_s(sim::Time now) const {
+  return downtime_closed_s_ + (up_ ? 0.0 : now - crashed_at_);
+}
+
+double Hub::availability(sim::Time now) const {
+  if (now <= 0.0) return 1.0;
+  return 1.0 - downtime_s(now) / now;
+}
+
 std::uint64_t Hub::group_staged_inferences(const std::string& stream) const {
   const auto idx_it = group_index_.find(stream);
   if (idx_it == group_index_.end()) return 0;
@@ -325,8 +369,10 @@ const SessionStats& Hub::session(const std::string& stream) const {
 }
 
 double Hub::energy_j() const {
+  // Base power accrues only while the hub is up. With zero downtime the
+  // subtraction is exact, keeping the clean-path ledger bit-identical.
   double e = bus_.stats().hub_rx_energy_j + bus_.stats().hub_tx_energy_j +
-             config_.base_power_w * sim_.now();
+             config_.base_power_w * (sim_.now() - downtime_s(sim_.now()));
   for (const auto& [group, streams] : groups_) {
     (void)group;
     for (const std::string& stream : streams) {

@@ -95,6 +95,29 @@ class Hub {
   /// Batched model passes executed so far (0 on the per-frame path).
   [[nodiscard]] std::uint64_t batched_passes() const { return batched_passes_; }
 
+  // --- Crash/restart lifecycle (driven by net::FaultInjector) ---
+
+  /// Crash the hub at `now`: the bus stops issuing superframes, every
+  /// session's staging buffer is discarded (attributed to
+  /// `SessionStats::staged_frames_lost` / `staged_bytes_lost`), and the
+  /// base-power ledger stops accruing. Session *configs* survive — that is
+  /// the restore-on-restart contract.
+  void on_hub_crash(sim::Time now);
+
+  /// Restart the hub at `now`: sessions re-sync (counted in
+  /// `SessionStats::fault_resyncs`) with empty staging state and the bus
+  /// resumes beaconing on its preserved cadence.
+  void on_hub_restart(sim::Time now);
+
+  [[nodiscard]] bool up() const { return up_; }
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+
+  /// Accumulated crashed time up to `now`, including an open outage.
+  [[nodiscard]] double downtime_s(sim::Time now) const;
+
+  /// Fraction of [0, now] the hub was up. 1.0 on the clean path.
+  [[nodiscard]] double availability(sim::Time now) const;
+
   /// Total hub energy (J) up to now: bus RX/TX + sessions + base floor.
   [[nodiscard]] double energy_j() const;
 
@@ -150,6 +173,10 @@ class Hub {
   std::unordered_map<std::string, std::size_t> group_index_;
   unsigned superframes_since_flush_ = 0;
   std::uint64_t batched_passes_ = 0;
+  bool up_ = true;
+  std::uint64_t crashes_ = 0;
+  double downtime_closed_s_ = 0.0;  ///< completed outages only
+  double crashed_at_ = 0.0;         ///< start of the open outage
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   sim::Accumulator latency_s_;

@@ -19,7 +19,10 @@ std::unique_ptr<const comm::Link> require_link(std::unique_ptr<const comm::Link>
 }  // namespace
 
 NetworkSim::NetworkSim(const comm::Link& link, NetworkConfig config)
-    : sim_(config.seed), link_(link), bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr) {
+    : sim_(config.seed),
+      link_(link),
+      bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr),
+      faults_(config.faults) {
   trace_.enable(config.trace);
   hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
 }
@@ -28,7 +31,8 @@ NetworkSim::NetworkSim(std::unique_ptr<const comm::Link> link, NetworkConfig con
     : sim_(config.seed),
       owned_link_(require_link(std::move(link))),
       link_(*owned_link_),
-      bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr) {
+      bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr),
+      faults_(config.faults) {
   trace_.enable(config.trace);
   hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
 }
@@ -51,6 +55,14 @@ NetworkReport NetworkSim::run(double duration_s) {
   // the kEventsBase/kEventsPerNode comment in the header) so warm-up never
   // reallocates the slab or heap.
   sim_.reserve_events(kEventsBase + kEventsPerNode * nodes_.size());
+
+  // Arm the fault plan before the bus starts so the first hub-flap episode
+  // and the channel overlay's sojourn clock both begin at t = 0. An empty
+  // plan constructs nothing — the clean path is untouched.
+  if (faults_.any()) {
+    fault_ = std::make_unique<FaultInjector>(sim_, bus_, *hub_, faults_);
+    for (auto& n : nodes_) fault_->attach_node(*n);
+  }
 
   bus_.start(0.0);
   sim_.run_until(duration_s);
@@ -77,11 +89,21 @@ NetworkReport NetworkSim::run(double duration_s) {
     r.frames_dropped = ms.frames_dropped;
     r.mean_latency_s = ms.latency_s.mean();
     r.p99ish_latency_s = ms.latency_s.max();
+    r.dropped_arq = ms.frames_dropped_arq;
+    r.dropped_fault = ms.frames_dropped_fault;
+    r.dropped_overflow = ms.frames_dropped_overflow;
+    r.availability = n.availability(report.elapsed_s);
+    r.downtime_s = n.downtime_s(report.elapsed_s);
+    r.mttr_s = n.mttr_s(report.elapsed_s);
+    r.reboots = n.reboots();
     report.nodes.push_back(std::move(r));
   }
   report.hub_power_w = hub_->average_power_w();
   report.aggregate_goodput_bps = mac.aggregate_goodput_bps();
   report.bus_utilization = mac.utilization();
+  report.hub_crashes = hub_->crashes();
+  report.hub_downtime_s = hub_->downtime_s(report.elapsed_s);
+  report.hub_availability = hub_->availability(report.elapsed_s);
   return report;
 }
 

@@ -12,8 +12,10 @@
 
 #include "comm/link.hpp"
 #include "comm/tdma.hpp"
+#include "net/fault_injector.hpp"
 #include "net/hub.hpp"
 #include "net/node.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -24,6 +26,9 @@ struct NetworkConfig {
   comm::TdmaConfig mac{};
   HubConfig hub{};
   bool trace = false;
+  /// Fault schedule (docs/robustness.md). The default empty plan injects
+  /// nothing and keeps every report bit-identical to the pre-fault code.
+  sim::FaultPlan faults{};
 };
 
 /// Post-run summary for one node.
@@ -39,6 +44,16 @@ struct NodeReport {
   std::uint64_t frames_dropped = 0;
   double mean_latency_s = 0.0;
   double p99ish_latency_s = 0.0;  ///< max observed (small samples)
+  // Drop taxonomy: the three buckets always sum to `frames_dropped`
+  // (`dropped_arq` is the only non-zero one on the clean path).
+  std::uint64_t dropped_arq = 0;
+  std::uint64_t dropped_fault = 0;
+  std::uint64_t dropped_overflow = 0;
+  // Brownout lifecycle (all trivial without a fault plan).
+  double availability = 1.0;  ///< powered fraction of the run
+  double downtime_s = 0.0;
+  double mttr_s = 0.0;        ///< mean time to repair per brownout episode
+  std::uint64_t reboots = 0;
 };
 
 struct NetworkReport {
@@ -47,6 +62,10 @@ struct NetworkReport {
   double aggregate_goodput_bps = 0.0;
   double bus_utilization = 0.0;
   double elapsed_s = 0.0;
+  // Hub crash/restart lifecycle (clean path: 0 crashes, availability 1).
+  std::uint64_t hub_crashes = 0;
+  double hub_downtime_s = 0.0;
+  double hub_availability = 1.0;
 };
 
 class NetworkSim {
@@ -94,6 +113,8 @@ class NetworkSim {
   comm::TdmaBus bus_;
   std::unique_ptr<Hub> hub_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  sim::FaultPlan faults_;
+  std::unique_ptr<FaultInjector> fault_;  ///< created by run() when faults_.any()
   bool ran_ = false;
 };
 

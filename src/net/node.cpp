@@ -25,6 +25,7 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
   source_ = std::make_unique<workload::PeriodicSource>(
       sim_, frame_period_s(), config_.frame_bytes,
       [this](sim::Time t, std::uint32_t bytes) {
+        if (!powered_) return;            // browned-out node is silent
         if (battery_.depleted()) return;  // dead node stops transmitting
         comm::Frame f;
         f.kind = comm::FrameKind::kData;
@@ -44,6 +45,15 @@ double Node::frame_period_s() const {
   return static_cast<double>(config_.frame_bytes) * 8.0 / config_.output_rate_bps;
 }
 
+void Node::enable_brownout(const sim::BrownoutPlan& plan) {
+  IOB_EXPECTS(plan.off_soc >= 0.0 && plan.off_soc < 1.0, "off threshold must be a SoC fraction");
+  IOB_EXPECTS(plan.on_soc > plan.off_soc && plan.on_soc <= 1.0,
+              "reboot threshold needs hysteresis above the off threshold");
+  IOB_EXPECTS(plan.reboot_energy_j >= 0.0, "reboot energy must be non-negative");
+  IOB_EXPECTS(plan.sleep_power_w >= 0.0, "sleep power must be non-negative");
+  brownout_ = plan;
+}
+
 void Node::settle() {
   const double now = sim_.now();
   const double dt = now - last_settle_t_;
@@ -51,12 +61,16 @@ void Node::settle() {
   last_settle_t_ = now;
 
   // Sense + ISA integrate over wall time; comm is the MAC ledger delta.
+  // While browned out only the sleep floor burns (the MAC delta is zero
+  // anyway: the bus skips unpowered nodes).
   const auto& mac = bus_.stats().nodes[mac_id_ - 1];
   const double comm_total = mac.tx_energy_j + mac.rx_energy_j;
   const double comm_delta = comm_total - settled_comm_j_;
   settled_comm_j_ = comm_total;
 
-  const double spend = (config_.sense_power_w + config_.isa_power_w) * dt + comm_delta;
+  const double static_w =
+      powered_ ? config_.sense_power_w + config_.isa_power_w : brownout_->sleep_power_w;
+  const double spend = static_w * dt + comm_delta;
   consumed_j_ += spend;
   battery_.discharge(spend);
 
@@ -65,6 +79,39 @@ void Node::settle() {
     harvested_j_ += gain;
     battery_.charge(gain);
   }
+
+  if (brownout_) update_power_state(now);
+}
+
+void Node::update_power_state(double now) {
+  if (powered_ && battery_.soc() < brownout_->off_soc) {
+    powered_ = false;
+    powered_off_at_ = now;
+    bus_.set_node_powered(mac_id_, false);
+  } else if (!powered_ && battery_.soc() >= brownout_->on_soc) {
+    // Boot cost is paid out of the recharge margin; `on_soc - off_soc`
+    // hysteresis is what keeps this from oscillating (see BrownoutPlan).
+    battery_.discharge(brownout_->reboot_energy_j);
+    powered_ = true;
+    ++reboots_;
+    downtime_closed_s_ += now - powered_off_at_;
+    bus_.set_node_powered(mac_id_, true);
+  }
+}
+
+double Node::downtime_s(double now) const {
+  return downtime_closed_s_ + (powered_ ? 0.0 : now - powered_off_at_);
+}
+
+double Node::availability(double now) const {
+  if (now <= 0.0) return 1.0;
+  return 1.0 - downtime_s(now) / now;
+}
+
+double Node::mttr_s(double now) const {
+  const std::uint64_t episodes = reboots_ + (powered_ ? 0 : 1);
+  if (episodes == 0) return 0.0;
+  return downtime_s(now) / static_cast<double>(episodes);
 }
 
 double Node::average_power_w() const {
@@ -74,8 +121,9 @@ double Node::average_power_w() const {
   const auto& mac = bus_.stats().nodes[mac_id_ - 1];
   const double comm_total = mac.tx_energy_j + mac.rx_energy_j;
   const double unsettled_comm = comm_total - settled_comm_j_;
-  const double unsettled_static =
-      (config_.sense_power_w + config_.isa_power_w) * (t - last_settle_t_);
+  const double static_w =
+      powered_ ? config_.sense_power_w + config_.isa_power_w : brownout_->sleep_power_w;
+  const double unsettled_static = static_w * (t - last_settle_t_);
   return (consumed_j_ + unsettled_comm + unsettled_static) / t;
 }
 

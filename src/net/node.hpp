@@ -16,6 +16,7 @@
 #include "energy/battery.hpp"
 #include "energy/harvester.hpp"
 #include "net/topology.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "workload/traffic.hpp"
 
@@ -71,8 +72,33 @@ class Node {
   /// Frame payload period implied by rate and frame size.
   [[nodiscard]] double frame_period_s() const;
 
+  // --- Brownout/reboot lifecycle (docs/robustness.md) ---
+
+  /// Arm the SoC-threshold brownout lifecycle. Must be called before the
+  /// simulation runs. Without it the legacy behavior is preserved exactly:
+  /// a depleted node never transmits again.
+  void enable_brownout(const sim::BrownoutPlan& plan);
+
+  /// False while browned out (core and MAC off, harvester still charging).
+  [[nodiscard]] bool powered() const { return powered_; }
+
+  /// Completed brownout->reboot cycles.
+  [[nodiscard]] std::uint64_t reboots() const { return reboots_; }
+
+  /// Accumulated powered-off time up to `now`, including a still-open
+  /// brownout episode.
+  [[nodiscard]] double downtime_s(double now) const;
+
+  /// Fraction of [0, now] the node was powered. 1.0 on the clean path.
+  [[nodiscard]] double availability(double now) const;
+
+  /// Mean time to repair: downtime divided by brownout episodes (counting
+  /// a still-open one). 0 when no episode ever started.
+  [[nodiscard]] double mttr_s(double now) const;
+
  private:
   void settle();
+  void update_power_state(double now);
 
   sim::Simulator& sim_;
   comm::TdmaBus& bus_;
@@ -88,6 +114,12 @@ class Node {
   double consumed_j_ = 0.0;
   double harvested_j_ = 0.0;
   std::uint32_t seq_ = 0;
+
+  std::optional<sim::BrownoutPlan> brownout_;
+  bool powered_ = true;
+  std::uint64_t reboots_ = 0;
+  double downtime_closed_s_ = 0.0;  ///< completed episodes only
+  double powered_off_at_ = 0.0;     ///< start of the open episode
 };
 
 }  // namespace iob::net

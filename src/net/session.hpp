@@ -93,6 +93,16 @@ struct SessionStats {
   /// Per-precision split of `kernel_time_s` (execute-and-meter only).
   double kernel_time_f32_s = 0.0;
   double kernel_time_int8_s = 0.0;
+  // --- Fault attribution (docs/robustness.md; all zero on the clean path) ---
+  /// Frames that sat staged at the hub when it crashed (lost work: they
+  /// were delivered over the bus but never inferred).
+  std::uint64_t staged_frames_lost = 0;
+  /// Staging-buffer bytes discarded by hub crashes (includes the partial
+  /// window carried on the per-frame path).
+  std::uint64_t staged_bytes_lost = 0;
+  /// Hub restarts this session was re-synced through (its config survives
+  /// the crash; the staging state does not).
+  std::uint64_t fault_resyncs = 0;
 };
 
 }  // namespace iob::net
