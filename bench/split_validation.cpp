@@ -1,0 +1,376 @@
+// Split-execution validation bench (ISSUE 7): execute every feasible
+// leaf/hub split of all three zoo models on a host-calibrated pair of
+// venues and compare the *measured* per-venue compute energy against the
+// analytic `partition::CostModel` point-for-point. For each split k the
+// prefix [0, k) is timed as the "leaf" and the suffix [k, n) as the "hub"
+// (both venues calibrated from the same host engine, so the comparison
+// isolates how well MAC-count proportionality predicts real kernel time),
+// the chained output is asserted bit-identical to the unsplit pass, and
+// the boundary activation is actually serialized and its byte count held
+// equal to `Partitioner::boundary_bytes` — the wire the fleet's split
+// sessions bill for. A final section runs the adaptive re-partition
+// controller inside a `net::NetworkSim` on a glide-path-starved battery
+// and reports the split trajectory. Emits BENCH_split_validation.json;
+// `split_costmodel_max_rel_err` is watched (lower is better) by
+// scripts/collect_bench.py.
+//
+// Set IOB_SPLIT_SMOKE=1 (CI) to shrink the timing windows.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "comm/wir_link.hpp"
+#include "common/expect.hpp"
+#include "common/table.hpp"
+#include "net/network_sim.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/qmodel.hpp"
+#include "nn/quantize.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
+#include "partition/adaptive_split.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace iob;
+
+// Venue power ratings behind the measured-energy numbers: the calibrated
+// host engine stands in for both venues, so energy = measured time x the
+// venue's power. The 8:1 ratio mirrors the CostModel's leaf-vs-hub
+// efficiency gap closely enough to exercise the same trade-offs.
+constexpr double kLeafPowerW = 5e-3;
+constexpr double kHubPowerW = 40e-3;
+
+/// Min-of-3 timing of `fn` with reps auto-grown until one pass fills
+/// `min_window_s` (adaptive like google-benchmark, but deterministic in
+/// structure). Returns seconds per call.
+template <typename F>
+double time_call_s(double min_window_s, F&& fn) {
+  fn();  // warm-up
+  int reps = 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    const double t0 = bench::wall_time_s();
+    for (int r = 0; r < reps; ++r) fn();
+    const double dt = bench::wall_time_s() - t0;
+    if (dt >= min_window_s) {
+      best = dt / reps;
+      break;
+    }
+    reps *= 2;
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    const double t0 = bench::wall_time_s();
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, (bench::wall_time_s() - t0) / reps);
+  }
+  return best;
+}
+
+struct SplitScan {
+  std::size_t splits_executed = 0;
+  double max_rel_err = 0.0;
+  double mean_rel_err = 0.0;
+  std::size_t wire_checks = 0;
+};
+
+/// Execute every feasible split of `m` at one precision: time prefix and
+/// suffix, compare measured venue energy against `part`'s analytic plan,
+/// assert the chained output is bit-identical to the unsplit pass and the
+/// serialized boundary matches `boundary_bytes`.
+SplitScan scan_splits(const nn::Model& m, const nn::QuantizedModel* qm,
+                      const partition::Partitioner& part, double min_window_s) {
+  const std::size_t n = m.layer_count();
+  const nn::Tensor x = nn::patterned_tensor(m.input_shape(), 7);
+  nn::Workspace ws;
+
+  const auto run_range = [&](std::size_t a, std::size_t b, const float* in) {
+    return qm != nullptr ? qm->run_range_into(ws, in, 1, a, b)
+                         : m.run_range_into(ws, in, 1, a, b);
+  };
+
+  // Unsplit reference pass (also the venue calibration measurement the
+  // caller derived `part`'s throughput from).
+  const nn::ConstSpan full_span = run_range(0, n, x.data());
+  const std::vector<float> full_out(full_span.begin(), full_span.end());
+
+  SplitScan scan;
+  double rel_err_sum = 0.0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    if (qm != nullptr && !qm->feasible_boundary(k)) continue;  // inside a fused pair
+
+    // Leaf venue: layers [0, k). Copy the boundary out of the workspace
+    // before the suffix pass reuses the arena.
+    double t_pre = 0.0;
+    std::vector<float> boundary;
+    nn::Shape boundary_shape;
+    if (k == 0) {
+      boundary.assign(x.data(), x.data() + x.size());
+      boundary_shape = x.shape();
+    } else {
+      t_pre = time_call_s(min_window_s, [&] {
+        benchmark::DoNotOptimize(run_range(0, k, x.data()).data);
+      });
+      const nn::ConstSpan pre = run_range(0, k, x.data());
+      boundary.assign(pre.begin(), pre.end());
+      boundary_shape = m.profiles()[k - 1].output_shape;
+    }
+
+    // Hub venue: layers [k, n) resumed from the shipped boundary.
+    double t_suf = 0.0;
+    std::vector<float> chained = boundary;
+    if (k < n) {
+      t_suf = time_call_s(min_window_s, [&] {
+        benchmark::DoNotOptimize(run_range(k, n, boundary.data()).data);
+      });
+      const nn::ConstSpan suf = run_range(k, n, boundary.data());
+      chained.assign(suf.begin(), suf.end());
+    }
+
+    // Cross-venue correctness: the split pass must reproduce the unsplit
+    // logits bit-for-bit (int8 boundary round-trips are value-preserving;
+    // f32 fused pairs split into conv + relu with identical arithmetic).
+    IOB_ENSURES(chained.size() == full_out.size(), "split output size mismatch");
+    for (std::size_t i = 0; i < full_out.size(); ++i) {
+      IOB_ENSURES(chained[i] == full_out[i], "split execution diverged from unsplit pass");
+    }
+
+    // Wire check: serialize the boundary activation the leaf would ship and
+    // hold its byte count to the analytic `boundary_bytes` point-for-point
+    // (the plan's `bytes_leaf_to_hub` equals it for k < n and 0 at k == n,
+    // where no leg exists).
+    const partition::PartitionPlan plan = part.evaluate(k, n);
+    const std::int64_t elems = static_cast<std::int64_t>(boundary.size());
+    std::int64_t wire_size = 0;
+    if (qm != nullptr) {
+      const nn::Tensor bt = nn::Tensor::from_data(boundary_shape, boundary.data());
+      const nn::QuantizedTensor q =
+          k < qm->float_tail_start() ? nn::quantize(bt, qm->boundary_params(k))
+                                     : nn::quantize(bt);
+      wire_size = static_cast<std::int64_t>(nn::serialize_activation(q).size());
+    } else {
+      wire_size = elems * 4;
+    }
+    IOB_ENSURES(wire_size == part.boundary_bytes(k),
+                "serialized boundary size diverged from the cost model's bytes");
+    IOB_ENSURES(plan.bytes_leaf_to_hub == (k < n ? wire_size : 0),
+                "plan's shipped bytes must match the serialized boundary");
+    ++scan.wire_checks;
+
+    // Measured venue energy vs the analytic plan.
+    const double measured_j = t_pre * kLeafPowerW + t_suf * kHubPowerW;
+    const double predicted_j = plan.leaf_compute_j + plan.hub_compute_j;
+    const double rel_err = std::abs(predicted_j - measured_j) / measured_j;
+    scan.max_rel_err = std::max(scan.max_rel_err, rel_err);
+    rel_err_sum += rel_err;
+    ++scan.splits_executed;
+  }
+  scan.mean_rel_err = rel_err_sum / static_cast<double>(scan.splits_executed);
+  return scan;
+}
+
+/// Host-calibrated cost model: both venues run at the engine's measured
+/// throughput for this model/precision, so `macs / macs_per_s * power` is
+/// the analytic twin of `measured time * power`.
+partition::CostModel calibrated_cost(const nn::Model& m, const nn::QuantizedModel* qm,
+                                     double min_window_s) {
+  nn::Workspace ws;
+  const nn::Tensor x = nn::patterned_tensor(m.input_shape(), 7);
+  const std::size_t n = m.layer_count();
+  const double t_full = time_call_s(min_window_s, [&] {
+    benchmark::DoNotOptimize(qm != nullptr ? qm->run_range_into(ws, x.data(), 1, 0, n).data
+                                           : m.run_range_into(ws, x.data(), 1, 0, n).data);
+  });
+  const double macs_per_s = static_cast<double>(m.total_macs()) / t_full;
+
+  partition::CostModel cost;
+  cost.transport = qm != nullptr ? nn::Precision::kInt8 : nn::Precision::kF32;
+  cost.leaf = {"leaf (host-calibrated)", kLeafPowerW / macs_per_s, macs_per_s};
+  cost.hub = {"hub (host-calibrated)", kHubPowerW / macs_per_s, macs_per_s};
+  const comm::WiRLink wir;
+  cost.leaf_hub = partition::CostModel::leg_from_link(wir, 100e3, 240);
+  cost.hub_cloud = partition::CostModel::default_uplink();
+  return cost;
+}
+
+/// Adaptive re-partition scenario: a split node on a battery sized so the
+/// mission glide path cannot sustain the richest candidate — the
+/// controller must shed leaf layers at runtime and re-sync the hub.
+/// Returns (repartitions, final split).
+std::pair<std::uint64_t, std::uint64_t> adaptive_scenario(const nn::Model& m) {
+  constexpr double kHz = 10.0;
+  constexpr double kMission = 3600.0;
+  partition::CostModel cost;  // stock analytic venues, Wi-R body bus
+  const comm::WiRLink wir;
+  cost.leaf_hub = partition::CostModel::leg_from_link(wir, 100e3, 240);
+  cost.hub_cloud = partition::CostModel::default_uplink();
+  const partition::Partitioner part(m, cost);
+  partition::AdaptiveSplitConfig acfg;
+  acfg.candidates = partition::AdaptiveSplitController::candidates_from(part, kHz);
+  acfg.mission_time_s = kMission;
+  IOB_EXPECTS(acfg.candidates.size() >= 2, "adaptive scenario needs at least two candidates");
+
+  // Size the battery so the glide budget lands mid-ladder: the controller
+  // starts at the richest split and must immediately step down.
+  const double p_mid = acfg.candidates[acfg.candidates.size() / 2].leaf_power_w;
+  const double battery_v = 3.0;
+  const double battery_mah = p_mid * kMission / (3.6 * battery_v);
+
+  net::NetworkConfig nc;
+  net::NetworkSim sim(std::make_unique<comm::WiRLink>(), nc);
+  net::NodeConfig node;
+  node.name = "split-leaf";
+  node.stream = "split-leaf";
+  node.battery_mah = battery_mah;
+  node.battery_v = battery_v;
+  net::LeafSplit sp;
+  sp.net = &m;
+  sp.period_s = 1.0 / kHz;
+  sp.adaptive = acfg;
+  node.split = sp;
+  sim.add_node(std::move(node));
+
+  const std::size_t k0 = acfg.candidates.front().split_at;
+  const auto& profiles = m.profiles();
+  std::uint64_t suffix_macs = 0;
+  for (std::size_t i = k0; i < m.layer_count(); ++i) suffix_macs += profiles[i].macs;
+  const std::int64_t elems = k0 == 0 ? nn::shape_elems(m.input_shape())
+                                     : nn::shape_elems(profiles[k0 - 1].output_shape);
+  net::SessionConfig s;
+  s.stream = "split-leaf";
+  s.net = &m;
+  s.precision = nn::Precision::kInt8;
+  s.split_layers = k0;
+  s.macs_per_inference = suffix_macs;
+  s.bytes_per_inference =
+      static_cast<std::uint64_t>(nn::activation_wire_bytes(elems, nn::Precision::kInt8));
+  sim.add_session(std::move(s));
+
+  const net::NetworkReport rep = sim.run(10.0);
+  const net::SessionStats& st = sim.hub().session("split-leaf");
+  IOB_ENSURES(rep.nodes[0].split_repartitions >= 1,
+              "glide-starved battery should force at least one re-partition");
+  IOB_ENSURES(st.repartitions == rep.nodes[0].split_repartitions,
+              "hub re-sync count must match the leaf's re-partitions");
+  return {rep.nodes[0].split_repartitions, rep.nodes[0].split_at};
+}
+
+void print_headline() {
+  const bool smoke = std::getenv("IOB_SPLIT_SMOKE") != nullptr;
+  const double min_window_s = smoke ? 2e-3 : 10e-3;
+
+  common::print_banner(
+      std::string("Split-execution validation — measured venue energy vs CostModel, "
+                  "every feasible split") +
+      (smoke ? " [smoke]" : ""));
+
+  struct Entry {
+    const char* key;
+    nn::Model model;
+  };
+  Entry entries[] = {{"kws", nn::make_kws_dscnn()},
+                     {"ecg", nn::make_ecg_cnn1d()},
+                     {"vww", nn::make_vww_micronet()}};
+
+  bench::JsonReporter json("split_validation");
+  common::Table t({"model", "precision", "splits", "wire checks", "max rel err",
+                   "mean rel err"});
+
+  double overall_max = 0.0;
+  for (Entry& e : entries) {
+    const nn::Model& m = e.model;
+    const nn::QuantizedModel qm(m);
+    for (const bool int8 : {false, true}) {
+      const nn::QuantizedModel* q = int8 ? &qm : nullptr;
+      const partition::CostModel cost = calibrated_cost(m, q, min_window_s);
+      const partition::Partitioner part(m, cost);
+      const SplitScan scan = scan_splits(m, q, part, min_window_s);
+      overall_max = std::max(overall_max, scan.max_rel_err);
+      const std::string prec = int8 ? "int8" : "f32";
+      t.add_row({e.key, prec, std::to_string(scan.splits_executed),
+                 std::to_string(scan.wire_checks), common::fixed(scan.max_rel_err, 3),
+                 common::fixed(scan.mean_rel_err, 3)});
+      json.add("split_points_executed_" + std::string(e.key) + "_" + prec,
+               static_cast<double>(scan.splits_executed));
+      json.add("split_costmodel_max_rel_err_" + std::string(e.key) + "_" + prec,
+               scan.max_rel_err);
+      json.add("split_costmodel_mean_rel_err_" + std::string(e.key) + "_" + prec,
+               scan.mean_rel_err);
+    }
+  }
+  json.add("split_costmodel_max_rel_err", overall_max);
+
+  const auto [repartitions, final_split] = adaptive_scenario(entries[0].model);
+  json.add("split_adaptive_repartitions_kws", static_cast<double>(repartitions));
+  json.add("split_adaptive_final_split_kws", static_cast<double>(final_split));
+
+  std::printf("%s", t.to_string().c_str());
+  common::print_note("venues host-calibrated: energy = measured range time x venue power "
+                     "(leaf 5 mW prefix, hub 40 mW suffix); rel err |pred - meas| / meas");
+  common::print_note("every split's chained output asserted bit-identical to the unsplit "
+                     "pass; every boundary serialized and size-matched to boundary_bytes");
+  common::print_note("adaptive: glide-starved battery forced " + std::to_string(repartitions) +
+                     " re-partition(s) on kws, final split k=" + std::to_string(final_split));
+  json.write();
+}
+
+// ---- microbenchmarks --------------------------------------------------------
+
+struct SplitZoo {
+  nn::Model model = nn::make_kws_dscnn();
+  nn::QuantizedModel qm{model};
+};
+
+SplitZoo& split_zoo() {
+  static SplitZoo zoo;
+  return zoo;
+}
+
+void BM_SplitPrefixInt8(benchmark::State& state) {
+  SplitZoo& zoo = split_zoo();
+  const std::size_t n = zoo.model.layer_count();
+  std::size_t k = n * static_cast<std::size_t>(state.range(0)) / 4;
+  while (k > 0 && !zoo.qm.feasible_boundary(k)) --k;
+  const nn::Tensor x = nn::patterned_tensor(zoo.model.input_shape(), 1);
+  nn::Workspace ws;
+  ws.configure(zoo.qm, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zoo.qm.run_range_into(ws, x.data(), 1, 0, k).data);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitPrefixInt8)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+void BM_SplitSuffixInt8(benchmark::State& state) {
+  SplitZoo& zoo = split_zoo();
+  const std::size_t n = zoo.model.layer_count();
+  std::size_t k = n * static_cast<std::size_t>(state.range(0)) / 4;
+  while (k > 0 && !zoo.qm.feasible_boundary(k)) --k;
+  const nn::Tensor x = nn::patterned_tensor(zoo.model.input_shape(), 1);
+  nn::Workspace ws;
+  const nn::ConstSpan pre = zoo.qm.run_range_into(ws, x.data(), 1, 0, k);
+  const std::vector<float> boundary(pre.begin(), pre.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zoo.qm.run_range_into(ws, boundary.data(), 1, k, n).data);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitSuffixInt8)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_headline();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

@@ -42,6 +42,16 @@ DEFAULT_WATCH = [
     # exactly 1.0 (a dip means the default config started injecting faults).
     "fault_availability_none",
 ]
+# Lower-is-better series: a >threshold *increase* is the regression. The
+# split-validation error is how far the partitioner's analytic per-venue
+# energy drifts from the executed-and-metered measurement; if it creeps up,
+# the cost model and the engine have diverged. Timing noise makes tiny
+# values jittery, so the relative change is computed against
+# max(old, LOWER_FLOOR) rather than the raw old value.
+DEFAULT_WATCH_LOWER = [
+    "split_costmodel_max_rel_err",
+]
+LOWER_FLOOR = 0.05
 
 
 def git_label():
@@ -105,6 +115,7 @@ def cmd_check(args):
               file=sys.stderr)
         return 1
     watch = set(DEFAULT_WATCH) | set(args.watch or [])
+    watch_lower = set(DEFAULT_WATCH_LOWER)
     by_bench = {}
     for rec in records:
         by_bench.setdefault(rec["bench"], []).append(rec)
@@ -115,22 +126,27 @@ def cmd_check(args):
             print(f"{bench}: only one record ({recs[-1]['label']}), nothing to compare")
             continue
         prev, cur = recs[-2], recs[-1]
-        for metric in sorted(watch):
+        for metric in sorted(watch | watch_lower):
             if metric not in prev["metrics"] or metric not in cur["metrics"]:
                 continue
             old, new = prev["metrics"][metric], cur["metrics"][metric]
-            if not old:
-                continue
-            change = (new - old) / old
+            if metric in watch_lower:
+                change = (new - old) / max(old, LOWER_FLOOR)
+                regressed = change > args.threshold
+            else:
+                if not old:
+                    continue
+                change = (new - old) / old
+                regressed = change < -args.threshold
             status = "ok"
-            if change < -args.threshold:
+            if regressed:
                 status = "REGRESSION"
                 flagged.append((bench, metric, old, new, change))
             print(f"{bench}: {metric}: {old:.6g} ({prev['label']}) -> "
                   f"{new:.6g} ({cur['label']}) {change:+.1%} {status}")
 
     if flagged:
-        print(f"\n{len(flagged)} regression(s) beyond -{args.threshold:.0%}:")
+        print(f"\n{len(flagged)} regression(s) beyond {args.threshold:.0%}:")
         for bench, metric, old, new, change in flagged:
             print(f"  {bench}.{metric}: {old:.6g} -> {new:.6g} ({change:+.1%})")
         return 1 if args.strict else 0

@@ -11,6 +11,10 @@
 #include "comm/wir_link.hpp"
 #include "common/expect.hpp"
 #include "common/table.hpp"
+#include "nn/model.hpp"
+#include "nn/quantize.hpp"
+#include "partition/adaptive_split.hpp"
+#include "partition/partitioner.hpp"
 
 namespace iob::core {
 
@@ -54,6 +58,7 @@ std::string to_string(FleetAxis axis) {
     case kAxisPrecision: return "precision";
     case kAxisSeed: return "seed";
     case kAxisFault: return "faults";
+    case kAxisSplit: return "split";
     default: return "unknown";
   }
 }
@@ -118,7 +123,7 @@ std::unique_ptr<const comm::Link> make_bus_link(BusKind kind) {
 std::size_t FleetAxes::size() const {
   return node_counts.size() * macs.size() * mixes.size() * harvests.size() *
          buses.size() * batch_windows.size() * precisions.size() * faults.size() *
-         seeds.size();
+         splits.size() * seeds.size();
 }
 
 namespace {
@@ -141,6 +146,55 @@ const NodeClassSpec& select_node_class(const NodeMix& mix, int i) {
   return classes.back();
 }
 
+/// Does this class participate in the point's split axis? Only classes
+/// whose hub session carries an executable model can be partitioned.
+bool class_splits(const FleetPoint& p, const NodeClassSpec& cls) {
+  return p.split.enabled && cls.session && cls.session->net != nullptr;
+}
+
+/// Split-inference period: the time the class's raw stream took to fill one
+/// unsplit inference window, so splitting preserves the inference rate.
+double split_period_s(const NodeClassSpec& cls) {
+  return static_cast<double>(cls.session->bytes_per_inference) * 8.0 /
+         cls.base.output_rate_bps;
+}
+
+/// Fixed split point: round(leaf_fraction * n), clamped to [0, n].
+std::size_t split_point_for(const nn::Model& net, double fraction) {
+  const double n = static_cast<double>(net.layer_count());
+  const double k = std::round(fraction * n);
+  return static_cast<std::size_t>(std::clamp(k, 0.0, n));
+}
+
+/// Adaptive candidate list for a class: the analytic `CostModel` with the
+/// variant's leaf silicon, the point's bus link priced at the class's
+/// offered rate, and the point's transport precision. Pure function of the
+/// point spec — deterministic across threads.
+partition::AdaptiveSplitConfig adaptive_config_for(const FleetPoint& p,
+                                                   const NodeClassSpec& cls) {
+  partition::CostModel cost;
+  cost.transport = p.precision;
+  cost.leaf.energy_per_mac_j = p.split.leaf_energy_per_mac_j;
+  const std::unique_ptr<const comm::Link> link = make_bus_link(p.bus);
+  cost.leaf_hub = partition::CostModel::leg_from_link(*link, cls.base.output_rate_bps,
+                                                      cls.base.frame_bytes);
+  cost.hub_cloud = partition::CostModel::default_uplink();
+  const partition::Partitioner part(*cls.session->net, cost);
+  partition::AdaptiveSplitConfig acfg;
+  acfg.candidates =
+      partition::AdaptiveSplitController::candidates_from(part, 1.0 / split_period_s(cls));
+  acfg.mission_time_s = p.split.mission_time_s;
+  return acfg;
+}
+
+/// Initial split point of a class under the point's split variant (the
+/// adaptive controller starts at its richest candidate). The node config
+/// and the hub session must agree on this — single source of truth.
+std::size_t initial_split_for(const FleetPoint& p, const NodeClassSpec& cls) {
+  if (p.split.adaptive) return adaptive_config_for(p, cls).candidates.front().split_at;
+  return split_point_for(*cls.session->net, p.split.leaf_fraction);
+}
+
 /// Resolve the config a class gives to node `i` of point `p`.
 net::NodeConfig node_config_for_class(const FleetPoint& p, const NodeClassSpec& cls, int i) {
   static const std::string kDefaultStream = net::NodeConfig{}.stream;
@@ -151,7 +205,46 @@ net::NodeConfig node_config_for_class(const FleetPoint& p, const NodeClassSpec& 
   const std::string& base_stream = cls.base.stream;
   cfg.stream = (base_stream.empty() || base_stream == kDefaultStream) ? cfg.name : base_stream;
   if (p.harvest.harvester) cfg.harvester = p.harvest.harvester;
+  if (class_splits(p, cls)) {
+    net::LeafSplit sp;
+    sp.net = cls.session->net;
+    sp.precision = p.precision;
+    sp.period_s = split_period_s(cls);
+    sp.energy_per_mac_j = p.split.leaf_energy_per_mac_j;
+    if (p.split.adaptive) {
+      sp.adaptive = adaptive_config_for(p, cls);
+      sp.split_at = sp.adaptive->candidates.front().split_at;
+    } else {
+      sp.split_at = split_point_for(*sp.net, p.split.leaf_fraction);
+    }
+    cfg.split = std::move(sp);
+  }
   return cfg;
+}
+
+/// Rewrite a class's session for the split the node config above selected:
+/// the hub's share is the layer suffix (same recompute rule as
+/// `Hub::on_repartition`). Identity without a split.
+net::SessionConfig split_session_config(const FleetPoint& p, const NodeClassSpec& cls,
+                                        net::SessionConfig s) {
+  if (!class_splits(p, cls)) return s;
+  const nn::Model& net = *s.net;
+  const std::size_t k = initial_split_for(p, cls);
+  const auto& profiles = net.profiles();
+  std::uint64_t suffix_macs = 0;
+  std::uint64_t suffix_params = 0;
+  for (std::size_t i = k; i < net.layer_count(); ++i) {
+    suffix_macs += profiles[i].macs;
+    suffix_params += profiles[i].params;
+  }
+  const std::int64_t elems = k == 0 ? nn::shape_elems(net.input_shape())
+                                    : nn::shape_elems(profiles[k - 1].output_shape);
+  s.split_layers = k;
+  s.macs_per_inference = suffix_macs;
+  s.bytes_per_inference =
+      static_cast<std::uint64_t>(nn::activation_wire_bytes(elems, p.precision));
+  if (s.weight_bytes != 0) s.weight_bytes = suffix_params;  // 1 B/param, int8
+  return s;
 }
 
 }  // namespace
@@ -175,7 +268,7 @@ std::unique_ptr<net::NetworkSim> build_fleet_point(const FleetPoint& p) {
     const std::string stream = cfg.stream;
     sim->add_node(std::move(cfg));
     if (cls.session) {
-      net::SessionConfig s = *cls.session;
+      net::SessionConfig s = split_session_config(p, cls, *cls.session);
       s.stream = stream;
       s.precision = p.precision;  // the precision axis reaches every session
       sim->add_session(std::move(s));
@@ -223,13 +316,14 @@ std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
   for (const auto& r : results) {
     out += std::to_string(r.index) + ",";
     // Byte-compat contract: the coord prefix serializes exactly the eight
-    // pre-fault axes; the fault coordinate appears only as a ":f<i>" suffix
-    // on points actually swept off the clean regime, so default grids stay
-    // byte-identical to pre-fault output.
+    // pre-fault axes; the fault/split coordinates appear only as ":f<i>" /
+    // ":s<i>" suffixes on points actually swept off the clean regime, so
+    // default grids stay byte-identical to older output.
     for (std::size_t a = 0; a <= kAxisSeed; ++a) {
       out += std::to_string(r.coord[a]) + (a < kAxisSeed ? ":" : "");
     }
     if (r.coord[kAxisFault] != 0) out += ":f" + std::to_string(r.coord[kAxisFault]);
+    if (r.coord[kAxisSplit] != 0) out += ":s" + std::to_string(r.coord[kAxisSplit]);
     out += "," + exact(r.drop_rate) + "," + exact(r.mean_latency_s) + "," +
            exact(r.mean_leaf_power_w) + "," +
            exact(r.min_life_days) + "," + exact(r.perpetual_fraction) + "," +
@@ -246,6 +340,15 @@ std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
         out += ":flt:" + std::to_string(n.reboots) + ":" + exact(n.downtime_s) + ":" +
                exact(n.availability) + ":" + std::to_string(n.dropped_arq) + ":" +
                std::to_string(n.dropped_fault) + ":" + std::to_string(n.dropped_overflow);
+      }
+      // Split telemetry serializes only for nodes that actually ran a
+      // split (clean-path rows are untouched bytes).
+      if (n.split_inferences > 0 || n.split_repartitions > 0) {
+        out += ":spl:" + std::to_string(n.split_at) + ":" +
+               std::to_string(n.split_inferences) + ":" +
+               std::to_string(n.split_activation_bytes) + ":" +
+               exact(n.split_compute_energy_j) + ":" +
+               std::to_string(n.split_repartitions);
       }
     }
     if (r.report.hub_crashes > 0) {
@@ -289,7 +392,15 @@ Fleet::Fleet(FleetAxes axes) : axes_(std::move(axes)) {
   IOB_EXPECTS(!axes_.batch_windows.empty(), "batch_windows axis is empty");
   IOB_EXPECTS(!axes_.precisions.empty(), "precisions axis is empty");
   IOB_EXPECTS(!axes_.faults.empty(), "faults axis is empty");
+  IOB_EXPECTS(!axes_.splits.empty(), "splits axis is empty");
   IOB_EXPECTS(!axes_.seeds.empty(), "seeds axis is empty");
+  for (const SplitVariant& sv : axes_.splits) {
+    if (!sv.enabled) continue;
+    IOB_EXPECTS(sv.leaf_fraction >= 0.0 && sv.leaf_fraction <= 1.0,
+                "split leaf fraction must be in [0, 1]");
+    IOB_EXPECTS(sv.leaf_energy_per_mac_j >= 0.0, "leaf energy per MAC must be non-negative");
+    IOB_EXPECTS(sv.mission_time_s > 0.0, "split mission time must be positive");
+  }
   IOB_EXPECTS(axes_.duration_s > 0, "duration must be positive");
   for (const int n : axes_.node_counts) {
     IOB_EXPECTS(n >= 1, "node counts must be >= 1");
@@ -312,21 +423,24 @@ std::vector<FleetPoint> Fleet::expand() const {
             for (std::size_t wi = 0; wi < axes_.batch_windows.size(); ++wi) {
               for (std::size_t pi = 0; pi < axes_.precisions.size(); ++pi) {
                 for (std::size_t fi = 0; fi < axes_.faults.size(); ++fi) {
-                  for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
-                    FleetPoint p;
-                    p.index = points.size();
-                    p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi};
-                    p.node_count = axes_.node_counts[ni];
-                    p.mac = axes_.macs[mi];
-                    p.mix = axes_.mixes[xi];
-                    p.harvest = axes_.harvests[hi];
-                    p.bus = axes_.buses[bi];
-                    p.batch_window = axes_.batch_windows[wi];
-                    p.precision = axes_.precisions[pi];
-                    p.fault = axes_.faults[fi];
-                    p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
-                    p.duration_s = axes_.duration_s;
-                    points.push_back(std::move(p));
+                  for (std::size_t li = 0; li < axes_.splits.size(); ++li) {
+                    for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
+                      FleetPoint p;
+                      p.index = points.size();
+                      p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi, li};
+                      p.node_count = axes_.node_counts[ni];
+                      p.mac = axes_.macs[mi];
+                      p.mix = axes_.mixes[xi];
+                      p.harvest = axes_.harvests[hi];
+                      p.bus = axes_.buses[bi];
+                      p.batch_window = axes_.batch_windows[wi];
+                      p.precision = axes_.precisions[pi];
+                      p.fault = axes_.faults[fi];
+                      p.split = axes_.splits[li];
+                      p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
+                      p.duration_s = axes_.duration_s;
+                      points.push_back(std::move(p));
+                    }
                   }
                 }
               }
@@ -396,7 +510,8 @@ FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) cons
   const std::array<std::size_t, kAxisCount> axis_sizes = {
       axes_.node_counts.size(), axes_.macs.size(),          axes_.mixes.size(),
       axes_.harvests.size(),    axes_.buses.size(),         axes_.batch_windows.size(),
-      axes_.precisions.size(),  axes_.seeds.size(),         axes_.faults.size()};
+      axes_.precisions.size(),  axes_.seeds.size(),         axes_.faults.size(),
+      axes_.splits.size()};
   for (std::size_t a = 0; a < kAxisCount; ++a) {
     std::vector<AxisCell> cells;
     for (std::size_t v = 0; v < axis_sizes[a]; ++v) {
@@ -419,6 +534,7 @@ FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) cons
         case kAxisPrecision: label = nn::to_string(axes_.precisions[v]); break;
         case kAxisSeed: label = "seed=" + std::to_string(axes_.seeds[v]); break;
         case kAxisFault: label = to_string(axes_.faults[v]); break;
+        case kAxisSplit: label = axes_.splits[v].label; break;
         default: label = "?"; break;
       }
       cells.push_back(aggregate_cell(std::move(label), pts));

@@ -18,12 +18,13 @@
 /// nested loops with `node_counts` outermost and `seeds` innermost —
 ///   for n in node_counts / for m in macs / for x in mixes /
 ///   for h in harvests / for b in buses / for w in batch_windows /
-///   for p in precisions / for f in faults / for s in seeds
+///   for p in precisions / for f in faults / for l in splits /
+///   for s in seeds
 /// and `FleetPoint::seed = SweepRunner::point_seed(s, flat_index)`, so
 /// sibling points never share an RNG stream even when the seed axis holds a
-/// single value. (The fault axis nests outside seeds but serializes as
-/// `coord[kAxisFault]` — appended after the seed coordinate; see the
-/// FleetAxis comment for the byte-compat reasoning.)
+/// single value. (The fault and split axes nest outside seeds but serialize
+/// as `coord[kAxisFault]` / `coord[kAxisSplit]` — appended after the seed
+/// coordinate; see the FleetAxis comment for the byte-compat reasoning.)
 ///
 /// A `FleetPoint` is self-contained: `run_fleet_point(point)` is a pure
 /// function that builds its own link (owned by the `NetworkSim` — no shared
@@ -109,6 +110,27 @@ enum class FaultVariant { kNone, kBrownout, kHubFlap, kBurstLoss, kCombined };
 /// intensity-invariant. `kNone` returns an empty plan at any intensity.
 [[nodiscard]] sim::FaultPlan make_fault_plan(FaultVariant variant, double intensity = 1.0);
 
+/// One value on the fleet's split-execution axis: how session-bearing node
+/// classes split their model between leaf and hub (docs/architecture.md).
+/// Only classes whose session carries an executable `net` participate —
+/// model-less telemetry classes are untouched. The disabled default keeps
+/// every grid byte-identical to pre-split output.
+struct SplitVariant {
+  std::string label = "off";
+  bool enabled = false;
+  /// Fixed split: the leaf runs `round(leaf_fraction * layer_count)` layers
+  /// (clamped to [0, n]) and ships the boundary activation.
+  double leaf_fraction = 0.0;
+  /// Adaptive re-partitioning: candidates come from the analytic
+  /// `partition::CostModel` (leaf silicon below, the point's bus link, the
+  /// class's inference rate) and an `AdaptiveSplitController` walks them
+  /// along the battery glide path — deterministic, so grids stay
+  /// byte-identical across thread counts.
+  bool adaptive = false;
+  double mission_time_s = 30.0 * 86400.0;  ///< adaptive glide-path target
+  double leaf_energy_per_mac_j = 20e-12;   ///< leaf silicon (CostModel default)
+};
+
 /// The declarative grid. Every axis must be non-empty; `mixes` has no
 /// default because a population recipe is the one axis with no sane
 /// universal value.
@@ -131,6 +153,10 @@ struct FleetAxes {
   /// pre-fault runs (the CSV only ever mentions faults for points/nodes
   /// that actually saw fault activity).
   std::vector<FaultVariant> faults{FaultVariant::kNone};
+  /// Split-execution axis: leaf/hub model partitioning per point. The
+  /// `{off}` default keeps grids byte-identical to pre-split runs (the CSV
+  /// only mentions splits for points/nodes that actually ran one).
+  std::vector<SplitVariant> splits{{}};
   std::vector<std::uint64_t> seeds{42};
   double duration_s = 5.0;  ///< simulated seconds per point
 
@@ -138,11 +164,12 @@ struct FleetAxes {
   [[nodiscard]] std::size_t size() const;
 };
 
-/// Index of each axis inside `FleetPoint::coord`. `kAxisFault` is appended
-/// *after* `kAxisSeed` even though the expansion loop nests faults outside
-/// seeds: the canonical CSV serializes coords 0..kAxisSeed as the fixed
-/// prefix it always had, so no-fault grids stay byte-identical to pre-fault
-/// output (the fault coordinate only appears as a suffix when non-zero).
+/// Index of each axis inside `FleetPoint::coord`. `kAxisFault` and
+/// `kAxisSplit` are appended *after* `kAxisSeed` even though the expansion
+/// loop nests them outside seeds: the canonical CSV serializes coords
+/// 0..kAxisSeed as the fixed prefix it always had, so default grids stay
+/// byte-identical to older output (the fault/split coordinates only appear
+/// as `:f<i>` / `:s<i>` suffixes when non-zero).
 enum FleetAxis : std::size_t {
   kAxisNodeCount = 0,
   kAxisMac,
@@ -153,6 +180,7 @@ enum FleetAxis : std::size_t {
   kAxisPrecision,
   kAxisSeed,
   kAxisFault,
+  kAxisSplit,
   kAxisCount,
 };
 
@@ -171,6 +199,7 @@ struct FleetPoint {
   unsigned batch_window = 0;  ///< HubConfig::batch_window for this point
   nn::Precision precision = nn::Precision::kF32;  ///< session execution precision
   FaultVariant fault = FaultVariant::kNone;  ///< fault regime (make_fault_plan)
+  SplitVariant split{};     ///< leaf/hub split-execution recipe
   std::uint64_t seed = 0;   ///< SweepRunner::point_seed(seed_axis_value, index)
   double duration_s = 5.0;
 };

@@ -6,6 +6,7 @@
 
 #include "common/expect.hpp"
 #include "nn/model.hpp"
+#include "nn/quantize.hpp"
 
 namespace iob::net {
 
@@ -27,10 +28,22 @@ std::size_t prec_idx(nn::Precision p) { return p == nn::Precision::kInt8 ? 1 : 0
 
 /// Group key of a session: shared model tag, or a per-stream private
 /// group. The "~" prefix keeps private keys out of any user model
-/// namespace. The single definition behind add_session's group
-/// bookkeeping and the adaptive-flush group lookup.
+/// namespace. Split sessions group per boundary — members of one batched
+/// pass must resume at the same layer. Unsplit sessions keep the plain
+/// model tag, byte-identical to the pre-split grouping. The single
+/// definition behind add_session's group bookkeeping and the
+/// adaptive-flush group lookup.
 std::string group_key(const SessionConfig& cfg) {
-  return cfg.model.empty() ? "~stream:" + cfg.stream : cfg.model;
+  if (cfg.model.empty()) return "~stream:" + cfg.stream;
+  if (cfg.split_layers == 0) return cfg.model;
+  return cfg.model + "~split:" + std::to_string(cfg.split_layers);
+}
+
+/// Per-sample element count of the tensor a session's metered pass feeds
+/// in: the model input, or the boundary activation at `split_layers`.
+std::int64_t pass_input_elems(const nn::Model& net, std::size_t first_layer) {
+  return first_layer == 0 ? nn::shape_elems(net.input_shape())
+                          : nn::shape_elems(net.profiles()[first_layer - 1].output_shape);
 }
 
 }  // namespace
@@ -59,6 +72,18 @@ void Hub::add_session(SessionConfig config) {
       config.precision == nn::Precision::kInt8 &&
       qmodels_.find(config.net) == qmodels_.end()) {
     qmodels_.emplace(config.net, std::make_unique<nn::QuantizedModel>(*config.net));
+  }
+  if (config.net != nullptr) {
+    IOB_EXPECTS(config.split_layers <= config.net->layer_count(),
+                "session split point out of range");
+    // Int8 metered resumption requires a feasible boundary: the quantized
+    // lowering cannot restart inside a fused conv+relu pair. Adaptive
+    // deployments must restrict their candidate splits accordingly.
+    if (config_.execute_and_meter && config.precision == nn::Precision::kInt8 &&
+        config.split_layers > 0) {
+      IOB_EXPECTS(qmodels_.at(config.net)->feasible_boundary(config.split_layers),
+                  "int8 metered session split must be a feasible boundary");
+    }
   }
   const std::string key = config.stream;
   const std::string group = group_key(config);
@@ -130,7 +155,7 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
     st.analytic_compute_energy_j += analytic;
     const bool int8 = cfg.precision == nn::Precision::kInt8;
     if (config_.execute_and_meter && cfg.net != nullptr) {
-      const double t = execute_pass(*cfg.net, cfg.precision, 1);
+      const double t = execute_pass(*cfg.net, cfg.precision, 1, cfg.split_layers);
       st.kernel_time_s += t;
       (int8 ? st.kernel_time_int8_s : st.kernel_time_f32_s) += t;
       ++st.executed_inferences;
@@ -197,6 +222,7 @@ void Hub::flush_batches(sim::Time boundary) {
     // kernel time by share of its precision's metered batch. Members
     // without a model stay analytic, exactly as on the per-frame path.
     const nn::Model* net = nullptr;
+    std::size_t split_first = 0;  // shared by construction: split is in the group key
     std::uint64_t metered_total[2] = {0, 0};  // [f32, int8]
     double pass_time_s[2] = {0.0, 0.0};
     if (config_.execute_and_meter) {
@@ -206,14 +232,15 @@ void Hub::flush_batches(sim::Time boundary) {
         IOB_EXPECTS(net == nullptr || net == cfg.net,
                     "sessions sharing a model tag must share one nn::Model instance");
         net = cfg.net;
+        split_first = cfg.split_layers;
         metered_total[prec_idx(cfg.precision)] +=
             staged_[stream].pending_bytes / cfg.bytes_per_inference;
       }
       if (metered_total[0] > 0) {
-        pass_time_s[0] = execute_pass(*net, nn::Precision::kF32, metered_total[0]);
+        pass_time_s[0] = execute_pass(*net, nn::Precision::kF32, metered_total[0], split_first);
       }
       if (metered_total[1] > 0) {
-        pass_time_s[1] = execute_pass(*net, nn::Precision::kInt8, metered_total[1]);
+        pass_time_s[1] = execute_pass(*net, nn::Precision::kInt8, metered_total[1], split_first);
       }
     }
 
@@ -315,17 +342,24 @@ std::uint64_t Hub::group_staged_inferences(const std::string& stream) const {
   return total;
 }
 
-double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count) {
+double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count,
+                         std::size_t first_layer) {
   const nn::QuantizedModel* qm = nullptr;
   if (precision == nn::Precision::kInt8) {
     const auto it = qmodels_.find(&net);
     IOB_EXPECTS(it != qmodels_.end(), "int8 metered session has no quantized model");
     qm = it->second.get();
   }
+  const std::size_t last = net.layer_count();
+  IOB_EXPECTS(first_layer <= last, "resume layer out of range");
+  // Everything-on-leaf (k == n): the hub receives finished logits and has
+  // no suffix to run — zero kernel time, by definition.
+  if (first_layer == last) return 0.0;
+  const std::int64_t sample_elems = pass_input_elems(net, first_layer);
   double elapsed = 0.0;
   while (count > 0) {
     const int b = static_cast<int>(std::min(count, kMeterBatchCap));
-    float* in = synth_input(net, b);
+    float* in = synth_input(sample_elems, b);
     // Size the arena outside the timed region: one-time buffer growth is
     // setup cost, not kernel time, and would skew short metered runs.
     if (qm != nullptr) {
@@ -334,8 +368,11 @@ double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uin
       ws_.configure(net, b);
     }
     const double t0 = wall_clock_s();
-    const nn::ConstSpan out =
-        qm != nullptr ? qm->run_into(ws_, in, b) : net.run_into(ws_, in, b);
+    // Split sessions resume at the boundary; first_layer == 0 runs the
+    // whole model through the identical range engine.
+    const nn::ConstSpan out = qm != nullptr
+                                  ? qm->run_range_into(ws_, in, b, first_layer, last)
+                                  : net.run_range_into(ws_, in, b, first_layer, last);
     elapsed += wall_clock_s() - t0;
     // Touch the result so the pass is observably executed.
     IOB_ENSURES(out.size > 0, "metered pass produced no output");
@@ -344,8 +381,8 @@ double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uin
   return elapsed;
 }
 
-float* Hub::synth_input(const nn::Model& net, int batch) {
-  const std::int64_t elems = nn::shape_elems(net.input_shape()) * batch;
+float* Hub::synth_input(std::int64_t sample_elems, int batch) {
+  const std::int64_t elems = sample_elems * batch;
   if (static_cast<std::int64_t>(synth_.size()) < elems) {
     synth_.resize(static_cast<std::size_t>(elems));
   }
@@ -360,6 +397,59 @@ float* Hub::synth_input(const nn::Model& net, int batch) {
     synth_filled_ = elems;
   }
   return synth_.data();
+}
+
+void Hub::on_repartition(const std::string& stream, std::size_t split_at) {
+  const auto it = session_configs_.find(stream);
+  if (it == session_configs_.end()) return;
+  SessionConfig cfg = it->second;
+  if (cfg.net == nullptr) return;  // nothing to recompute the suffix from
+  const nn::Model& net = *cfg.net;
+  IOB_EXPECTS(split_at <= net.layer_count(), "repartition split point out of range");
+
+  // The hub's share of the work moves with the boundary: suffix MACs, the
+  // suffix's int8 weight footprint (1 B/param; only when weight traffic was
+  // modelled to begin with), and the boundary-activation window size.
+  const auto& profiles = net.profiles();
+  std::uint64_t suffix_macs = 0;
+  std::uint64_t suffix_params = 0;
+  for (std::size_t i = split_at; i < net.layer_count(); ++i) {
+    suffix_macs += profiles[i].macs;
+    suffix_params += profiles[i].params;
+  }
+  cfg.split_layers = split_at;
+  cfg.macs_per_inference = suffix_macs;
+  cfg.bytes_per_inference =
+      static_cast<std::uint64_t>(nn::activation_wire_bytes(pass_input_elems(net, split_at),
+                                                           cfg.precision));
+  if (cfg.weight_bytes != 0) cfg.weight_bytes = suffix_params;
+
+  // A partial window staged at the old boundary size can never complete at
+  // the new one — purge it and attribute the loss instead of silently
+  // re-interpreting stale bytes as part of a differently-shaped activation.
+  Staged& staged = staged_[stream];
+  SessionStats& st = session_stats_[stream];
+  st.repartition_dropped_bytes += staged.pending_bytes;
+  staged.pending_bytes = 0;
+  staged.frame_times.clear();
+  ++st.repartitions;
+
+  // Re-register: re-groups the session under the new split key (stats and
+  // staging survive — add_session only default-constructs absent entries).
+  add_session(std::move(cfg));
+}
+
+void Hub::credit_leaf_compute(const std::string& stream, double kernel_time_s,
+                              double compute_energy_j, double analytic_energy_j,
+                              std::uint64_t inferences, std::uint64_t activation_bytes) {
+  const auto it = session_stats_.find(stream);
+  if (it == session_stats_.end()) return;
+  SessionStats& st = it->second;
+  st.leaf_kernel_time_s += kernel_time_s;
+  st.leaf_compute_energy_j += compute_energy_j;
+  st.leaf_analytic_compute_energy_j += analytic_energy_j;
+  st.leaf_inferences += inferences;
+  st.activation_bytes_shipped += activation_bytes;
 }
 
 const SessionStats& Hub::session(const std::string& stream) const {

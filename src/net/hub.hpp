@@ -112,6 +112,26 @@ class Hub {
   [[nodiscard]] bool up() const { return up_; }
   [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
 
+  // --- Split execution (docs/architecture.md) ---
+
+  /// Re-sync a session after the leaf moved its split point to `split_at`
+  /// (the `Node` adaptive-split resync callback lands here). Recomputes the
+  /// session's hub-suffix MACs, boundary wire size, and weight footprint
+  /// from its `net`, purges the now-uncompletable staged partial window
+  /// (counted in `SessionStats::repartition_dropped_bytes`), and re-groups
+  /// the session under the new split key. No-op for unknown streams or
+  /// sessions without an executable model (nothing to recompute from).
+  void on_repartition(const std::string& stream, std::size_t split_at);
+
+  /// Credit the leaf-venue half of a split session's inferences into its
+  /// `SessionStats` (the `leaf_*` / `activation_bytes_shipped` fields).
+  /// `NetworkSim::run` calls this once per split node after the bus stops,
+  /// so a finished run's stats expose both venues side by side. Unknown
+  /// streams are ignored (a split node need not have a hub consumer).
+  void credit_leaf_compute(const std::string& stream, double kernel_time_s,
+                           double compute_energy_j, double analytic_energy_j,
+                           std::uint64_t inferences, std::uint64_t activation_bytes);
+
   /// Accumulated crashed time up to `now`, including an open outage.
   [[nodiscard]] double downtime_s(sim::Time now) const;
 
@@ -143,15 +163,20 @@ class Hub {
   [[nodiscard]] std::uint64_t group_staged_inferences(const std::string& stream) const;
 
   /// Execute `count` inferences on `net` at `precision` through the hub
-  /// workspace (in sub-batches of at most kMeterBatchCap) and return the
-  /// measured kernel wall time in seconds. Int8 sessions run the hub's
-  /// `nn::QuantizedModel` lowering (built once at `add_session`).
-  double execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count);
+  /// workspace (in sub-batches of at most kMeterBatchCap), resuming at
+  /// `first_layer` (0 = whole model; a split session resumes at its
+  /// boundary via `run_range_into`), and return the measured kernel wall
+  /// time in seconds. Int8 sessions run the hub's `nn::QuantizedModel`
+  /// lowering (built once at `add_session`).
+  double execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count,
+                      std::size_t first_layer);
 
   /// Deterministic synthetic input staging for metered passes: the frames'
   /// payload bytes are window counters, not tensor payloads, so the hub
   /// synthesizes patterned activations (kernel time is data-independent).
-  float* synth_input(const nn::Model& net, int batch);
+  /// `sample_elems` is the per-sample element count of the tensor fed in —
+  /// the model input, or the boundary activation of a split session.
+  float* synth_input(std::int64_t sample_elems, int batch);
 
   /// Upper bound on one metered sub-batch, bounding workspace growth.
   static constexpr std::uint64_t kMeterBatchCap = 32;

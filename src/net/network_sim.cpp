@@ -40,6 +40,13 @@ NetworkSim::NetworkSim(std::unique_ptr<const comm::Link> link, NetworkConfig con
 std::size_t NetworkSim::add_node(NodeConfig config) {
   IOB_EXPECTS(!ran_, "cannot add nodes after run()");
   nodes_.push_back(std::make_unique<Node>(sim_, bus_, std::move(config)));
+  // Split nodes re-sync their hub session when the adaptive controller
+  // moves the boundary (no-op for streams without a registered session).
+  Node& n = *nodes_.back();
+  if (n.config().split) {
+    n.set_split_resync(
+        [this](const std::string& stream, std::size_t k) { hub_->on_repartition(stream, k); });
+  }
   return nodes_.size() - 1;
 }
 
@@ -69,6 +76,16 @@ NetworkReport NetworkSim::run(double duration_s) {
   bus_.stop();
   hub_->flush_pending(sim_.now());  // last incomplete batch window still counts
 
+  // Credit the leaf-venue half of every split session into its hub-side
+  // `SessionStats`, so one struct reports both venues of the split.
+  for (auto& n : nodes_) {
+    if (!n->config().split) continue;
+    const LeafSplitStats& ls = n->split_stats();
+    hub_->credit_leaf_compute(n->config().stream, ls.kernel_time_s, ls.compute_energy_j,
+                              ls.analytic_compute_energy_j, ls.inferences,
+                              ls.activation_bytes);
+  }
+
   NetworkReport report;
   report.elapsed_s = sim_.now();
   const auto& mac = bus_.stats();
@@ -96,6 +113,14 @@ NetworkReport NetworkSim::run(double duration_s) {
     r.downtime_s = n.downtime_s(report.elapsed_s);
     r.mttr_s = n.mttr_s(report.elapsed_s);
     r.reboots = n.reboots();
+    if (n.config().split) {
+      const LeafSplitStats& ls = n.split_stats();
+      r.split_inferences = ls.inferences;
+      r.split_activation_bytes = ls.activation_bytes;
+      r.split_compute_energy_j = ls.compute_energy_j;
+      r.split_repartitions = ls.repartitions;
+      r.split_at = static_cast<std::uint64_t>(ls.split_at);
+    }
     report.nodes.push_back(std::move(r));
   }
   report.hub_power_w = hub_->average_power_w();

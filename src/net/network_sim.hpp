@@ -54,6 +54,12 @@ struct NodeReport {
   double downtime_s = 0.0;
   double mttr_s = 0.0;        ///< mean time to repair per brownout episode
   std::uint64_t reboots = 0;
+  // Split execution (all zero without NodeConfig::split).
+  std::uint64_t split_inferences = 0;       ///< leaf prefix executions
+  std::uint64_t split_activation_bytes = 0; ///< boundary wire bytes shipped
+  double split_compute_energy_j = 0.0;      ///< leaf prefix energy charged
+  std::uint64_t split_repartitions = 0;     ///< adaptive split-point moves
+  std::uint64_t split_at = 0;               ///< final split point k
 };
 
 struct NetworkReport {

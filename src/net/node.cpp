@@ -1,10 +1,24 @@
 #include "net/node.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/expect.hpp"
+#include "nn/model.hpp"
+#include "nn/qmodel.hpp"
+#include "nn/quantize.hpp"
 
 namespace iob::net {
+
+namespace {
+
+double wall_clock_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
     : sim_(sim),
@@ -21,21 +35,45 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
 
   mac_id_ = bus_.add_node(config_.name, config_.slot_weight);
 
-  // Frame source: period chosen so payload bits match the output rate.
-  source_ = std::make_unique<workload::PeriodicSource>(
-      sim_, frame_period_s(), config_.frame_bytes,
-      [this](sim::Time t, std::uint32_t bytes) {
-        if (!powered_) return;            // browned-out node is silent
-        if (battery_.depleted()) return;  // dead node stops transmitting
-        comm::Frame f;
-        f.kind = comm::FrameKind::kData;
-        f.seq = seq_++;
-        f.payload_bytes = bytes;
-        f.created_s = t;
-        f.stream = config_.stream;
-        bus_.enqueue(mac_id_, std::move(f));
-      },
-      config_.phase_s);
+  if (config_.split) {
+    const LeafSplit& sp = *config_.split;
+    IOB_EXPECTS(sp.net != nullptr, "leaf split needs a model");
+    IOB_EXPECTS(sp.period_s > 0, "split inference period must be positive");
+    IOB_EXPECTS(sp.energy_per_mac_j >= 0, "leaf energy per MAC must be non-negative");
+    IOB_EXPECTS(sp.compute_power_w >= 0, "leaf compute power must be non-negative");
+    if (sp.execute_and_meter && sp.precision == nn::Precision::kInt8) {
+      IOB_EXPECTS(sp.qnet != nullptr, "int8 metered split needs the quantized model");
+    }
+    if (sp.adaptive) split_ctrl_.emplace(*sp.adaptive);
+    apply_split(split_ctrl_ ? split_ctrl_->current().split_at : sp.split_at);
+    // Split traffic source: one prefix execution + boundary-activation
+    // shipment per inference period (the payload argument is unused — the
+    // wire size is the serialized activation, fragmented at enqueue time).
+    source_ = std::make_unique<workload::PeriodicSource>(
+        sim_, sp.period_s, config_.frame_bytes,
+        [this](sim::Time t, std::uint32_t) {
+          if (!powered_) return;            // browned-out node is silent
+          if (battery_.depleted()) return;  // dead node stops inferring
+          run_split_inference(t);
+        },
+        config_.phase_s);
+  } else {
+    // Frame source: period chosen so payload bits match the output rate.
+    source_ = std::make_unique<workload::PeriodicSource>(
+        sim_, frame_period_s(), config_.frame_bytes,
+        [this](sim::Time t, std::uint32_t bytes) {
+          if (!powered_) return;            // browned-out node is silent
+          if (battery_.depleted()) return;  // dead node stops transmitting
+          comm::Frame f;
+          f.kind = comm::FrameKind::kData;
+          f.seq = seq_++;
+          f.payload_bytes = bytes;
+          f.created_s = t;
+          f.stream = config_.stream;
+          bus_.enqueue(mac_id_, std::move(f));
+        },
+        config_.phase_s);
+  }
 
   // Energy-ledger settlement.
   sim_.every(config_.settle_period_s, config_.settle_period_s, [this](sim::Time) { settle(); });
@@ -43,6 +81,87 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
 
 double Node::frame_period_s() const {
   return static_cast<double>(config_.frame_bytes) * 8.0 / config_.output_rate_bps;
+}
+
+void Node::apply_split(std::size_t k) {
+  const LeafSplit& sp = *config_.split;
+  IOB_EXPECTS(k <= sp.net->layer_count(), "split point out of range");
+  if (sp.execute_and_meter && sp.precision == nn::Precision::kInt8 && k > 0) {
+    IOB_EXPECTS(sp.qnet->feasible_boundary(k),
+                "int8 split boundary must be feasible (not inside a fused pair)");
+  }
+  cur_split_ = k;
+  split_stats_.split_at = k;
+  const auto& profiles = sp.net->profiles();
+  prefix_macs_ = 0;
+  for (std::size_t i = 0; i < k; ++i) prefix_macs_ += profiles[i].macs;
+  // The shipped payload is the *serialized* boundary activation — the same
+  // bytes `nn::serialize_activation` would produce, header included. k == 0
+  // ships the raw model input; k == n ships the final logits.
+  const std::int64_t elems = k == 0 ? nn::shape_elems(sp.net->input_shape())
+                                    : nn::shape_elems(profiles[k - 1].output_shape);
+  wire_bytes_ = static_cast<std::uint64_t>(nn::activation_wire_bytes(elems, sp.precision));
+}
+
+void Node::run_split_inference(double t) {
+  const LeafSplit& sp = *config_.split;
+  ++split_stats_.inferences;
+  const double analytic = static_cast<double>(prefix_macs_) * sp.energy_per_mac_j;
+  split_stats_.analytic_compute_energy_j += analytic;
+  double charged = analytic;
+  if (sp.execute_and_meter && cur_split_ > 0) {
+    const double dt = run_prefix_metered();
+    split_stats_.kernel_time_s += dt;
+    charged = dt * sp.compute_power_w;
+  }
+  split_stats_.compute_energy_j += charged;  // battery-charged at settle
+
+  // Ship the boundary activation, fragmented to the bus MTU (the TDMA bus
+  // requires each frame to fit one slot).
+  std::uint64_t remaining = wire_bytes_;
+  while (remaining > 0) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, config_.frame_bytes));
+    comm::Frame f;
+    f.kind = comm::FrameKind::kData;
+    f.seq = seq_++;
+    f.payload_bytes = chunk;
+    f.created_s = t;
+    f.stream = config_.stream;
+    bus_.enqueue(mac_id_, std::move(f));
+    split_stats_.activation_bytes += chunk;
+    remaining -= chunk;
+  }
+}
+
+double Node::run_prefix_metered() {
+  const LeafSplit& sp = *config_.split;
+  const std::int64_t elems = nn::shape_elems(sp.net->input_shape());
+  if (static_cast<std::int64_t>(split_synth_.size()) < elems) {
+    // Same deterministic pattern as the hub's metered staging: kernel time
+    // is data-independent, each element filled exactly once.
+    const std::size_t old = split_synth_.size();
+    split_synth_.resize(static_cast<std::size_t>(elems));
+    for (std::size_t i = old; i < split_synth_.size(); ++i) {
+      split_synth_[i] =
+          static_cast<float>((static_cast<std::uint64_t>(i) * 2654435761ULL) % 1024ULL) / 512.0f -
+          1.0f;
+    }
+  }
+  // Size the arena outside the timed region (one-time growth is setup cost).
+  if (sp.precision == nn::Precision::kInt8) {
+    split_ws_.configure(*sp.qnet, 1);
+  } else {
+    split_ws_.configure(*sp.net, 1);
+  }
+  const double t0 = wall_clock_s();
+  const nn::ConstSpan out =
+      sp.precision == nn::Precision::kInt8
+          ? sp.qnet->run_range_into(split_ws_, split_synth_.data(), 1, 0, cur_split_)
+          : sp.net->run_range_into(split_ws_, split_synth_.data(), 1, 0, cur_split_);
+  const double elapsed = wall_clock_s() - t0;
+  IOB_ENSURES(out.size > 0, "metered prefix produced no output");
+  return elapsed;
 }
 
 void Node::enable_brownout(const sim::BrownoutPlan& plan) {
@@ -70,7 +189,11 @@ void Node::settle() {
 
   const double static_w =
       powered_ ? config_.sense_power_w + config_.isa_power_w : brownout_->sleep_power_w;
-  const double spend = static_w * dt + comm_delta;
+  // Split prefix compute accrues per inference and is charged here, like
+  // the MAC ledger delta (zero without a split).
+  const double split_delta = split_stats_.compute_energy_j - settled_split_j_;
+  settled_split_j_ = split_stats_.compute_energy_j;
+  const double spend = static_w * dt + comm_delta + split_delta;
   consumed_j_ += spend;
   battery_.discharge(spend);
 
@@ -78,6 +201,19 @@ void Node::settle() {
     const double gain = harvester_->sample_energy_j(rng_, dt, now);
     harvested_j_ += gain;
     battery_.charge(gain);
+  }
+
+  // Adaptive re-partitioning: re-evaluate the split point against the
+  // battery glide path, and re-sync the hub session when it moves. Depends
+  // only on battery state and elapsed time — deterministic.
+  if (split_ctrl_ && powered_ && !battery_.depleted()) {
+    const std::size_t idx = split_ctrl_->update(battery_, now);
+    const std::size_t k = split_ctrl_->candidate(idx).split_at;
+    if (k != cur_split_) {
+      apply_split(k);
+      ++split_stats_.repartitions;
+      if (split_resync_) split_resync_(config_.stream, k);
+    }
   }
 
   if (brownout_) update_power_state(now);
@@ -124,7 +260,8 @@ double Node::average_power_w() const {
   const double static_w =
       powered_ ? config_.sense_power_w + config_.isa_power_w : brownout_->sleep_power_w;
   const double unsettled_static = static_w * (t - last_settle_t_);
-  return (consumed_j_ + unsettled_comm + unsettled_static) / t;
+  const double unsettled_split = split_stats_.compute_energy_j - settled_split_j_;
+  return (consumed_j_ + unsettled_comm + unsettled_static + unsettled_split) / t;
 }
 
 double Node::comm_power_w() const {

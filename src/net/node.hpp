@@ -8,19 +8,74 @@
 /// wall time, communication energy is pulled from the MAC's per-node
 /// accounting, harvest energy is credited, and the battery tracks SoC.
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "comm/tdma.hpp"
 #include "energy/battery.hpp"
 #include "energy/harvester.hpp"
 #include "net/topology.hpp"
+#include "nn/precision.hpp"
+#include "nn/workspace.hpp"
+#include "partition/adaptive_split.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "workload/traffic.hpp"
 
+namespace iob::nn {
+class Model;
+class QuantizedModel;
+}  // namespace iob::nn
+
 namespace iob::net {
+
+/// Split execution on the leaf (docs/architecture.md): instead of streaming
+/// raw sensor frames, the node runs model layers [0, split_at) on-body once
+/// per period and ships the *boundary activation* — serialized at its real
+/// wire size (`nn::activation_wire_bytes`), fragmented into bus MTU-sized
+/// frames. The hub session resumes at `split_at` (`SessionConfig::
+/// split_layers`).
+struct LeafSplit {
+  const nn::Model* net = nullptr;  ///< borrowed; must outlive the node
+  std::size_t split_at = 0;        ///< k: first layer that runs on the hub
+  /// Boundary wire format: `kInt8` ships 1 B/element plus the 8-byte
+  /// quant-params header, `kF32` ships raw 4 B/element.
+  nn::Precision precision = nn::Precision::kInt8;
+  double period_s = 1.0;           ///< one sensed window (inference) per period
+  /// Analytic ledger: leaf silicon efficiency for the prefix MACs (ULP-MCU
+  /// class; matches `partition::CostModel` leaf defaults).
+  double energy_per_mac_j = 20e-12;
+  /// Execute-and-meter: actually run the prefix through the nn engine on
+  /// the node's workspace and derive compute energy from measured kernel
+  /// time x `compute_power_w`. Host-dependent like the hub's meter — keep
+  /// off for deterministic sweeps (the analytic ledger charges instead).
+  bool execute_and_meter = false;
+  double compute_power_w = 5e-3;   ///< leaf core active power while metering
+  /// Int8 engine for metered prefixes (borrowed, built by the caller).
+  /// Required when `execute_and_meter` and `precision == kInt8`.
+  const nn::QuantizedModel* qnet = nullptr;
+  /// Runtime re-partitioning: when set, every energy settle re-evaluates
+  /// the split point against the battery glide path
+  /// (`partition::AdaptiveSplitController`); a change re-syncs the hub
+  /// session through the resync callback `NetworkSim` wires up.
+  std::optional<partition::AdaptiveSplitConfig> adaptive;
+};
+
+/// Leaf-venue half of a split inference, for post-run crediting into
+/// `SessionStats` and fleet telemetry.
+struct LeafSplitStats {
+  std::size_t split_at = 0;            ///< current k (after re-partitioning)
+  std::uint64_t inferences = 0;        ///< prefix executions
+  std::uint64_t activation_bytes = 0;  ///< boundary wire bytes enqueued
+  double compute_energy_j = 0.0;       ///< charged to the battery
+  double analytic_compute_energy_j = 0.0;  ///< MACs x energy/MAC ledger
+  double kernel_time_s = 0.0;          ///< measured prefix time (metering only)
+  std::uint64_t repartitions = 0;      ///< adaptive split-point changes
+};
 
 struct NodeConfig {
   std::string name = "node";
@@ -40,6 +95,10 @@ struct NodeConfig {
   double battery_v = 3.0;
   std::optional<energy::HarvesterParams> harvester;
   double settle_period_s = 1.0;       ///< energy-ledger update cadence
+  /// Split execution: when set the node ships boundary activations instead
+  /// of rate-based sensor frames (`output_rate_bps` is ignored for traffic;
+  /// `frame_bytes` still caps each bus frame — activations fragment).
+  std::optional<LeafSplit> split;
 };
 
 class Node {
@@ -96,9 +155,29 @@ class Node {
   /// a still-open one). 0 when no episode ever started.
   [[nodiscard]] double mttr_s(double now) const;
 
+  // --- Split execution (docs/architecture.md) ---
+
+  /// Leaf-venue execution ledger. All-zero unless `NodeConfig::split` is
+  /// set.
+  [[nodiscard]] const LeafSplitStats& split_stats() const { return split_stats_; }
+
+  /// Current split point k (0 when no split is configured).
+  [[nodiscard]] std::size_t split_at() const { return cur_split_; }
+
+  /// Install the re-partition callback: invoked as `(stream, new_k)` when
+  /// the adaptive controller moves the split point, so the hub session can
+  /// re-sync its boundary window. `NetworkSim::add_node` wires this to
+  /// `Hub::on_repartition`.
+  void set_split_resync(std::function<void(const std::string&, std::size_t)> cb) {
+    split_resync_ = std::move(cb);
+  }
+
  private:
   void settle();
   void update_power_state(double now);
+  void apply_split(std::size_t k);
+  void run_split_inference(double t);
+  [[nodiscard]] double run_prefix_metered();
 
   sim::Simulator& sim_;
   comm::TdmaBus& bus_;
@@ -114,6 +193,17 @@ class Node {
   double consumed_j_ = 0.0;
   double harvested_j_ = 0.0;
   std::uint32_t seq_ = 0;
+
+  // Split-execution state (untouched without NodeConfig::split).
+  LeafSplitStats split_stats_;
+  std::size_t cur_split_ = 0;
+  std::uint64_t prefix_macs_ = 0;   ///< analytic MACs of layers [0, cur_split_)
+  std::uint64_t wire_bytes_ = 0;    ///< serialized boundary activation size
+  double settled_split_j_ = 0.0;    ///< split compute already battery-charged
+  std::optional<partition::AdaptiveSplitController> split_ctrl_;
+  std::function<void(const std::string&, std::size_t)> split_resync_;
+  nn::Workspace split_ws_;          ///< metered-prefix workspace (grow-only)
+  std::vector<float> split_synth_;  ///< patterned input for metered prefixes
 
   std::optional<sim::BrownoutPlan> brownout_;
   bool powered_ = true;

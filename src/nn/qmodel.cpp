@@ -91,6 +91,7 @@ QuantizedModel::QuantizedModel(const Model& model, int calibration_samples) : mo
   while (static_cast<std::ptrdiff_t>(i) <= last_w) {
     const Layer& layer = model.layer(i);
     Op op;
+    op.src_begin = i;
     op.in_shape = in_shape_of(i);
     op.out_shape = profiles[i].output_shape;
     op.in_q = cur_q;
@@ -391,22 +392,64 @@ void QuantizedModel::run_op(const Op& op, Workspace& ws, const std::int8_t* in8,
 }
 
 ConstSpan QuantizedModel::run_into(Workspace& ws, const float* input, int batch) const {
+  return run_range_into(ws, input, batch, 0, model_->layer_count());
+}
+
+std::size_t QuantizedModel::op_index_of(std::size_t k) const {
+  for (std::size_t oi = 0; oi < ops_.size(); ++oi) {
+    if (ops_[oi].src_begin == k) return oi;
+  }
+  IOB_EXPECTS(false, "no lowered int8 op starts at this source layer");
+  return 0;
+}
+
+bool QuantizedModel::feasible_boundary(std::size_t k) const {
+  IOB_EXPECTS(k <= model_->layer_count(), "boundary out of range");
+  if (k == 0 || k >= tail_start_) return true;
+  for (const Op& op : ops_) {
+    if (op.src_begin == k) return true;
+    if (op.src_begin > k) return false;  // src_begin is strictly increasing
+  }
+  return false;
+}
+
+const QuantParams& QuantizedModel::boundary_params(std::size_t k) const {
+  IOB_EXPECTS(k < tail_start_, "boundary params only exist inside the int8 span");
+  return ops_[op_index_of(k)].in_q;
+}
+
+ConstSpan QuantizedModel::run_range_into(Workspace& ws, const float* input, int batch,
+                                         std::size_t first, std::size_t last) const {
+  const std::size_t n = model_->layer_count();
+  IOB_EXPECTS(first <= last && last <= n, "invalid layer range");
   IOB_EXPECTS(batch >= 1, "batch must be >= 1");
-  if (ops_.empty()) return model_->run_into(ws, input, batch);
+  // Empty ranges and ranges at/after the float tail are pure f32 work.
+  if (ops_.empty() || first == last || first >= tail_start_) {
+    return model_->run_range_into(ws, input, batch, first, last);
+  }
+  IOB_EXPECTS(feasible_boundary(first) && feasible_boundary(last),
+              "split boundary falls inside a fused conv+relu pair");
   ws.configure(*this, batch);
 
-  // Stage: quantize the f32 input into the int8 arena (same
-  // round-half-away rule as the load-time quantizer; the division by scale
-  // is computed as multiplication by the reciprocal, which can differ from
-  // `quantize()`'s exact division by one step at half-way ties).
+  // Requantize-in: quantize the boundary activation with the op chain's
+  // calibrated input params (same round-half-away rule as the load-time
+  // quantizer; at first == 0 these are exactly `input_params()`). A value
+  // produced by this model's own dequantize-out round-trips to the
+  // identical int8 code, which is what makes chained ranges bit-exact.
+  const std::size_t oi_first = op_index_of(first);
   std::int8_t* cur8 = ws.ping8();
-  quantize_f32_to_s8(input, shape_elems(model_->input_shape()) * batch, input_q_.scale,
-                     input_q_.zero_point, cur8);
+  quantize_f32_to_s8(input, shape_elems(ops_[oi_first].in_shape) * batch,
+                     ops_[oi_first].in_q.scale, ops_[oi_first].in_q.zero_point, cur8);
 
-  // int8 chain; the last op dequantizes into the f32 arena.
-  for (const Op& op : ops_) {
+  // int8 chain over the ops lowered from source layers [first, last); the
+  // last weighted op (if included) dequantizes into the f32 arena itself.
+  const std::size_t oi_last = last >= tail_start_ ? ops_.size() : op_index_of(last);
+  bool dequantized = false;
+  for (std::size_t oi = oi_first; oi < oi_last; ++oi) {
+    const Op& op = ops_[oi];
     if (op.dequant_out) {
       run_op(op, ws, cur8, nullptr, ws.ping(), batch);
+      dequantized = true;
     } else {
       std::int8_t* next8 = cur8 == ws.ping8() ? ws.pong8() : ws.ping8();
       run_op(op, ws, cur8, next8, nullptr, batch);
@@ -414,17 +457,30 @@ ConstSpan QuantizedModel::run_into(Workspace& ws, const float* input, int batch)
     }
   }
 
-  // Float tail (softmax and friends) on the source model's lowered layers.
+  // Dequantize-out: a range stopping before the last weighted op leaves an
+  // int8 activation; emit its exact f32 decoding — the well-defined boundary
+  // tensor the other venue (or the wire format) consumes.
+  if (!dequantized) {
+    const Op& tail_op = ops_[oi_last - 1];
+    const QuantParams& q = tail_op.out_q;
+    const std::int64_t elems = shape_elems(tail_op.out_shape) * batch;
+    float* outf = ws.ping();
+    for (std::int64_t j = 0; j < elems; ++j) {
+      outf[j] =
+          q.scale * static_cast<float>(static_cast<std::int32_t>(cur8[j]) - q.zero_point);
+    }
+  }
+
+  // Float tail layers (softmax and friends) inside the range.
   const auto& profiles = model_->profiles();
   const float* curf = ws.ping();
-  for (std::size_t i = tail_start_; i < model_->layer_count(); ++i) {
+  for (std::size_t i = tail_start_; i < last; ++i) {
     const Shape& in_shape = i == 0 ? model_->input_shape() : profiles[i - 1].output_shape;
     float* nextf = curf == ws.ping() ? ws.pong() : ws.ping();
     model_->layer(i).forward_into(curf, in_shape, batch, nextf, ws);
     curf = nextf;
   }
-  const Shape& out_shape =
-      model_->layer_count() == 0 ? model_->input_shape() : profiles.back().output_shape;
+  const Shape& out_shape = profiles[last - 1].output_shape;
   return ConstSpan{curf, shape_elems(out_shape) * batch};
 }
 

@@ -60,6 +60,34 @@ class QuantizedModel {
   /// alias the workspace arenas.
   ConstSpan run_into(Workspace& ws, const float* input, int batch) const;
 
+  /// Layer-range core, mirroring `Model::run_range_into`: run source layers
+  /// [first, last) only — the int8 building block for split execution across
+  /// venues. The boundary contract is f32-in / f32-out: `input` holds the
+  /// f32 activation entering layer `first` (the model input for first == 0),
+  /// which is requantized with the boundary op's calibrated input params;
+  /// the returned span holds the f32 dequantization of the range's final
+  /// int8 activation (or the float tail's output when `last` reaches it).
+  /// Because dequantize(q) -> requantize with the same affine params is
+  /// exactly value-preserving, chaining `[0,k)` into `[k,n)` reproduces the
+  /// unsplit `run_into` bit-for-bit (the split property test asserts it).
+  /// Both `first` and `last` must be feasible boundaries (see
+  /// `feasible_boundary`): a fused conv+relu pair lowers onto one int8 op,
+  /// so the seam between them cannot be cut.
+  ConstSpan run_range_into(Workspace& ws, const float* input, int batch, std::size_t first,
+                           std::size_t last) const;
+
+  /// True when source-layer index `k` is a cut the int8 lowering can honor:
+  /// 0, layer_count(), any float-tail index, or the start of a lowered op.
+  /// False only strictly inside a fused conv+relu pair.
+  [[nodiscard]] bool feasible_boundary(std::size_t k) const;
+
+  /// Calibrated affine params of the activation crossing boundary `k` (the
+  /// input params of the op starting at layer k) — what the leaf serializes
+  /// with (`serialize_activation`) so the hub requantizes into the same
+  /// code points. Must be a feasible boundary inside the int8 span
+  /// (k < float_tail_start()).
+  [[nodiscard]] const QuantParams& boundary_params(std::size_t k) const;
+
   /// Convenience single-sample pass on the per-thread workspace.
   [[nodiscard]] Tensor forward(const Tensor& input) const;
 
@@ -100,6 +128,7 @@ class QuantizedModel {
                       kSoftmax } kind = Kind::kCopy;
     Shape in_shape, out_shape;
     QuantParams in_q, out_q;
+    std::size_t src_begin = 0;           ///< first source layer this op lowers
     // gemm / dwconv (per-output-channel weight quantization):
     std::vector<std::int8_t> qweights;   ///< K-major int8 ([K][N] / [k*k][c])
     std::vector<std::int16_t> wop16;     ///< pair-interleaved / widened operand
@@ -124,6 +153,10 @@ class QuantizedModel {
 
   void run_op(const Op& op, Workspace& ws, const std::int8_t* in8, std::int8_t* out8,
               float* outf, int batch) const;
+
+  /// Index of the op whose `src_begin == k` (k must be a feasible boundary
+  /// inside the int8 span).
+  [[nodiscard]] std::size_t op_index_of(std::size_t k) const;
 
   const Model* model_;
   QuantParams input_q_;

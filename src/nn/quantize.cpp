@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/expect.hpp"
 
@@ -56,5 +57,33 @@ Tensor dequantize(const QuantizedTensor& q) {
 }
 
 double quant_error_bound(QuantParams params) { return 0.5 * static_cast<double>(params.scale); }
+
+std::int64_t activation_wire_bytes(std::int64_t elems, Precision precision) {
+  IOB_EXPECTS(elems >= 0, "activation element count must be non-negative");
+  return precision == Precision::kInt8 ? kActivationHeaderBytes + elems : elems * 4;
+}
+
+std::vector<std::uint8_t> serialize_activation(const QuantizedTensor& q) {
+  std::vector<std::uint8_t> wire(static_cast<std::size_t>(kActivationHeaderBytes) +
+                                 q.data.size());
+  std::memcpy(wire.data(), &q.params.scale, sizeof(float));
+  std::memcpy(wire.data() + sizeof(float), &q.params.zero_point, sizeof(std::int32_t));
+  std::memcpy(wire.data() + kActivationHeaderBytes, q.data.data(), q.data.size());
+  return wire;
+}
+
+QuantizedTensor deserialize_activation(const std::vector<std::uint8_t>& wire, Shape shape) {
+  const std::int64_t elems = shape_elems(shape);
+  IOB_EXPECTS(static_cast<std::int64_t>(wire.size()) == kActivationHeaderBytes + elems,
+              "activation wire size does not match the boundary shape");
+  QuantizedTensor q;
+  std::memcpy(&q.params.scale, wire.data(), sizeof(float));
+  std::memcpy(&q.params.zero_point, wire.data() + sizeof(float), sizeof(std::int32_t));
+  q.shape = std::move(shape);
+  q.data.resize(static_cast<std::size_t>(elems));
+  std::memcpy(q.data.data(), wire.data() + kActivationHeaderBytes,
+              static_cast<std::size_t>(elems));
+  return q;
+}
 
 }  // namespace iob::nn

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nn/precision.hpp"
 #include "nn/tensor.hpp"
 
 namespace iob::nn {
@@ -40,5 +41,31 @@ Tensor dequantize(const QuantizedTensor& q);
 /// Worst-case absolute reconstruction error for the chosen parameters
 /// (half an LSB step).
 double quant_error_bound(QuantParams params);
+
+// ---- activation wire format (split execution across venues) ----------------
+//
+// When a model runs split — layers [0,k) on the leaf, [k,n) on the hub — the
+// boundary activation crosses the body bus in this format. int8 transport is
+// NOT self-describing without its affine parameters, so the serialized form
+// carries an 8-byte header (f32 scale, i32 zero point little-endian) ahead of
+// the 1 B/element payload; the receiver needs both to requantize into its own
+// op chain. f32 transport ships the raw 4 B/element floats, header-free.
+// `Partitioner::boundary_bytes` prices exactly these sizes.
+
+/// Header bytes preceding an int8 activation payload on the wire.
+inline constexpr std::int64_t kActivationHeaderBytes = 8;
+
+/// Bytes an activation of `elems` elements occupies on the wire at the given
+/// transport precision (int8: header + 1 B/elem; f32: 4 B/elem).
+[[nodiscard]] std::int64_t activation_wire_bytes(std::int64_t elems, Precision precision);
+
+/// Serialize a quantized activation into the int8 wire format (header +
+/// payload). `serialized.size() == activation_wire_bytes(elems, kInt8)`.
+[[nodiscard]] std::vector<std::uint8_t> serialize_activation(const QuantizedTensor& q);
+
+/// Parse the int8 wire format back into a quantized tensor; `shape` is
+/// carried out-of-band (both venues know the model's boundary shapes).
+[[nodiscard]] QuantizedTensor deserialize_activation(const std::vector<std::uint8_t>& wire,
+                                                     Shape shape);
 
 }  // namespace iob::nn

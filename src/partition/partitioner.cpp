@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/expect.hpp"
+#include "nn/quantize.hpp"
 
 namespace iob::partition {
 
@@ -30,12 +31,10 @@ Partitioner::Partitioner(const nn::Model& model, CostModel cost)
 }
 
 std::int64_t Partitioner::boundary_bytes(std::size_t split) const {
-  const bool int8 = cost_.transport == nn::Precision::kInt8;
-  if (split == 0) {
-    return int8 ? model_.input_bytes_i8() : model_.input_bytes_f32();
-  }
-  const auto& p = model_.profiles()[split - 1];
-  return int8 ? p.output_bytes_i8 : p.output_bytes_f32;
+  const std::int64_t elems =
+      split == 0 ? nn::shape_elems(model_.input_shape())
+                 : nn::shape_elems(model_.profiles()[split - 1].output_shape);
+  return nn::activation_wire_bytes(elems, cost_.transport);
 }
 
 PartitionPlan Partitioner::evaluate(std::size_t s1, std::size_t s2) const {

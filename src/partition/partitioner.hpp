@@ -68,11 +68,16 @@ class Partitioner {
   [[nodiscard]] const nn::Model& model() const { return model_; }
   [[nodiscard]] const CostModel& cost() const { return cost_; }
 
- private:
   /// Bytes crossing the boundary *into* layer `split` (activation out of
-  /// layer split-1, or the model input when split == 0).
+  /// layer split-1, or the model input when split == 0), priced at the cost
+  /// model's transport precision in the executable wire format
+  /// (`nn::activation_wire_bytes`): int8 transport carries an 8-byte affine
+  /// params header ahead of the 1 B/element payload, f32 ships raw floats.
+  /// The split differential test holds this equal to the byte size of the
+  /// actually serialized boundary tensor.
   [[nodiscard]] std::int64_t boundary_bytes(std::size_t split) const;
 
+ private:
   const nn::Model& model_;
   CostModel cost_;
 };

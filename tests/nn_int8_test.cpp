@@ -366,8 +366,10 @@ TEST(Precision, TransportPrecisionScalesPartitionerBoundaryBytes) {
       partition::Partitioner(m, cm).full_offload();
   cm.transport = nn::Precision::kF32;
   const partition::PartitionPlan f32_plan = partition::Partitioner(m, cm).full_offload();
-  // f32 transport ships exactly 4x the bytes of int8 transport.
-  EXPECT_EQ(f32_plan.bytes_leaf_to_hub, 4 * int8_plan.bytes_leaf_to_hub);
+  // f32 transport ships exactly 4x the int8 payload; the int8 wire adds its
+  // quant-params header on top (see nn::activation_wire_bytes).
+  EXPECT_EQ(f32_plan.bytes_leaf_to_hub,
+            4 * (int8_plan.bytes_leaf_to_hub - nn::kActivationHeaderBytes));
   EXPECT_EQ(bytes_per_element(nn::Precision::kF32), 4);
   EXPECT_EQ(bytes_per_element(nn::Precision::kInt8), 1);
 }

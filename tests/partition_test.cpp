@@ -13,6 +13,7 @@
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
 #include "nn/model_zoo.hpp"
+#include "nn/quantize.hpp"
 #include "partition/cost_model.hpp"
 #include "partition/isa_chooser.hpp"
 #include "partition/partitioner.hpp"
@@ -61,20 +62,21 @@ TEST(Partitioner, FullOffloadHandComputed) {
   const Partitioner part(m, simple_cost());
   const PartitionPlan plan = part.full_offload();
   EXPECT_DOUBLE_EQ(plan.leaf_compute_j, 0.0);
-  // Ships the 16-element int8 input: 128 bits at 100 pJ/b.
-  EXPECT_EQ(plan.bytes_leaf_to_hub, 16);
-  EXPECT_NEAR(plan.leaf_tx_j, 128.0 * 100e-12, 1e-18);
+  // Ships the 16-element int8 input in the wire format (8-byte quant-params
+  // header + 1 B/elem): 24 bytes = 192 bits at 100 pJ/b.
+  EXPECT_EQ(plan.bytes_leaf_to_hub, 16 + nn::kActivationHeaderBytes);
+  EXPECT_NEAR(plan.leaf_tx_j, 192.0 * 100e-12, 1e-18);
   EXPECT_NEAR(plan.hub_compute_j, 168.0 * 5e-12, 1e-18);
-  EXPECT_NEAR(plan.hub_rx_j, 128.0 * 40e-12, 1e-18);
+  EXPECT_NEAR(plan.hub_rx_j, 192.0 * 40e-12, 1e-18);
 }
 
 TEST(Partitioner, MidSplitShipsActivation) {
   const nn::Model m = tiny_model();
   const Partitioner part(m, simple_cost());
   const PartitionPlan plan = part.evaluate(1, 3);
-  // Layer 0 on leaf (128 MACs), ships its 8-element output.
+  // Layer 0 on leaf (128 MACs), ships its 8-element output (+ wire header).
   EXPECT_NEAR(plan.leaf_compute_j, 128.0 * 20e-12, 1e-18);
-  EXPECT_EQ(plan.bytes_leaf_to_hub, 8);
+  EXPECT_EQ(plan.bytes_leaf_to_hub, 8 + nn::kActivationHeaderBytes);
   EXPECT_NEAR(plan.hub_compute_j, 40.0 * 5e-12, 1e-18);
   EXPECT_EQ(plan.bytes_hub_to_cloud, 0);
 }
@@ -83,7 +85,8 @@ TEST(Partitioner, CloudLegAddsUplinkCosts) {
   const nn::Model m = tiny_model();
   const Partitioner part(m, simple_cost());
   const PartitionPlan plan = part.evaluate(1, 2);
-  EXPECT_EQ(plan.bytes_hub_to_cloud, 4);  // layer-1 output, int8
+  // Layer-1 output, int8 wire format (header + 4 elements).
+  EXPECT_EQ(plan.bytes_hub_to_cloud, 4 + nn::kActivationHeaderBytes);
   EXPECT_GT(plan.hub_tx_j, 0.0);
   EXPECT_NEAR(plan.cloud_compute_j, 8.0 * 1e-12, 1e-18);
   EXPECT_GT(plan.latency_s, 20e-3);  // uplink fixed latency dominates
@@ -98,7 +101,9 @@ TEST(Partitioner, LatencyAccountsComputeAndTransfer) {
   const PartitionPlan plan = part.evaluate(3, 3);
   EXPECT_NEAR(plan.latency_s, 168.0 / 50e6, 1e-12);
   const PartitionPlan offload = part.evaluate(0, 3);
-  EXPECT_NEAR(offload.latency_s, 128.0 / 1e6 + 168.0 / 2e9, 1e-9);
+  // The shipped input is the int8 wire format (8-byte header + 16 elements):
+  // 192 bits over the 1 Mb/s bus, then 168 MACs on the hub.
+  EXPECT_NEAR(offload.latency_s, 192.0 / 1e6 + 168.0 / 2e9, 1e-9);
 }
 
 TEST(Partitioner, OptimizerMatchesBruteForce) {

@@ -229,7 +229,8 @@ TEST_P(PartitionEnergyGrid, OffloadEnergyLinearInLinkEnergy) {
   cm.leaf_hub = {"grid", 1e6, e_bit, 40e-12, 1e-4};
   cm.hub_cloud = partition::CostModel::default_uplink();
   const partition::Partitioner part(m, cm);
-  const double bits = static_cast<double>(m.input_bytes_i8()) * 8.0;
+  const double bits =
+      static_cast<double>(m.input_bytes_i8() + nn::kActivationHeaderBytes) * 8.0;
   EXPECT_NEAR(part.full_offload().leaf_tx_j, bits * e_bit, bits * e_bit * 1e-12);
 }
 
