@@ -11,16 +11,32 @@
 //
 // Set IOB_FLEET_SMOKE=1 (CI docs job) to shrink the grid to <= 64 points so
 // the harness stays exercised on every push without the full sweep cost.
+//
+// A second, population-scale section streams a 1,000,000-point grid through
+// `Fleet::run_streaming` (docs/scaling.md): bounded batches overlap
+// execution with online summary folding, per-point records spill to binary
+// shards, and peak RSS stays O(batch), not O(grid). Set
+// IOB_FLEET_STREAM_SMOKE=1 to shrink it to 100,228 points; on its own (CI
+// matrix legs) that also skips the classic grid + microbenchmarks, while
+// combined with IOB_FLEET_SMOKE=1 (CI docs job) both sections run in their
+// smoke shapes.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_util.hpp"
+#include "common/expect.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/fleet.hpp"
+#include "core/stream_sink.hpp"
 #include "core/sweep_runner.hpp"
 #include "nn/precision.hpp"
 
@@ -134,7 +150,49 @@ core::FleetAxes make_axes(bool smoke) {
   return axes;
 }
 
-void print_grid() {
+/// Peak resident set of this process so far, in MiB (0 where unsupported).
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// The documented OnlineQuantile contract, asserted on live data: the
+/// summary's online lifetime percentiles must sit within kRelativeError of
+/// the exact sorted-vector quantiles recomputed from the full result set
+/// (exact bands — zero and +inf — must match outright).
+void assert_quantile_epsilon(const core::FleetSummary& summary,
+                             const std::vector<core::FleetPointResult>& results) {
+  std::vector<double> lifetimes;
+  for (const auto& r : results) {
+    for (const auto& n : r.report.nodes) lifetimes.push_back(n.projected_life_days);
+  }
+  const double qs[] = {0.10, 0.50, 0.90};
+  const double got[] = {summary.overall.life_p10_days, summary.overall.life_p50_days,
+                        summary.overall.life_p90_days};
+  for (int i = 0; i < 3; ++i) {
+    const double exact = core::percentile(lifetimes, qs[i]);
+    if (std::isinf(exact) || exact == 0.0) {
+      IOB_ENSURES(got[i] == exact, "online quantile must be exact in the zero/+inf bands");
+    } else {
+      IOB_ENSURES(std::abs(got[i] - exact) <= core::OnlineQuantile::kRelativeError * exact,
+                  "online lifetime quantile outside the documented epsilon");
+    }
+  }
+  common::print_note("online p10/p50/p90 lifetimes verified within " +
+                     common::fixed(core::OnlineQuantile::kRelativeError * 100.0, 0) +
+                     "% of exact sorted-vector quantiles");
+}
+
+void print_grid(bench::JsonReporter& json) {
   const bool smoke = std::getenv("IOB_FLEET_SMOKE") != nullptr;
   const core::Fleet fleet(make_axes(smoke));
   common::print_banner(
@@ -152,11 +210,11 @@ void print_grid() {
   std::cout << summary.to_string();
   common::print_note("lifetime percentiles over every node sample in the cell; the wide");
   common::print_note("regime where bio leaves stay perpetual is the paper's design region");
+  assert_quantile_epsilon(summary, results);
   std::cout << "\n  " << results.size() << " simulations in " << common::fixed(dt, 2) << " s ("
             << common::fixed(static_cast<double>(results.size()) / dt, 1) << " points/s on "
             << runner.threads() << " thread(s))\n";
 
-  bench::JsonReporter json("fleet_grid");
   json.add("fleet_points", static_cast<double>(results.size()));
   json.add("fleet_points_per_s", static_cast<double>(results.size()) / dt);
   json.add("fleet_threads", static_cast<double>(runner.threads()));
@@ -166,7 +224,86 @@ void print_grid() {
   json.add("overall_mean_drop_rate", summary.overall.mean_drop_rate);
   json.add("overall_mean_bus_utilization", summary.overall.mean_bus_utilization);
   json.add("overall_mean_availability", summary.overall.mean_availability);
-  json.write();
+}
+
+/// Population-scale streaming sweep (docs/scaling.md): a seed-replicate
+/// grid far past anything expand() should materialize, run through
+/// `Fleet::run_streaming` with binary spill shards. Cheap telemetry-only
+/// leaves keep the per-point cost in the tens of microseconds so a million
+/// full discrete-event simulations finish in bench time.
+core::FleetAxes make_stream_axes(bool smoke) {
+  core::FleetAxes axes;
+  core::NodeClassSpec bio = bio_class(), imu = imu_class();
+  imu.share = 1;
+  bio.share = 3;
+  axes.mixes.push_back({"telemetry", {imu, bio}});
+  axes.node_counts = {2, 3};
+
+  energy::HarvesterParams pv;
+  pv.source = energy::HarvestSource::kIndoorPhotovoltaic;
+  pv.mean_power_w = 50.0 * uW;
+  pv.availability = 0.7;
+  axes.harvests = {{"none", std::nullopt}, {"indoor-pv-50uW", pv}};
+
+  // 2 node counts x 2 harvests x N seeds; every point still gets a unique
+  // point_seed, so the seed axis IS the population axis.
+  const std::size_t seeds = smoke ? 25'056 : 250'000;  // 100,224 / 1,000,000 points
+  for (std::uint64_t s = 0; s < seeds; ++s) axes.seeds.push_back(1000 + s);
+  axes.duration_s = 0.05;
+  return axes;
+}
+
+void print_stream_grid(bench::JsonReporter& json) {
+  const bool smoke = std::getenv("IOB_FLEET_STREAM_SMOKE") != nullptr;
+  const core::Fleet fleet(make_stream_axes(smoke));
+  common::print_banner("Population-scale streaming grid — " + std::to_string(fleet.size()) +
+                       " NetworkSim points, online percentiles, binary spill shards" +
+                       (smoke ? " [smoke]" : ""));
+
+  const auto spill_dir =
+      std::filesystem::temp_directory_path() / "iob_fleet_stream_spill";
+  std::filesystem::remove_all(spill_dir);
+
+  core::FleetStreamConfig cfg;
+  cfg.batch_points = 8192;
+  cfg.spill = core::StreamSinkConfig{};
+  cfg.spill->directory = spill_dir.string();
+  cfg.spill->basename = "fleet";
+  cfg.spill->rows_per_shard = 131'072;
+  cfg.spill->format = core::StreamFormat::kBinary;
+
+  const core::SweepRunner runner;
+  const double rss_before_mb = peak_rss_mb();
+  const double t0 = bench::wall_time_s();
+  const core::FleetStreamResult res = fleet.run_streaming(runner, cfg);
+  const double dt = bench::wall_time_s() - t0;
+  const double rss_peak_mb = peak_rss_mb();
+  std::filesystem::remove_all(spill_dir);
+
+  std::cout << res.summary.to_string();
+  const double points_per_s = static_cast<double>(res.points) / dt;
+  std::cout << "\n  " << res.points << " simulations in " << common::fixed(dt, 2) << " s ("
+            << common::fixed(points_per_s, 1) << " points/s on " << runner.threads()
+            << " thread(s))\n  spilled " << res.spilled_rows << " records / "
+            << common::fixed(static_cast<double>(res.spilled_bytes) / (1024.0 * 1024.0), 1)
+            << " MiB across " << res.spill_shards << " shards; peak RSS "
+            << common::fixed(rss_peak_mb, 1) << " MiB (batch = " << cfg.batch_points
+            << " points)\n";
+  common::print_note("memory is O(batch), not O(grid): shards hold the per-point rows,");
+  common::print_note("per-axis percentiles fold online (docs/scaling.md)");
+
+  IOB_ENSURES(res.points == fleet.size(), "streaming run must cover the whole grid");
+  IOB_ENSURES(res.spilled_rows == fleet.size(), "every point must spill exactly one record");
+
+  json.add("fleet_stream_points", static_cast<double>(res.points));
+  json.add("fleet_stream_points_per_s", points_per_s);
+  json.add("fleet_stream_peak_rss_mb", rss_peak_mb);
+  json.add("fleet_stream_rss_before_mb", rss_before_mb);
+  json.add("fleet_stream_spilled_mb",
+           static_cast<double>(res.spilled_bytes) / (1024.0 * 1024.0));
+  json.add("fleet_stream_shards", static_cast<double>(res.spill_shards));
+  json.add("fleet_stream_batch_points", static_cast<double>(cfg.batch_points));
+  json.add("fleet_stream_perpetual_fraction", res.summary.overall.perpetual_fraction);
 }
 
 core::FleetPoint one_point(int n_nodes) {
@@ -200,6 +337,16 @@ BENCHMARK(BM_FleetExpand)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_grid();
+  iob::bench::JsonReporter json("fleet_grid");
+  // Stream smoke on its own (CI matrix legs) runs only the streaming
+  // section: the point there is exercising run_streaming + spill on every
+  // sanitizer/compiler leg, not re-timing the classic grid. The docs job
+  // sets both smoke vars and gets both sections in their smoke shapes.
+  const bool stream_only = std::getenv("IOB_FLEET_STREAM_SMOKE") != nullptr &&
+                           std::getenv("IOB_FLEET_SMOKE") == nullptr;
+  if (!stream_only) print_grid(json);
+  print_stream_grid(json);
+  json.write();
+  if (stream_only) return 0;
   return iob::bench::run_microbenchmarks(argc, argv);
 }

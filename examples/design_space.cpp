@@ -68,9 +68,12 @@ int main() {
                "energy sits below every model's crossover — Wi-R is in it, BLE is not.\n";
 
   std::cout << "\n=== 6. Fleet grid: whole-network sweeps on core::Fleet ===\n\n";
-  // Declare the operating regimes as axes; the harness expands the grid,
-  // runs one owned-link NetworkSim per point across the SweepRunner, and
-  // folds the reports into per-axis marginal summaries.
+  // Declare the operating regimes as axes; the harness decodes each grid
+  // point lazily, runs one owned-link NetworkSim per point across the
+  // SweepRunner, and folds the reports into per-axis marginal summaries
+  // while the next batch executes (docs/scaling.md). The streaming call
+  // is the same API a 1M-point population grid uses — this 12-point grid
+  // just fits in one batch.
   core::NodeClassSpec audio;
   audio.base.name = "audio";
   audio.base.sense_power_w = 150.0 * uW;
@@ -95,9 +98,10 @@ int main() {
 
   const core::Fleet fleet(axes);
   const core::SweepRunner runner;
-  const core::FleetSummary summary = fleet.summarize(fleet.run(runner));
-  std::cout << summary.to_string()
-            << "\nevery marginal row aggregates full discrete-event simulations — the\n"
-               "fleet_grid bench runs the same harness at thousands of points.\n";
+  const core::FleetStreamResult stream = fleet.run_streaming(runner);
+  std::cout << stream.summary.to_string() << "\nstreamed " << stream.points
+            << " points in bounded memory — every marginal row aggregates full\n"
+               "discrete-event simulations, and the fleet_grid bench runs the same\n"
+               "harness at a million points (docs/scaling.md).\n";
   return 0;
 }

@@ -7,12 +7,16 @@
 //
 //   $ ./health_monitor
 
+#include <cstdint>
 #include <iostream>
+#include <numeric>
 
 #include "comm/wir_link.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "core/fleet.hpp"
 #include "core/report.hpp"
+#include "core/sweep_runner.hpp"
 #include "isa/bio_codec.hpp"
 #include "net/network_sim.hpp"
 #include "nn/model_zoo.hpp"
@@ -98,5 +102,37 @@ int main() {
                                                  : common::fixed(n.projected_life_days, 0) + " d"});
   }
   t.print();
+
+  // --- Stage 4: the population view (docs/scaling.md) ------------------------
+  // One wearer is an anecdote; a deployment decision wants the lifetime
+  // *distribution* across a population. core::Fleet sweeps the same BAN
+  // across 500 seed replicates x {no harvest, indoor PV} and streams the
+  // grid through run_streaming: points decode lazily, batches overlap with
+  // the online percentile fold, and memory stays O(batch) no matter how
+  // large the population grows.
+  auto ban_class = [&leaf](const char* name, double rate_bps, double sense_w, double isa_w) {
+    core::NodeClassSpec cls;
+    cls.base = leaf(name, net::BodyLocation::kChest, rate_bps, sense_w, isa_w);
+    return cls;
+  };
+  core::FleetAxes axes;
+  axes.node_counts = {4};
+  axes.mixes = {{"ban", {ban_class("ecg", 5.0 * kbps, 8.0 * uW, 1.5 * uW),
+                         ban_class("emg", 8.0 * kbps, 9.0 * uW, 1.5 * uW),
+                         ban_class("imu", 4.8 * kbps, 5.0 * uW, 0.5 * uW),
+                         ban_class("ppg", 1.6 * kbps, 40.0 * uW, 0.5 * uW)}}};
+  axes.harvests = {{"none", std::nullopt}, {"indoor-pv-50uW", pv}};
+  axes.seeds.resize(500);
+  std::iota(axes.seeds.begin(), axes.seeds.end(), std::uint64_t{1});
+  axes.duration_s = 0.25;
+
+  const core::Fleet fleet(axes);
+  const core::SweepRunner runner;
+  const core::FleetStreamResult stream = fleet.run_streaming(runner);
+  std::cout << "\n=== population of " << stream.points
+            << " simulated BANs (streamed, docs/scaling.md) ===\n\n"
+            << stream.summary.to_string()
+            << "\nthe harvest marginal is the deployment question answered at population\n"
+               "scale: 50 uW indoor PV pushes the median wearer's lifetime to perpetual.\n";
   return 0;
 }

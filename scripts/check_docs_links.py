@@ -5,7 +5,10 @@ Checks every ``[text](target)`` in the given markdown files:
   * relative file targets must exist (anchors checked when the target is
     markdown),
   * bare ``#anchor`` targets must match a heading in the same file,
-  * absolute http(s)/mailto links are skipped (no network in CI).
+  * absolute http(s)/mailto links are skipped (no network in CI),
+  * every docs/ page must be *reachable*: a checked docs file that no other
+    checked file links to is an orphan and fails the check (README.md is
+    the root and exempt).
 
 Exit status is non-zero if any link is broken — wired into the CI docs job
 so the docs tree can't silently rot.
@@ -38,7 +41,7 @@ def anchors_of(path):
     return {slugify(h) for h in HEADING_RE.findall(text)}
 
 
-def check_file(path):
+def check_file(path, linked_targets=None):
     errors = []
     with open(path, encoding="utf-8") as f:
         text = CODE_FENCE_RE.sub("", f.read())
@@ -56,10 +59,25 @@ def check_file(path):
         if not os.path.exists(resolved):
             errors.append(f"{path}: broken link {target!r} ({resolved} missing)")
             continue
+        if linked_targets is not None:
+            linked_targets.add(resolved)
         if anchor and resolved.endswith(".md"):
             if slugify(anchor) not in anchors_of(resolved):
                 errors.append(f"{path}: broken anchor {target!r} in {resolved}")
     return errors
+
+
+def find_orphans(files, linked_targets):
+    """Checked docs pages that no other checked file links to (README is
+    the navigation root, so it needs no inbound link)."""
+    orphans = []
+    for path in files:
+        normalized = os.path.normpath(path)
+        if os.path.basename(normalized) == "README.md":
+            continue
+        if normalized not in linked_targets:
+            orphans.append(f"{path}: orphaned page (no inbound link from any checked file)")
+    return orphans
 
 
 def main(argv):
@@ -69,8 +87,10 @@ def main(argv):
         print(f"error: file(s) not found: {', '.join(missing)}", file=sys.stderr)
         return 2
     errors = []
+    linked_targets = set()
     for path in files:
-        errors.extend(check_file(path))
+        errors.extend(check_file(path, linked_targets))
+    errors.extend(find_orphans(files, linked_targets))
     if errors:
         print("\n".join(errors), file=sys.stderr)
         print(f"\n{len(errors)} broken link(s) in {len(files)} file(s)", file=sys.stderr)

@@ -35,6 +35,10 @@ DEFAULT_WATCH = [
     "events_per_s",
     "sweep_points_per_s",
     "fleet_points_per_s",
+    # Streaming-fleet throughput (bench_fleet_grid's population-scale
+    # section, docs/scaling.md): full NetworkSim points per second through
+    # Fleet::run_streaming including spill + online folding.
+    "fleet_stream_points_per_s",
     "nn_single_infer_per_s_vww",
     "nn_batched_items_per_s_vww",
     "nn_int8_batched_items_per_s_vww",
@@ -45,11 +49,14 @@ DEFAULT_WATCH = [
 # Lower-is-better series: a >threshold *increase* is the regression. The
 # split-validation error is how far the partitioner's analytic per-venue
 # energy drifts from the executed-and-metered measurement; if it creeps up,
-# the cost model and the engine have diverged. Timing noise makes tiny
-# values jittery, so the relative change is computed against
-# max(old, LOWER_FLOOR) rather than the raw old value.
+# the cost model and the engine have diverged. The streaming peak RSS is the
+# O(batch)-memory contract as a number: if it starts tracking grid size
+# again, someone broke the spill path. Timing noise makes tiny values
+# jittery, so the relative change is computed against max(old, LOWER_FLOOR)
+# rather than the raw old value.
 DEFAULT_WATCH_LOWER = [
     "split_costmodel_max_rel_err",
+    "fleet_stream_peak_rss_mb",
 ]
 LOWER_FLOOR = 0.05
 

@@ -309,77 +309,84 @@ FleetPointResult run_fleet_point(const FleetPoint& p) {
   return res;
 }
 
-std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
-  std::string out =
+std::string fleet_csv_header() {
+  return
       "index,coord,drop_rate,mean_latency_s,mean_leaf_power_w,min_life_days,perpetual_fraction,"
       "hub_power_w,goodput_bps,bus_utilization,elapsed_s,nodes...\n";
-  for (const auto& r : results) {
-    out += std::to_string(r.index) + ",";
-    // Byte-compat contract: the coord prefix serializes exactly the eight
-    // pre-fault axes; the fault/split coordinates appear only as ":f<i>" /
-    // ":s<i>" suffixes on points actually swept off the clean regime, so
-    // default grids stay byte-identical to older output.
-    for (std::size_t a = 0; a <= kAxisSeed; ++a) {
-      out += std::to_string(r.coord[a]) + (a < kAxisSeed ? ":" : "");
-    }
-    if (r.coord[kAxisFault] != 0) out += ":f" + std::to_string(r.coord[kAxisFault]);
-    if (r.coord[kAxisSplit] != 0) out += ":s" + std::to_string(r.coord[kAxisSplit]);
-    out += "," + exact(r.drop_rate) + "," + exact(r.mean_latency_s) + "," +
-           exact(r.mean_leaf_power_w) + "," +
-           exact(r.min_life_days) + "," + exact(r.perpetual_fraction) + "," +
-           exact(r.report.hub_power_w) + "," + exact(r.report.aggregate_goodput_bps) + "," +
-           exact(r.report.bus_utilization) + "," + exact(r.report.elapsed_s);
-    for (const auto& n : r.report.nodes) {
-      out += "," + n.name + ":" + exact(n.average_power_w) + ":" + exact(n.comm_power_w) + ":" +
-             exact(n.projected_life_days) + ":" + (n.perpetual ? "1" : "0") + ":" +
-             std::to_string(n.frames_delivered) + ":" + std::to_string(n.frames_dropped) + ":" +
-             exact(n.mean_latency_s) + ":" + exact(n.p99ish_latency_s);
-      // Fault telemetry serializes only for nodes that saw fault activity
-      // (clean-path rows, including their ARQ drops, are untouched bytes).
-      if (n.reboots > 0 || n.downtime_s > 0.0 || n.dropped_fault > 0 || n.dropped_overflow > 0) {
-        out += ":flt:" + std::to_string(n.reboots) + ":" + exact(n.downtime_s) + ":" +
-               exact(n.availability) + ":" + std::to_string(n.dropped_arq) + ":" +
-               std::to_string(n.dropped_fault) + ":" + std::to_string(n.dropped_overflow);
-      }
-      // Split telemetry serializes only for nodes that actually ran a
-      // split (clean-path rows are untouched bytes).
-      if (n.split_inferences > 0 || n.split_repartitions > 0) {
-        out += ":spl:" + std::to_string(n.split_at) + ":" +
-               std::to_string(n.split_inferences) + ":" +
-               std::to_string(n.split_activation_bytes) + ":" +
-               exact(n.split_compute_energy_j) + ":" +
-               std::to_string(n.split_repartitions);
-      }
-    }
-    if (r.report.hub_crashes > 0) {
-      out += ",hubflt:" + std::to_string(r.report.hub_crashes) + ":" +
-             exact(r.report.hub_downtime_s) + ":" + exact(r.report.hub_availability);
-    }
-    out += "\n";
+}
+
+std::string fleet_result_row(const FleetPointResult& r) {
+  std::string out = std::to_string(r.index) + ",";
+  // Byte-compat contract: the coord prefix serializes exactly the eight
+  // pre-fault axes; the fault/split coordinates appear only as ":f<i>" /
+  // ":s<i>" suffixes on points actually swept off the clean regime, so
+  // default grids stay byte-identical to older output.
+  for (std::size_t a = 0; a <= kAxisSeed; ++a) {
+    out += std::to_string(r.coord[a]) + (a < kAxisSeed ? ":" : "");
   }
+  if (r.coord[kAxisFault] != 0) out += ":f" + std::to_string(r.coord[kAxisFault]);
+  if (r.coord[kAxisSplit] != 0) out += ":s" + std::to_string(r.coord[kAxisSplit]);
+  out += "," + exact(r.drop_rate) + "," + exact(r.mean_latency_s) + "," +
+         exact(r.mean_leaf_power_w) + "," +
+         exact(r.min_life_days) + "," + exact(r.perpetual_fraction) + "," +
+         exact(r.report.hub_power_w) + "," + exact(r.report.aggregate_goodput_bps) + "," +
+         exact(r.report.bus_utilization) + "," + exact(r.report.elapsed_s);
+  for (const auto& n : r.report.nodes) {
+    out += "," + n.name + ":" + exact(n.average_power_w) + ":" + exact(n.comm_power_w) + ":" +
+           exact(n.projected_life_days) + ":" + (n.perpetual ? "1" : "0") + ":" +
+           std::to_string(n.frames_delivered) + ":" + std::to_string(n.frames_dropped) + ":" +
+           exact(n.mean_latency_s) + ":" + exact(n.p99ish_latency_s);
+    // Fault telemetry serializes only for nodes that saw fault activity
+    // (clean-path rows, including their ARQ drops, are untouched bytes).
+    if (n.reboots > 0 || n.downtime_s > 0.0 || n.dropped_fault > 0 || n.dropped_overflow > 0) {
+      out += ":flt:" + std::to_string(n.reboots) + ":" + exact(n.downtime_s) + ":" +
+             exact(n.availability) + ":" + std::to_string(n.dropped_arq) + ":" +
+             std::to_string(n.dropped_fault) + ":" + std::to_string(n.dropped_overflow);
+    }
+    // Split telemetry serializes only for nodes that actually ran a
+    // split (clean-path rows are untouched bytes).
+    if (n.split_inferences > 0 || n.split_repartitions > 0) {
+      out += ":spl:" + std::to_string(n.split_at) + ":" +
+             std::to_string(n.split_inferences) + ":" +
+             std::to_string(n.split_activation_bytes) + ":" +
+             exact(n.split_compute_energy_j) + ":" +
+             std::to_string(n.split_repartitions);
+    }
+  }
+  if (r.report.hub_crashes > 0) {
+    out += ",hubflt:" + std::to_string(r.report.hub_crashes) + ":" +
+           exact(r.report.hub_downtime_s) + ":" + exact(r.report.hub_availability);
+  }
+  out += "\n";
   return out;
 }
 
-namespace {
-
-/// `percentile` on an already-sorted sample vector.
-double quantile_sorted(const std::vector<double>& sorted, double q) {
-  IOB_EXPECTS(!sorted.empty(), "percentile of an empty sample set");
-  IOB_EXPECTS(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double t = pos - static_cast<double>(lo);
-  if (lo == hi || t == 0.0) return sorted[lo];
-  // inf-aware: interpolating toward +inf is +inf, never NaN.
-  if (std::isinf(sorted[hi])) return sorted[hi];
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * t;
+std::string fleet_results_csv(const std::vector<FleetPointResult>& results) {
+  std::string out = fleet_csv_header();
+  for (const auto& r : results) out += fleet_result_row(r);
+  return out;
 }
 
-}  // namespace
+FleetStreamRecord fleet_stream_record(const FleetPointResult& r) {
+  FleetStreamRecord rec;
+  rec.index = r.index;
+  rec.drop_rate = r.drop_rate;
+  rec.mean_latency_s = r.mean_latency_s;
+  rec.mean_leaf_power_w = r.mean_leaf_power_w;
+  rec.min_life_days = r.min_life_days;
+  rec.perpetual_fraction = r.perpetual_fraction;
+  rec.hub_power_w = r.report.hub_power_w;
+  rec.goodput_bps = r.report.aggregate_goodput_bps;
+  rec.bus_utilization = r.report.bus_utilization;
+  rec.elapsed_s = r.report.elapsed_s;
+  return rec;
+}
 
 double percentile(std::vector<double> samples, double q) {
   std::sort(samples.begin(), samples.end());
+  // quantile_sorted (stream_sink.hpp) is the shared interpolation rule: this
+  // function, the exact regime of OnlineQuantile and the summary fold all go
+  // through the same code, so "exact" means bit-identical everywhere.
   return quantile_sorted(samples, q);
 }
 
@@ -411,45 +418,51 @@ Fleet::Fleet(FleetAxes axes) : axes_(std::move(axes)) {
   }
 }
 
+FleetPoint Fleet::point_at(std::size_t index) const {
+  IOB_EXPECTS(index < size(), "fleet point index out of range");
+  // Mixed-radix decode of the order contract (node_counts outermost ...
+  // seeds innermost — file comment): peel the innermost axis first by
+  // dividing out its size. Identical to expand()[index] by construction,
+  // without materializing the grid.
+  std::size_t rem = index;
+  const auto next_digit = [&rem](std::size_t axis_size) {
+    const std::size_t v = rem % axis_size;
+    rem /= axis_size;
+    return v;
+  };
+  const std::size_t si = next_digit(axes_.seeds.size());
+  const std::size_t li = next_digit(axes_.splits.size());
+  const std::size_t fi = next_digit(axes_.faults.size());
+  const std::size_t pi = next_digit(axes_.precisions.size());
+  const std::size_t wi = next_digit(axes_.batch_windows.size());
+  const std::size_t bi = next_digit(axes_.buses.size());
+  const std::size_t hi = next_digit(axes_.harvests.size());
+  const std::size_t xi = next_digit(axes_.mixes.size());
+  const std::size_t mi = next_digit(axes_.macs.size());
+  const std::size_t ni = next_digit(axes_.node_counts.size());
+
+  FleetPoint p;
+  p.index = index;
+  p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi, li};
+  p.node_count = axes_.node_counts[ni];
+  p.mac = axes_.macs[mi];
+  p.mix = axes_.mixes[xi];
+  p.harvest = axes_.harvests[hi];
+  p.bus = axes_.buses[bi];
+  p.batch_window = axes_.batch_windows[wi];
+  p.precision = axes_.precisions[pi];
+  p.fault = axes_.faults[fi];
+  p.split = axes_.splits[li];
+  p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
+  p.duration_s = axes_.duration_s;
+  return p;
+}
+
 std::vector<FleetPoint> Fleet::expand() const {
   std::vector<FleetPoint> points;
-  points.reserve(size());
-  // Order contract: node_counts outermost ... seeds innermost (file comment).
-  for (std::size_t ni = 0; ni < axes_.node_counts.size(); ++ni) {
-    for (std::size_t mi = 0; mi < axes_.macs.size(); ++mi) {
-      for (std::size_t xi = 0; xi < axes_.mixes.size(); ++xi) {
-        for (std::size_t hi = 0; hi < axes_.harvests.size(); ++hi) {
-          for (std::size_t bi = 0; bi < axes_.buses.size(); ++bi) {
-            for (std::size_t wi = 0; wi < axes_.batch_windows.size(); ++wi) {
-              for (std::size_t pi = 0; pi < axes_.precisions.size(); ++pi) {
-                for (std::size_t fi = 0; fi < axes_.faults.size(); ++fi) {
-                  for (std::size_t li = 0; li < axes_.splits.size(); ++li) {
-                    for (std::size_t si = 0; si < axes_.seeds.size(); ++si) {
-                      FleetPoint p;
-                      p.index = points.size();
-                      p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi, li};
-                      p.node_count = axes_.node_counts[ni];
-                      p.mac = axes_.macs[mi];
-                      p.mix = axes_.mixes[xi];
-                      p.harvest = axes_.harvests[hi];
-                      p.bus = axes_.buses[bi];
-                      p.batch_window = axes_.batch_windows[wi];
-                      p.precision = axes_.precisions[pi];
-                      p.fault = axes_.faults[fi];
-                      p.split = axes_.splits[li];
-                      p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
-                      p.duration_s = axes_.duration_s;
-                      points.push_back(std::move(p));
-                    }
-                  }
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  const std::size_t n = size();
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back(point_at(i));
   return points;
 }
 
@@ -461,98 +474,213 @@ std::vector<FleetPointResult> Fleet::run(const SweepRunner& runner) const {
 
 namespace {
 
-AxisCell aggregate_cell(std::string label, const std::vector<const FleetPointResult*>& pts) {
-  AxisCell cell;
-  cell.label = std::move(label);
-  cell.points = pts.size();
-  if (pts.empty()) return cell;
+std::array<std::size_t, kAxisCount> axis_sizes_of(const FleetAxes& axes) {
+  return {axes.node_counts.size(), axes.macs.size(),          axes.mixes.size(),
+          axes.harvests.size(),    axes.buses.size(),         axes.batch_windows.size(),
+          axes.precisions.size(),  axes.seeds.size(),         axes.faults.size(),
+          axes.splits.size()};
+}
 
-  std::vector<double> lifetimes;
-  double perpetual_nodes = 0.0, total_nodes = 0.0;
-  double goodput = 0.0, drop = 0.0, latency = 0.0, util = 0.0, avail = 0.0;
-  for (const FleetPointResult* r : pts) {
-    for (const auto& n : r->report.nodes) {
-      lifetimes.push_back(n.projected_life_days);
+std::string axis_value_label(const FleetAxes& axes, std::size_t a, std::size_t v) {
+  switch (static_cast<FleetAxis>(a)) {
+    case kAxisNodeCount: return "n=" + std::to_string(axes.node_counts[v]);
+    case kAxisMac: return axes.macs[v].label;
+    case kAxisMix: return axes.mixes[v].label;
+    case kAxisHarvest: return axes.harvests[v].label;
+    case kAxisBus: return to_string(axes.buses[v]);
+    case kAxisBatch:
+      return axes.batch_windows[v] == 0 ? "per-frame"
+                                        : "batch-w" + std::to_string(axes.batch_windows[v]);
+    case kAxisPrecision: return nn::to_string(axes.precisions[v]);
+    case kAxisSeed: return "seed=" + std::to_string(axes.seeds[v]);
+    case kAxisFault: return to_string(axes.faults[v]);
+    case kAxisSplit: return axes.splits[v].label;
+    default: return "?";
+  }
+}
+
+/// Online per-cell accumulator. Means are running sums divided once at
+/// finish — folded in flat-index order they produce the same bits as the
+/// historical collect-then-divide; lifetime percentiles fold through
+/// `OnlineQuantile` (bit-identical to the sorted-vector path up to 512
+/// samples, within its documented 1% bound beyond).
+struct CellAccum {
+  OnlineQuantile life;
+  double perpetual_nodes = 0.0;
+  double total_nodes = 0.0;
+  double goodput = 0.0;
+  double drop = 0.0;
+  double latency = 0.0;
+  double util = 0.0;
+  double avail = 0.0;
+  std::size_t points = 0;
+
+  void fold(const FleetPointResult& r) {
+    for (const auto& n : r.report.nodes) {
+      life.add(n.projected_life_days);
       if (n.perpetual) perpetual_nodes += 1.0;
       total_nodes += 1.0;
     }
-    goodput += r->report.aggregate_goodput_bps;
-    drop += r->drop_rate;
-    latency += r->mean_latency_s;
-    util += r->report.bus_utilization;
-    avail += r->mean_availability;
+    goodput += r.report.aggregate_goodput_bps;
+    drop += r.drop_rate;
+    latency += r.mean_latency_s;
+    util += r.report.bus_utilization;
+    avail += r.mean_availability;
+    ++points;
   }
-  const double np = static_cast<double>(pts.size());
-  std::sort(lifetimes.begin(), lifetimes.end());  // one sort serves all quantiles
-  cell.life_p10_days = quantile_sorted(lifetimes, 0.10);
-  cell.life_p50_days = quantile_sorted(lifetimes, 0.50);
-  cell.life_p90_days = quantile_sorted(lifetimes, 0.90);
-  cell.perpetual_fraction = total_nodes > 0 ? perpetual_nodes / total_nodes : 0.0;
-  cell.mean_goodput_bps = goodput / np;
-  cell.mean_drop_rate = drop / np;
-  cell.mean_latency_s = latency / np;
-  cell.mean_bus_utilization = util / np;
-  cell.mean_availability = avail / np;
-  return cell;
-}
+
+  [[nodiscard]] AxisCell finish(std::string label) const {
+    AxisCell cell;
+    cell.label = std::move(label);
+    cell.points = points;
+    if (points == 0) return cell;
+    cell.life_p10_days = life.quantile(0.10);
+    cell.life_p50_days = life.quantile(0.50);
+    cell.life_p90_days = life.quantile(0.90);
+    cell.life_approx = life.approximate();
+    const double np = static_cast<double>(points);
+    cell.perpetual_fraction = total_nodes > 0 ? perpetual_nodes / total_nodes : 0.0;
+    cell.mean_goodput_bps = goodput / np;
+    cell.mean_drop_rate = drop / np;
+    cell.mean_latency_s = latency / np;
+    cell.mean_bus_utilization = util / np;
+    cell.mean_availability = avail / np;
+    return cell;
+  }
+};
+
+/// One-pass marginal-summary fold: one overall cell plus one cell per axis
+/// value, every cell updated as each result streams by in flat-index order.
+/// `Fleet::summarize` and `Fleet::run_streaming` share this fold, which is
+/// why a streaming summary equals the in-memory one bit for bit.
+class FleetFold {
+ public:
+  /// Per-value marginals stop being a readable table (and start costing an
+  /// accumulator per value) past this many values on one axis. Above it the
+  /// axis keeps its slot in `FleetSummary::axes` but with no cells — the
+  /// population-scale seed axis of a streaming grid is a replicate axis, and
+  /// its per-replicate marginal is noise (docs/scaling.md). Every
+  /// pre-streaming grid in the repo sits far below the cap, so historical
+  /// summaries are unchanged.
+  static constexpr std::size_t kMaxMarginalCells = 64;
+
+  explicit FleetFold(const FleetAxes& axes) : axes_(&axes) {
+    const std::array<std::size_t, kAxisCount> sizes = axis_sizes_of(axes);
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      if (sizes[a] <= kMaxMarginalCells) cells_[a].resize(sizes[a]);
+    }
+  }
+
+  void add(const FleetPointResult& r) {
+    overall_.fold(r);
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      if (r.coord[a] < cells_[a].size()) cells_[a][r.coord[a]].fold(r);
+    }
+    ++total_;
+  }
+
+  [[nodiscard]] FleetSummary finish() const {
+    FleetSummary summary;
+    summary.total_points = total_;
+    summary.overall = overall_.finish("all");
+    for (std::size_t a = 0; a < kAxisCount; ++a) {
+      std::vector<AxisCell> out;
+      out.reserve(cells_[a].size());
+      for (std::size_t v = 0; v < cells_[a].size(); ++v) {
+        out.push_back(cells_[a][v].finish(axis_value_label(*axes_, a, v)));
+      }
+      summary.axes.emplace_back(to_string(static_cast<FleetAxis>(a)), std::move(out));
+    }
+    return summary;
+  }
+
+ private:
+  const FleetAxes* axes_;
+  CellAccum overall_;
+  std::array<std::vector<CellAccum>, kAxisCount> cells_;
+  std::size_t total_ = 0;
+};
 
 }  // namespace
 
 FleetSummary Fleet::summarize(const std::vector<FleetPointResult>& results) const {
-  FleetSummary summary;
-  summary.total_points = results.size();
+  FleetFold fold(axes_);
+  for (const auto& r : results) fold.add(r);
+  return fold.finish();
+}
 
-  std::vector<const FleetPointResult*> all;
-  all.reserve(results.size());
-  for (const auto& r : results) all.push_back(&r);
-  summary.overall = aggregate_cell("all", all);
-
-  const std::array<std::size_t, kAxisCount> axis_sizes = {
-      axes_.node_counts.size(), axes_.macs.size(),          axes_.mixes.size(),
-      axes_.harvests.size(),    axes_.buses.size(),         axes_.batch_windows.size(),
-      axes_.precisions.size(),  axes_.seeds.size(),         axes_.faults.size(),
-      axes_.splits.size()};
-  for (std::size_t a = 0; a < kAxisCount; ++a) {
-    std::vector<AxisCell> cells;
-    for (std::size_t v = 0; v < axis_sizes[a]; ++v) {
-      std::vector<const FleetPointResult*> pts;
-      for (const auto& r : results) {
-        if (r.coord[a] == v) pts.push_back(&r);
-      }
-      std::string label;
-      switch (static_cast<FleetAxis>(a)) {
-        case kAxisNodeCount: label = "n=" + std::to_string(axes_.node_counts[v]); break;
-        case kAxisMac: label = axes_.macs[v].label; break;
-        case kAxisMix: label = axes_.mixes[v].label; break;
-        case kAxisHarvest: label = axes_.harvests[v].label; break;
-        case kAxisBus: label = to_string(axes_.buses[v]); break;
-        case kAxisBatch:
-          label = axes_.batch_windows[v] == 0
-                      ? "per-frame"
-                      : "batch-w" + std::to_string(axes_.batch_windows[v]);
-          break;
-        case kAxisPrecision: label = nn::to_string(axes_.precisions[v]); break;
-        case kAxisSeed: label = "seed=" + std::to_string(axes_.seeds[v]); break;
-        case kAxisFault: label = to_string(axes_.faults[v]); break;
-        case kAxisSplit: label = axes_.splits[v].label; break;
-        default: label = "?"; break;
-      }
-      cells.push_back(aggregate_cell(std::move(label), pts));
-    }
-    summary.axes.emplace_back(to_string(static_cast<FleetAxis>(a)), std::move(cells));
+FleetStreamResult Fleet::run_streaming(const SweepRunner& runner,
+                                       const FleetStreamConfig& cfg) const {
+  const std::size_t n = size();
+  const std::size_t batch = std::max<std::size_t>(std::size_t{1}, cfg.batch_points);
+  std::unique_ptr<StreamSink> sink;
+  if (cfg.spill) {
+    sink = std::make_unique<StreamSink>(*cfg.spill);
+    if (cfg.spill->format == StreamFormat::kCsv) sink->write_header(fleet_csv_header());
   }
-  return summary;
+  FleetFold fold(axes_);
+
+  const auto launch = [&](std::size_t begin, std::size_t end) {
+    return runner.map_async<FleetPointResult>(
+        end - begin,
+        [this, begin](std::size_t i) { return run_fleet_point(point_at(begin + i)); });
+  };
+
+  FleetStreamResult out;
+  out.points = n;
+  std::size_t inflight_end = std::min(batch, n);
+  BatchFuture<FleetPointResult> inflight = launch(0, inflight_end);
+  std::size_t begin = 0;
+  while (begin < n) {
+    std::vector<FleetPointResult> results = inflight.get();
+    const std::size_t next_begin = inflight_end;
+    if (next_begin < n) {
+      // Double buffering: batch k+1 executes on the pool while this thread
+      // folds and spills batch k. One batch in flight at a time (the
+      // map_async contract), so peak memory is two batches of results.
+      inflight_end = std::min(next_begin + batch, n);
+      inflight = launch(next_begin, inflight_end);
+    }
+    // Batches arrive in flat-index order and each batch is internally
+    // index-ordered (map's merge), so the fold sequence and the spilled
+    // rows are identical to a serial in-memory run at any thread count.
+    for (const FleetPointResult& r : results) {
+      fold.add(r);
+      if (sink) {
+        if (cfg.spill->format == StreamFormat::kCsv) {
+          sink->append_row(fleet_result_row(r));
+        } else {
+          const FleetStreamRecord rec = fleet_stream_record(r);
+          sink->append(&rec, sizeof(rec));
+        }
+      }
+    }
+    begin = next_begin;
+  }
+  if (sink) {
+    sink->finish();
+    out.spilled_rows = sink->rows();
+    out.spilled_bytes = sink->bytes();
+    out.spill_shards = sink->shards();
+  }
+  out.summary = fold.finish();
+  return out;
 }
 
 std::string FleetSummary::to_string() const {
   std::string out;
   out += "fleet: " + std::to_string(total_points) + " points\n";
+  bool any_approx = false;
   const auto render_axis = [&](const std::string& name, const std::vector<AxisCell>& cells) {
     common::Table t({name, "points", "life p10", "life p50", "life p90", "perpetual",
                      "mean goodput", "drop rate", "mean latency", "bus util", "avail"});
     for (const AxisCell& c : cells) {
-      t.add_row({c.label, std::to_string(c.points), life_str(c.life_p10_days),
-                 life_str(c.life_p50_days), life_str(c.life_p90_days),
+      // "~" marks online-sketch estimates (cells past the exact-sample
+      // limit); unmarked lifetimes are exact.
+      const std::string mark = c.life_approx ? "~" : "";
+      if (c.life_approx) any_approx = true;
+      t.add_row({c.label, std::to_string(c.points), mark + life_str(c.life_p10_days),
+                 mark + life_str(c.life_p50_days), mark + life_str(c.life_p90_days),
                  common::fixed(c.perpetual_fraction * 100.0, 1) + "%",
                  common::si_format(c.mean_goodput_bps, "b/s"),
                  common::fixed(c.mean_drop_rate * 100.0, 2) + "%",
@@ -567,6 +695,11 @@ std::string FleetSummary::to_string() const {
     if (cells.size() < 2) continue;  // marginal over a singleton axis = overall
     out += "\n";
     render_axis(name, cells);
+  }
+  if (any_approx) {
+    out += "\n~ = online-quantile estimate, rel. error <= " +
+           common::fixed(OnlineQuantile::kRelativeError * 100.0, 0) +
+           "% (zero/perpetual bands exact; docs/scaling.md)\n";
   }
   return out;
 }

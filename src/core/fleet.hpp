@@ -42,6 +42,7 @@
 
 #include "comm/link.hpp"
 #include "comm/tdma.hpp"
+#include "core/stream_sink.hpp"
 #include "core/sweep_runner.hpp"
 #include "energy/harvester.hpp"
 #include "net/network_sim.hpp"
@@ -229,10 +230,38 @@ struct FleetPointResult {
 /// Run one grid point start to finish. Pure: depends only on `p`.
 [[nodiscard]] FleetPointResult run_fleet_point(const FleetPoint& p);
 
+/// Header row of the canonical CSV (with trailing newline).
+[[nodiscard]] std::string fleet_csv_header();
+
+/// Canonical CSV row for one result (with trailing newline, doubles as
+/// round-trip-exact %.17g). `fleet_results_csv` and the streaming spill path
+/// both serialize through this function, which is what makes
+/// concat(shards) == monolithic CSV a byte-level identity.
+[[nodiscard]] std::string fleet_result_row(const FleetPointResult& r);
+
 /// Canonical serialization of a result vector (header + one CSV row per
 /// point, doubles as round-trip-exact %.17g). Two runs are byte-identical
 /// iff these strings are equal — the form the determinism tests compare.
 [[nodiscard]] std::string fleet_results_csv(const std::vector<FleetPointResult>& results);
+
+/// Fixed-width binary spill record: the headline per-point scalars, raw
+/// little-endian doubles (the host layout — shards are a local cache, not an
+/// interchange format). 80 bytes/point vs ~0.5 KiB of CSV.
+struct FleetStreamRecord {
+  std::uint64_t index = 0;
+  double drop_rate = 0.0;
+  double mean_latency_s = 0.0;
+  double mean_leaf_power_w = 0.0;
+  double min_life_days = 0.0;
+  double perpetual_fraction = 0.0;
+  double hub_power_w = 0.0;
+  double goodput_bps = 0.0;
+  double bus_utilization = 0.0;
+  double elapsed_s = 0.0;
+};
+static_assert(sizeof(FleetStreamRecord) == 80, "spill record layout drifted");
+
+[[nodiscard]] FleetStreamRecord fleet_stream_record(const FleetPointResult& r);
 
 /// Marginal aggregate over one set of points (one axis value, or the whole
 /// grid). Lifetime percentiles are taken over every node-lifetime sample in
@@ -244,6 +273,11 @@ struct AxisCell {
   double life_p10_days = 0.0;
   double life_p50_days = 0.0;
   double life_p90_days = 0.0;
+  /// True when the lifetime percentiles come from the online sketch instead
+  /// of the exact retained-sample regime (cells beyond
+  /// `OnlineQuantile::kExactLimit` samples) — within `kRelativeError`, and
+  /// rendered with a "~" marker by `FleetSummary::to_string`.
+  bool life_approx = false;
   double perpetual_fraction = 0.0;
   double mean_goodput_bps = 0.0;
   double mean_drop_rate = 0.0;
@@ -270,6 +304,24 @@ struct FleetSummary {
 /// Exposed for the hand-computed-aggregate tests.
 [[nodiscard]] double percentile(std::vector<double> samples, double q);
 
+/// How `Fleet::run_streaming` batches and spills (docs/scaling.md).
+struct FleetStreamConfig {
+  /// Points per grid batch. Peak memory is O(2 * batch_points) results —
+  /// one batch executing, one being folded — independent of grid size.
+  std::size_t batch_points = 4096;
+  /// Where per-point rows spill to disk; nullopt folds summaries only.
+  std::optional<StreamSinkConfig> spill{};
+};
+
+/// Outcome of a streaming run: the folded summary plus spill accounting.
+struct FleetStreamResult {
+  FleetSummary summary{};
+  std::size_t points = 0;          ///< grid points executed
+  std::uint64_t spilled_rows = 0;  ///< rows written across shards (0 if no spill)
+  std::uint64_t spilled_bytes = 0;
+  std::size_t spill_shards = 0;
+};
+
 class Fleet {
  public:
   explicit Fleet(FleetAxes axes);
@@ -277,15 +329,35 @@ class Fleet {
   [[nodiscard]] const FleetAxes& axes() const { return axes_; }
   [[nodiscard]] std::size_t size() const { return axes_.size(); }
 
+  /// The grid point at flat index `i` — a lazy mixed-radix decode of the
+  /// order contract (seeds vary fastest, node_counts slowest), identical to
+  /// `expand()[i]` without materializing the grid. The reason a million-point
+  /// grid costs O(batch) memory, not O(grid).
+  [[nodiscard]] FleetPoint point_at(std::size_t index) const;
+
   /// Expand the axes into the flat, ordered grid (see the order contract in
-  /// the file comment).
+  /// the file comment). Materializes every point — fine for thousands of
+  /// points; streaming runs use `point_at` instead.
   [[nodiscard]] std::vector<FleetPoint> expand() const;
 
   /// Run every point across `runner`. Deterministic: the result vector is
   /// byte-identical at every thread count.
   [[nodiscard]] std::vector<FleetPointResult> run(const SweepRunner& runner) const;
 
-  /// Fold per-point results into per-axis marginal summaries.
+  /// Run the grid in bounded memory: points execute in `cfg.batch_points`
+  /// batches (each fanned across `runner` via `map_async`), per-point rows
+  /// spill to disk shards in flat-index order, and per-axis summaries fold
+  /// online while the *next* batch executes. Determinism contract: the
+  /// spilled shards concatenate to exactly `fleet_results_csv(run(runner))`
+  /// and the summary equals `summarize(run(runner))` at any thread count
+  /// (docs/scaling.md#how-determinism-survives-streaming).
+  [[nodiscard]] FleetStreamResult run_streaming(const SweepRunner& runner,
+                                               const FleetStreamConfig& cfg = {}) const;
+
+  /// Fold per-point results into per-axis marginal summaries. Lifetime
+  /// percentiles fold through `OnlineQuantile`: exact (bit-identical to the
+  /// historical sorted-vector path) up to 512 samples per cell, within its
+  /// documented 1% relative-error bound beyond (`AxisCell::life_approx`).
   [[nodiscard]] FleetSummary summarize(const std::vector<FleetPointResult>& results) const;
 
  private:

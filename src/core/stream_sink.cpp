@@ -1,0 +1,182 @@
+#include "core/stream_sink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace iob::core {
+
+namespace {
+
+// Sketch geometry, derived once from the documented epsilon. gamma is the
+// bin ratio; kBinMid * gamma^i is the mid-bin representative whose relative
+// error against anything in [gamma^i, gamma^{i+1}) is at most
+// (gamma - 1) / (gamma + 1) == kRelativeError.
+constexpr double kGamma =
+    (1.0 + OnlineQuantile::kRelativeError) / (1.0 - OnlineQuantile::kRelativeError);
+const double kLnGamma = std::log(kGamma);
+const double kInvLnGamma = 1.0 / kLnGamma;
+const double kBinMid = 2.0 * kGamma / (kGamma + 1.0);
+
+}  // namespace
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  IOB_EXPECTS(!sorted.empty(), "percentile of an empty sample set");
+  IOB_EXPECTS(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = pos - static_cast<double>(lo);
+  if (lo == hi || t == 0.0) return sorted[lo];
+  // inf-aware: interpolating toward +inf is +inf, never NaN.
+  if (std::isinf(sorted[hi])) return sorted[hi];
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * t;
+}
+
+// ---- OnlineQuantile ---------------------------------------------------------
+
+void OnlineQuantile::add(double x) {
+  IOB_EXPECTS(!std::isnan(x) && x >= 0.0, "OnlineQuantile samples must be non-negative");
+  ++count_;
+  if (!sketch_) {
+    if (exact_.size() < kExactLimit) {
+      exact_.push_back(x);
+      exact_sorted_ = false;
+      return;
+    }
+    // Sample kExactLimit + 1 arrives: fold the retained set into the sketch
+    // and stop keeping samples. Memory is fixed from here on.
+    sketch_ = true;
+    for (const double v : exact_) sketch_add(v);
+    exact_.clear();
+    exact_.shrink_to_fit();
+  }
+  sketch_add(x);
+}
+
+void OnlineQuantile::sketch_add(double x) {
+  if (std::isinf(x)) {
+    ++inf_count_;
+    return;
+  }
+  if (x < kZeroThreshold) {
+    ++zero_count_;
+    return;
+  }
+  if (pos_count_ == 0) {
+    min_pos_ = x;
+    max_pos_ = x;
+  } else {
+    min_pos_ = std::min(min_pos_, x);
+    max_pos_ = std::max(max_pos_, x);
+  }
+  ++pos_count_;
+  ++bins_[static_cast<int>(std::floor(std::log(x) * kInvLnGamma))];
+}
+
+double OnlineQuantile::sketch_rank_value(std::uint64_t r) const {
+  // Ascending rank order: the zero band, then the log-binned positives,
+  // then the +inf band — the same order a sorted sample vector would have.
+  if (r < zero_count_) return 0.0;
+  if (r >= zero_count_ + pos_count_) return std::numeric_limits<double>::infinity();
+  const std::uint64_t rank = r - zero_count_;
+  std::uint64_t cum = 0;
+  for (const auto& [idx, cnt] : bins_) {
+    cum += cnt;
+    if (rank < cum) {
+      const double est = kBinMid * std::exp(kLnGamma * static_cast<double>(idx));
+      // Clamping to the observed range only ever moves the estimate toward
+      // the exact rank value, so the error bound survives it.
+      return std::clamp(est, min_pos_, max_pos_);
+    }
+  }
+  return max_pos_;  // unreachable when the band counts are consistent
+}
+
+double OnlineQuantile::quantile(double q) const {
+  IOB_EXPECTS(count_ > 0, "quantile of an empty accumulator");
+  IOB_EXPECTS(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (!sketch_) {
+    if (!exact_sorted_) {
+      std::sort(exact_.begin(), exact_.end());
+      exact_sorted_ = true;
+    }
+    return quantile_sorted(exact_, q);
+  }
+  // Same rank arithmetic and +inf rule as quantile_sorted, over estimated
+  // rank values: the interpolated result is a convex combination of two
+  // values each within kRelativeError of its exact counterpart.
+  const std::uint64_t n = zero_count_ + pos_count_ + inf_count_;
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::uint64_t>(pos);
+  const std::uint64_t hi = std::min(lo + 1, n - 1);
+  const double t = pos - static_cast<double>(lo);
+  const double v_lo = sketch_rank_value(lo);
+  if (lo == hi || t == 0.0) return v_lo;
+  const double v_hi = sketch_rank_value(hi);
+  if (std::isinf(v_hi)) return v_hi;
+  return v_lo + (v_hi - v_lo) * t;
+}
+
+// ---- StreamSink -------------------------------------------------------------
+
+StreamSink::StreamSink(StreamSinkConfig cfg) : cfg_(std::move(cfg)) {
+  IOB_EXPECTS(!cfg_.directory.empty(), "StreamSink needs a directory");
+  IOB_EXPECTS(!cfg_.basename.empty(), "StreamSink needs a shard basename");
+  IOB_EXPECTS(cfg_.rows_per_shard > 0, "rows_per_shard must be positive");
+  std::filesystem::create_directories(cfg_.directory);
+  open_next_shard();
+}
+
+StreamSink::~StreamSink() { finish(); }
+
+void StreamSink::open_next_shard() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "-%05zu.%s", shard_paths_.size(),
+                cfg_.format == StreamFormat::kCsv ? "csv" : "bin");
+  std::string path =
+      (std::filesystem::path(cfg_.directory) / (cfg_.basename + suffix)).string();
+  file_ = std::fopen(path.c_str(), "wb");
+  IOB_ENSURES(file_ != nullptr, "StreamSink could not open shard file");
+  shard_paths_.push_back(std::move(path));
+  rows_in_shard_ = 0;
+}
+
+void StreamSink::write_header(const std::string& header) {
+  IOB_EXPECTS(cfg_.format == StreamFormat::kCsv, "headers only apply to CSV streams");
+  IOB_EXPECTS(rows_ == 0 && !header_written_, "header must precede the first row");
+  IOB_EXPECTS(file_ != nullptr, "write_header after finish()");
+  const std::size_t n = std::fwrite(header.data(), 1, header.size(), file_);
+  IOB_ENSURES(n == header.size(), "StreamSink short write");
+  bytes_ += n;
+  header_written_ = true;
+}
+
+void StreamSink::append(const void* data, std::size_t bytes) {
+  IOB_EXPECTS(file_ != nullptr, "append after finish()");
+  // Rotate lazily, before the write: an exact multiple of rows_per_shard
+  // never leaves a trailing empty shard behind.
+  if (rows_in_shard_ == cfg_.rows_per_shard) open_next_shard();
+  const std::size_t n = std::fwrite(data, 1, bytes, file_);
+  IOB_ENSURES(n == bytes, "StreamSink short write");
+  bytes_ += n;
+  ++rows_;
+  ++rows_in_shard_;
+}
+
+void StreamSink::finish() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace iob::core

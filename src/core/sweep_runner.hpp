@@ -14,12 +14,33 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/task_pool.hpp"
 
 namespace iob::core {
+
+/// A pending batch from `SweepRunner::map_async`: a move-only handle whose
+/// `get()` blocks until the batch's `map` completes and yields the
+/// index-ordered result vector (identical bytes to a synchronous `map`).
+template <typename R>
+class BatchFuture {
+ public:
+  BatchFuture() = default;
+  explicit BatchFuture(std::future<std::vector<R>> future) : future_(std::move(future)) {}
+
+  /// True while a batch is attached and not yet collected.
+  [[nodiscard]] bool valid() const { return future_.valid(); }
+
+  /// Block until the batch finishes; returns out[i] = fn(i) in index order.
+  [[nodiscard]] std::vector<R> get() { return future_.get(); }
+
+ private:
+  std::future<std::vector<R>> future_;
+};
 
 class SweepRunner {
  public:
@@ -39,6 +60,22 @@ class SweepRunner {
       for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
     });
     return out;
+  }
+
+  /// Launch `map(n, fn)` on a helper thread and return immediately. The
+  /// result (collected via BatchFuture::get) is byte-identical to the
+  /// synchronous `map` — same pool, same chunking, same index-order merge —
+  /// so overlapping execution with downstream folding costs no determinism.
+  ///
+  /// At most ONE batch may be in flight per runner: the underlying TaskPool
+  /// is not reentrant, so callers must `get()` the previous batch before
+  /// issuing another `map`/`map_async`. The calling thread is free to do
+  /// unrelated work (fold summaries, spill shards) while the batch runs —
+  /// the overlap `Fleet::run_streaming` is built on.
+  template <typename R>
+  [[nodiscard]] BatchFuture<R> map_async(std::size_t n, std::function<R(std::size_t)> fn) const {
+    return BatchFuture<R>(std::async(
+        std::launch::async, [this, n, fn = std::move(fn)] { return map<R>(n, fn); }));
   }
 
   /// Convenience: map over an explicit vector of inputs.

@@ -29,6 +29,8 @@ void EventQueue::reserve(std::size_t capacity) {
   heap_.reserve(capacity);
   slots_.reserve(capacity);
   scratch_.reserve(capacity);
+  pool_.reserve(capacity);
+  bucket_head_.reserve(std::min(next_pow2(capacity), kMaxBuckets));
 }
 
 // ---- slab -------------------------------------------------------------------
@@ -71,7 +73,7 @@ EventId EventQueue::schedule(Time when, Action action) {
     } else {
       wheel_insert(e);
     }
-    if (live_count_ > 4 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    if (live_count_ > 4 * bucket_head_.size() && bucket_head_.size() < kMaxBuckets) {
       rebuild_wheel();  // grow
     }
   } else {
@@ -116,7 +118,7 @@ EventQueue::Entry EventQueue::peek_next() {
   // wheel_advance can deactivate the wheel (shrink rebuild) — re-check.
   if (wheel_active()) {
     wheel_advance();
-    if (wheel_active()) return buckets_[cursor_][cur_idx_];
+    if (wheel_active()) return cur_bucket_[cur_idx_];
   }
   heap_skip_dead();
   return heap_.front();
@@ -126,7 +128,7 @@ EventQueue::Entry EventQueue::take_next() {
   if (wheel_active()) {
     wheel_advance();
     if (wheel_active()) {
-      const Entry e = buckets_[cursor_][cur_idx_];
+      const Entry e = cur_bucket_[cur_idx_];
       ++cur_idx_;
       --occupancy_;
       return e;
@@ -184,7 +186,23 @@ void EventQueue::heap_skip_dead() {
   while (!heap_.empty() && !entry_live(heap_.front())) heap_pop_top();
 }
 
-// ---- calendar wheel band ----------------------------------------------------
+// ---- calendar wheel band (flat ring) ----------------------------------------
+
+std::uint32_t EventQueue::node_acquire() {
+  if (pool_free_ != kNoSlot) {
+    const std::uint32_t idx = pool_free_;
+    pool_free_ = pool_[idx].next;
+    return idx;
+  }
+  IOB_ENSURES(pool_.size() < kNoSlot, "wheel node pool exhausted");
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void EventQueue::node_release(std::uint32_t idx) {
+  pool_[idx].next = pool_free_;
+  pool_free_ = idx;
+}
 
 void EventQueue::wheel_insert(Entry e) {
   // Monotone bucket mapping with clamping: late events (before the cursor's
@@ -194,17 +212,23 @@ void EventQueue::wheel_insert(Entry e) {
   // as the mapping stays monotone in `when` — max/min preserve that.
   const double rel = (e.when - origin_) * inv_width_;
   std::size_t target = rel <= 0.0 ? 0 : static_cast<std::size_t>(rel);
-  target = std::min(target, buckets_.size() - 1);
+  target = std::min(target, bucket_head_.size() - 1);
   target = std::max(target, cursor_);
-  std::vector<Entry>& bk = buckets_[target];
   if (target == cursor_ && cur_sorted_) {
-    // The cursor bucket is already sorted (and partially consumed): insert
-    // in key order after the consume point so it still fires correctly.
-    const auto it = std::upper_bound(bk.begin() + static_cast<std::ptrdiff_t>(cur_idx_),
-                                     bk.end(), e, earlier);
-    bk.insert(it, e);
+    // The cursor bucket is already harvested and sorted (its chain is
+    // empty): insert in key order after the consume point so it still fires
+    // correctly.
+    const auto it = std::upper_bound(
+        cur_bucket_.begin() + static_cast<std::ptrdiff_t>(cur_idx_), cur_bucket_.end(), e,
+        earlier);
+    cur_bucket_.insert(it, e);
   } else {
-    bk.push_back(e);
+    // O(1) chain push: the bucket sort at harvest time orders by (when,
+    // seq) — a total order, so LIFO chain order is irrelevant.
+    const std::uint32_t idx = node_acquire();
+    pool_[idx].entry = e;
+    pool_[idx].next = bucket_head_[target];
+    bucket_head_[target] = idx;
   }
   ++occupancy_;
 }
@@ -227,59 +251,69 @@ void EventQueue::wheel_advance() {
         rebuild_wheel();
         continue;
       }
-      // The cursor bucket may still hold already-consumed entries (the lap
-      // ended exactly on its last take): clear them before the lap resets,
-      // or they would be double-skipped when the cursor comes around again.
-      buckets_[cursor_].clear();
+      // The harvested cursor bucket may still hold already-consumed entries
+      // (the lap ended exactly on its last take): clear them before the lap
+      // resets, or they would be double-skipped when the cursor comes
+      // around again. Every chain is empty here — occupancy_ == 0 counts
+      // chain entries (live or dead) too.
+      cur_bucket_.clear();
       origin_ = heap_.front().when;
-      horizon_ = origin_ + static_cast<Time>(buckets_.size()) * width_;
+      horizon_ = origin_ + static_cast<Time>(bucket_head_.size()) * width_;
       cursor_ = 0;
       cur_idx_ = 0;
       cur_sorted_ = false;
       drain_heap_into_wheel();
       continue;  // occupancy_ > 0 now (heap front was live and in range)
     }
-    std::vector<Entry>& bk = buckets_[cursor_];
     if (!cur_sorted_) {
-      // Compact cancelled entries away before sorting — in timeout-heavy
+      // Harvest the cursor's chain into the reusable cur_bucket_,
+      // compacting cancelled entries away before sorting — in timeout-heavy
       // workloads (ARQ timers, MAC guards) the dead usually outnumber the
-      // live, and sorting them would be pure waste.
-      std::size_t live_end = 0;
-      for (std::size_t i = 0; i < bk.size(); ++i) {
-        if (entry_live(bk[i])) bk[live_end++] = bk[i];
+      // live, and sorting them would be pure waste. Nodes go back to the
+      // free list; steady-state laps allocate nothing.
+      cur_bucket_.clear();
+      std::uint32_t idx = bucket_head_[cursor_];
+      bucket_head_[cursor_] = kNoSlot;
+      while (idx != kNoSlot) {
+        const std::uint32_t next = pool_[idx].next;
+        if (entry_live(pool_[idx].entry)) {
+          cur_bucket_.push_back(pool_[idx].entry);
+        } else {
+          --occupancy_;
+        }
+        node_release(idx);
+        idx = next;
       }
-      occupancy_ -= bk.size() - live_end;
-      bk.resize(live_end);
       // Steady-state buckets hold a handful of entries; a branch-light
       // insertion sort beats std::sort's dispatch overhead there.
-      if (bk.size() > 1) {
-        if (bk.size() <= 16) {
-          for (std::size_t i = 1; i < bk.size(); ++i) {
-            const Entry e = bk[i];
+      if (cur_bucket_.size() > 1) {
+        if (cur_bucket_.size() <= 16) {
+          for (std::size_t i = 1; i < cur_bucket_.size(); ++i) {
+            const Entry e = cur_bucket_[i];
             std::size_t j = i;
-            while (j > 0 && earlier(e, bk[j - 1])) {
-              bk[j] = bk[j - 1];
+            while (j > 0 && earlier(e, cur_bucket_[j - 1])) {
+              cur_bucket_[j] = cur_bucket_[j - 1];
               --j;
             }
-            bk[j] = e;
+            cur_bucket_[j] = e;
           }
         } else {
-          std::sort(bk.begin(), bk.end(), earlier);
+          std::sort(cur_bucket_.begin(), cur_bucket_.end(), earlier);
         }
       }
       cur_sorted_ = true;
       cur_idx_ = 0;
     }
-    while (cur_idx_ < bk.size() && !entry_live(bk[cur_idx_])) {
+    while (cur_idx_ < cur_bucket_.size() && !entry_live(cur_bucket_[cur_idx_])) {
       ++cur_idx_;  // drop cancelled entries
       --occupancy_;
     }
-    if (cur_idx_ < bk.size()) return;
-    bk.clear();  // keeps capacity: steady-state laps allocate nothing
+    if (cur_idx_ < cur_bucket_.size()) return;
+    cur_bucket_.clear();  // keeps capacity: steady-state laps allocate nothing
     cur_sorted_ = false;
     cur_idx_ = 0;
     ++cursor_;
-    if (cursor_ == buckets_.size()) complete_lap();
+    if (cursor_ == bucket_head_.size()) complete_lap();
   }
 }
 
@@ -300,8 +334,8 @@ void EventQueue::drain_heap_into_wheel() {
 }
 
 void EventQueue::complete_lap() {
-  origin_ += static_cast<Time>(buckets_.size()) * width_;
-  horizon_ = origin_ + static_cast<Time>(buckets_.size()) * width_;
+  origin_ += static_cast<Time>(bucket_head_.size()) * width_;
+  horizon_ = origin_ + static_cast<Time>(bucket_head_.size()) * width_;
   cursor_ = 0;
   cur_idx_ = 0;
   cur_sorted_ = false;
@@ -317,7 +351,7 @@ void EventQueue::complete_lap() {
   drain_heap_into_wheel();
   // Wheel population shrank well below the geometry: re-fit (or drop back to
   // the pure heap for small queues).
-  if (live_count_ < kWheelActivation / 2 || live_count_ < buckets_.size() / 8) {
+  if (live_count_ < kWheelActivation / 2 || live_count_ < bucket_head_.size() / 8) {
     rebuild_wheel();
   }
 }
@@ -325,13 +359,22 @@ void EventQueue::complete_lap() {
 void EventQueue::collect_live() {
   scratch_.clear();
   if (wheel_active()) {
-    for (std::size_t b = cursor_; b < buckets_.size(); ++b) {
-      std::vector<Entry>& bk = buckets_[b];
-      const std::size_t start = b == cursor_ ? cur_idx_ : 0;
-      for (std::size_t i = start; i < bk.size(); ++i) {
-        if (entry_live(bk[i])) scratch_.push_back(bk[i]);
+    // The harvested cursor bucket first (entries before cur_idx_ are
+    // consumed — their slots are dead), then every chain. Chain nodes all
+    // return to the free list; bucket heads reset for the rebuild.
+    for (std::size_t i = cur_idx_; i < cur_bucket_.size(); ++i) {
+      if (entry_live(cur_bucket_[i])) scratch_.push_back(cur_bucket_[i]);
+    }
+    cur_bucket_.clear();
+    for (std::size_t b = 0; b < bucket_head_.size(); ++b) {
+      std::uint32_t idx = bucket_head_[b];
+      bucket_head_[b] = kNoSlot;
+      while (idx != kNoSlot) {
+        const std::uint32_t next = pool_[idx].next;
+        if (entry_live(pool_[idx].entry)) scratch_.push_back(pool_[idx].entry);
+        node_release(idx);
+        idx = next;
       }
-      bk.clear();
     }
   }
   for (const Entry& e : heap_) {
@@ -351,7 +394,7 @@ void EventQueue::rebuild_wheel() {
   consumed_since_rebuild_ = 0;
   if (n < kWheelActivation / 2) {
     // Small queue: pure 4-ary heap, no wheel overhead.
-    buckets_.clear();
+    bucket_head_.clear();
     for (const Entry& e : scratch_) heap_push(e);
     return;
   }
@@ -384,7 +427,9 @@ void EventQueue::rebuild_wheel() {
   }
   width = std::max(width, 2.0 * (t_med - t_min) / static_cast<Time>(b));
   width = std::max(width, std::max(t_min, 1.0) * 1e-12);  // keep indices finite
-  buckets_.resize(b);  // cleared by collect_live; resize keeps capacities
+  // Chains were drained by collect_live; assign within capacity allocates
+  // nothing once the high-water geometry is reached.
+  bucket_head_.assign(b, kNoSlot);
   width_ = width;
   inv_width_ = 1.0 / width;
   origin_ = t_min;
@@ -402,18 +447,28 @@ EventQueue::DebugCounts EventQueue::debug_counts() const {
   DebugCounts c;
   c.occupancy = occupancy_;
   c.live_count = live_count_;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    const std::vector<Entry>& bk = buckets_[b];
-    for (std::size_t i = 0; i < bk.size(); ++i) {
-      const bool behind = b < cursor_ || (b == cursor_ && cur_sorted_ && i < cur_idx_);
-      if (!entry_live(bk[i])) {
-        if (!behind) ++c.wheel_ahead_dead;
-        continue;
-      }
-      if (behind) {
-        ++c.wheel_behind;
-      } else {
+  // The harvested cursor bucket: entries before cur_idx_ are behind the
+  // cursor (consumed or skipped), the rest ahead of it.
+  for (std::size_t i = 0; i < cur_bucket_.size(); ++i) {
+    const bool behind = cur_sorted_ && i < cur_idx_;
+    if (!entry_live(cur_bucket_[i])) {
+      if (!behind) ++c.wheel_ahead_dead;
+      continue;
+    }
+    if (behind) {
+      ++c.wheel_behind;
+    } else {
+      ++c.wheel_ahead;
+    }
+  }
+  // Chains: wheel_insert never targets a bucket before the cursor and
+  // passed chains are drained at harvest, so every chained entry is ahead.
+  for (const std::uint32_t head : bucket_head_) {
+    for (std::uint32_t idx = head; idx != kNoSlot; idx = pool_[idx].next) {
+      if (entry_live(pool_[idx].entry)) {
         ++c.wheel_ahead;
+      } else {
+        ++c.wheel_ahead_dead;
       }
     }
   }

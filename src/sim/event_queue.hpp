@@ -24,6 +24,13 @@
 ///    bucket-ward lap by lap. Bucket count/width adapt to the live event
 ///    population (rebuilds are O(n), amortized against the growth that
 ///    triggered them).
+///  * Bucket storage is a flat ring, not a vector-of-vectors: buckets are a
+///    contiguous u32 head array whose chains thread through one contiguous
+///    node pool (32 B/event), and only the *cursor* bucket is ever
+///    materialized — harvested into a single reusable vector, compacted and
+///    sorted there. A 1M-pending population costs two flat arrays instead
+///    of ~N live vector headers + heap blocks, inserts touch two cache
+///    lines, and an empty bucket costs 4 bytes (docs/scaling.md).
 ///  * Steady-state schedule/pop and schedule/cancel cycles allocate nothing:
 ///    slots and bucket capacity are recycled, sorting is in-place.
 ///
@@ -83,7 +90,7 @@ class EventQueue {
   void reserve(std::size_t capacity);
 
   /// True if the calendar wheel band is currently active (test hook).
-  [[nodiscard]] bool wheel_active() const { return !buckets_.empty(); }
+  [[nodiscard]] bool wheel_active() const { return !bucket_head_.empty(); }
 
   struct DebugCounts {
     std::size_t wheel_ahead = 0;   ///< live entries at/after the cursor
@@ -138,11 +145,23 @@ class EventQueue {
   void heap_pop_top();
   void heap_skip_dead();
 
-  // -- calendar wheel band --------------------------------------------------
+  // -- calendar wheel band (flat ring) --------------------------------------
+  /// Chain node: one wheel entry + the intrusive link to the next node of
+  /// its bucket (kNoSlot terminates). Free nodes reuse `next` as the
+  /// free-list link.
+  struct WheelNode {
+    Entry entry;
+    std::uint32_t next = kNoSlot;
+  };
+
+  std::uint32_t node_acquire();
+  void node_release(std::uint32_t idx);
+
   void wheel_insert(Entry e);
-  /// Advance cursor_/origin until the cursor bucket holds the next live
-  /// entry (sorting it if needed), or the wheel is drained. Ensures on
-  /// return that either cursor bucket[cur_idx_] is live, or occupancy_ == 0.
+  /// Advance cursor_/origin until the harvested cursor bucket
+  /// (`cur_bucket_[cur_idx_]`) holds the next live entry, or the wheel is
+  /// drained (occupancy_ == 0). Harvests each bucket's chain into
+  /// cur_bucket_ (compacting cancelled entries) and sorts it exactly once.
   void wheel_advance();
   void complete_lap();
   /// Move live far-band events now inside the horizon into the wheel.
@@ -168,8 +187,16 @@ class EventQueue {
   // 4-ary heap band.
   std::vector<Entry> heap_;
 
-  // Calendar wheel band (inactive while buckets_ is empty).
-  std::vector<std::vector<Entry>> buckets_;
+  // Calendar wheel band (inactive while bucket_head_ is empty). Flat ring:
+  // bucket b's entries form a chain starting at bucket_head_[b] through
+  // pool_[i].next; the cursor bucket alone is harvested into cur_bucket_
+  // (one vector reused lap after lap) for its compact-and-sort. Invariant:
+  // while cur_sorted_, the cursor's chain is empty — late arrivals for the
+  // cursor bucket insert directly into cur_bucket_'s sorted tail.
+  std::vector<std::uint32_t> bucket_head_;  ///< per-bucket chain head (kNoSlot = empty)
+  std::vector<WheelNode> pool_;             ///< chain nodes, free-listed
+  std::uint32_t pool_free_ = kNoSlot;       ///< head of the node free list
+  std::vector<Entry> cur_bucket_;  ///< harvested cursor bucket (sorted once)
   Time origin_ = 0.0;        ///< start time of bucket 0 of this lap
   Time width_ = 1.0;         ///< bucket width (seconds)
   Time inv_width_ = 1.0;     ///< 1 / width_ (multiply beats divide per insert)

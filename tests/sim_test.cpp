@@ -7,12 +7,14 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/alloc_interposer.hpp"  // defines global operator new/delete
 #include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -278,6 +280,114 @@ TEST(EventQueue, FifoPreservedAcrossWheelActivation) {
   while (!q.empty()) q.run_next();
   ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
   for (int i = 0; i < kEvents; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, MillionPendingDifferentialStress) {
+  // Population-scale pressure on the flat-ring wheel (docs/scaling.md): one
+  // million pending events across ~1k distinct timestamps (so each bucket
+  // holds hundreds of FIFO ties), a cancelled subset, then a full drain.
+  // The reference order is a stable sort by time — stability IS the FIFO
+  // tie contract, so any tie broken by the ring's chain harvesting,
+  // compaction or cursor sort shows up as a payload mismatch.
+  constexpr std::size_t kEvents = 1'000'000;
+  constexpr std::size_t kDistinctTimes = 1024;
+
+  EventQueue q;
+  q.reserve(kEvents);
+
+  struct Ref {
+    double when;
+    int payload;
+  };
+  std::vector<Ref> ref;
+  ref.reserve(kEvents);
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  std::vector<int> fired;
+  fired.reserve(kEvents);
+
+  Rng rng(991);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    const double when =
+        1.0 + 0.001 * static_cast<double>(rng.uniform_int(0, static_cast<std::int64_t>(kDistinctTimes) - 1));
+    const int payload = static_cast<int>(i);
+    ids.push_back(q.schedule(when, [&fired, payload] { fired.push_back(payload); }));
+    ref.push_back({when, payload});
+  }
+  ASSERT_EQ(q.size(), kEvents);
+  EXPECT_TRUE(q.wheel_active());
+
+  // Cancel every 7th event (lazy deletion: the ring compacts them away
+  // during cursor harvesting).
+  std::vector<Ref> live;
+  live.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    if (i % 7 == 0) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+    } else {
+      live.push_back(ref[i]);
+    }
+  }
+  ASSERT_EQ(q.size(), live.size());
+
+  // std::stable_sort keeps insertion order inside equal-time runs — the
+  // exact pop order the queue must reproduce.
+  std::stable_sort(live.begin(), live.end(),
+                   [](const Ref& a, const Ref& b) { return a.when < b.when; });
+
+  Time prev = 0.0;
+  while (!q.empty()) {
+    const Time t = q.run_next();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+  ASSERT_EQ(fired.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    ASSERT_EQ(fired[i], live[i].payload) << "pop " << i << " broke FIFO order";
+  }
+
+  const auto c = q.debug_counts();
+  EXPECT_EQ(c.live_count, 0u);
+  EXPECT_EQ(c.wheel_ahead, 0u);
+  EXPECT_EQ(c.wheel_behind, 0u);
+  EXPECT_EQ(c.heap_live, 0u);
+  EXPECT_EQ(c.occupancy, 0u);
+}
+
+TEST(EventQueue, SteadyStateChurnAllocatesNothing) {
+  // The flat ring's zero-allocation contract: once slot slab, node pool,
+  // heap and bucket arrays hit their high-water mark, schedule/cancel/pop
+  // cycles recycle storage instead of allocating. Global operator new is
+  // interposed (alloc_interposer.hpp); the steady-state phase must add
+  // exactly zero calls.
+  EventQueue q;
+  Rng rng(4242);
+  Time now = 0.0;
+  std::uint64_t fires = 0;
+  std::vector<EventId> cancel_ring(64, 0);
+  std::size_t cancel_at = 0;
+
+  constexpr std::size_t kWindow = 4096;
+  const auto cycle = [&](std::size_t pops) {
+    for (std::size_t i = 0; i < pops; ++i) {
+      while (q.size() < kWindow) {
+        const EventId id =
+            q.schedule(now + rng.uniform(0.0, 2.0), [&fires] { ++fires; });
+        cancel_ring[cancel_at] = id;
+        cancel_at = (cancel_at + 1) % cancel_ring.size();
+      }
+      if (i % 16 == 0) q.cancel(cancel_ring[cancel_at]);  // maybe-stale: both paths O(1)
+      now = q.run_next();
+    }
+  };
+
+  cycle(4 * kWindow);  // warm-up: reach every band's high-water mark
+  const std::uint64_t before = alloc_interposer::new_calls.load();
+  cycle(4 * kWindow);  // steady state
+  const std::uint64_t after = alloc_interposer::new_calls.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state churn allocated " << (after - before) << " times";
+  EXPECT_GT(fires, 0u);
 }
 
 TEST(EventQueue, ReentrantSchedulingFromActions) {

@@ -129,6 +129,33 @@ TEST(SweepRunner, ParallelResultsBitExactAcrossThreadCounts) {
   }
 }
 
+TEST(SweepRunner, MapAsyncIsByteIdenticalToMapAndOverlapsCaller) {
+  // map_async must yield exactly map()'s bytes (same pool, same chunking,
+  // same index-order merge), and the caller thread must be free to work
+  // while the batch runs — the overlap Fleet::run_streaming relies on.
+  constexpr std::size_t kPoints = 64;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const core::SweepRunner runner(threads);
+    const std::function<double(std::size_t)> fn = [](std::size_t i) {
+      return sim_point(core::SweepRunner::point_seed(42, i));
+    };
+    const std::vector<double> sync = runner.map<double>(kPoints, fn);
+
+    core::BatchFuture<double> batch = runner.map_async<double>(kPoints, fn);
+    EXPECT_TRUE(batch.valid());
+    // Caller-side work while the batch executes on the helper thread.
+    double folded = 0.0;
+    for (std::size_t i = 0; i < 1000; ++i) folded += static_cast<double>(i);
+    const std::vector<double> async = batch.get();
+    EXPECT_FALSE(batch.valid());
+
+    ASSERT_EQ(async.size(), sync.size());
+    EXPECT_EQ(std::memcmp(sync.data(), async.data(), kPoints * sizeof(double)), 0)
+        << "thread count " << threads;
+    EXPECT_GT(folded, 0.0);
+  }
+}
+
 TEST(SweepRunner, PointSeedsAreDeterministicAndDistinct) {
   EXPECT_EQ(core::SweepRunner::point_seed(7, 3), core::SweepRunner::point_seed(7, 3));
   EXPECT_NE(core::SweepRunner::point_seed(7, 3), core::SweepRunner::point_seed(7, 4));
