@@ -7,9 +7,11 @@
 //
 //   $ ./health_monitor
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <numeric>
+#include <tuple>
 
 #include "comm/wir_link.hpp"
 #include "common/table.hpp"
@@ -18,8 +20,10 @@
 #include "core/report.hpp"
 #include "core/sweep_runner.hpp"
 #include "isa/bio_codec.hpp"
+#include "net/device_library.hpp"
 #include "net/network_sim.hpp"
 #include "nn/model_zoo.hpp"
+#include "phy/interference.hpp"
 #include "sim/rng.hpp"
 #include "workload/ecg.hpp"
 
@@ -134,5 +138,66 @@ int main() {
             << stream.summary.to_string()
             << "\nthe harvest marginal is the deployment question answered at population\n"
                "scale: 50 uW indoor PV pushes the median wearer's lifetime to perpetual.\n";
+
+  // --- Stage 5: the wearer goes for a run (docs/robustness.md) --------------
+  // The motion-heavy suite preset puts a smartwatch, ECG chest patch and
+  // earbud on a running wearer: short vigorous gait sojourns and frequent
+  // arm-swing occlusions knock 9-18 dB off the body channel, and a cafe-
+  // grade interferer (one continuously-streaming co-located body bus, the
+  // bench's "cafe" level) sits underneath. The combination parks full-size
+  // frames below the OOK waterfall while quarter-size frames still make it
+  // — exactly the regime the degradation ladder exists for. Same 30 s
+  // episode twice, ladder disarmed vs armed.
+  auto stress = [](bool armed) {
+    comm::WiRLink link;
+    net::SuitePreset suite = net::motion_heavy_suite();
+    net::NetworkConfig cfg{/*seed=*/11};
+    cfg.dynamics.motion = suite.motion;
+    cfg.dynamics.interference = phy::SirLevel{/*aggressors=*/1, /*duty_cycle=*/1.0,
+                                              /*aggressor_sir_db=*/-7.9};
+    net::NetworkSim sim(link, cfg);
+    for (net::NodeConfig n : suite.nodes) {
+      if (!armed) n.degradation.reset();
+      sim.add_node(std::move(n));
+    }
+    return sim.run(30.0);
+  };
+  const net::NetworkReport off_run = stress(false);
+  const net::NetworkReport on_run = stress(true);
+
+  std::cout << "\n=== stage 5: motion-heavy suite, 30 s run/occlusion episode ===\n\n";
+  auto totals = [](const net::NetworkReport& r) {
+    std::uint64_t del = 0, shed = 0;
+    double radio_w = 0.0, tdeg = 0.0;
+    for (const auto& n : r.nodes) {
+      del += n.frames_delivered;
+      shed += n.dropped_shed;
+      radio_w += n.comm_power_w;
+      tdeg = std::max(tdeg, n.time_degraded_s);
+    }
+    return std::tuple{del, shed, radio_w, tdeg};
+  };
+  const auto [odel, oshed, oradio, otdeg] = totals(off_run);
+  const auto [adel, ashed, aradio, atdeg] = totals(on_run);
+  (void)otdeg;
+  common::Table st({"ladder", "delivered", "goodput", "shed", "radio power", "time degraded"});
+  st.add_row({"disarmed", std::to_string(odel),
+              common::si_format(off_run.aggregate_goodput_bps, "b/s"), std::to_string(oshed),
+              common::si_format(oradio, "W"), "-"});
+  st.add_row({"armed", std::to_string(adel),
+              common::si_format(on_run.aggregate_goodput_bps, "b/s"), std::to_string(ashed),
+              common::si_format(aradio, "W"), common::fixed(atdeg, 1) + " s"});
+  st.print();
+  const double life_gain =
+      on_run.nodes[2].projected_life_days / off_run.nodes[2].projected_life_days;
+  std::cout << "\nthe disarmed suite delivers " << odel << " frames in 30 s — the session is\n"
+            << "dead, yet the radio keeps burning " << common::si_format(oradio, "W")
+            << " on full-frame ARQ that cannot succeed. the armed ladder retreats to\n"
+               "int8-quarter frames with shedding within the first second and holds a "
+            << common::si_format(on_run.aggregate_goodput_bps, "b/s")
+            << "\ntrickle of vitals and audio for the whole episode at a fraction of the\n"
+               "radio power (earbud projected battery life x"
+            << common::fixed(life_gain, 2) << "); " << ashed
+            << " frames were shed on purpose\ninstead of dropped by a blind MAC.\n";
   return 0;
 }

@@ -45,6 +45,10 @@ DEFAULT_WATCH = [
     # Correctness-as-perf sentinel: clean-path leaf availability must stay
     # exactly 1.0 (a dip means the default config started injecting faults).
     "fault_availability_none",
+    # Closed-loop payoff under sustained interference: the fraction of the
+    # clean-channel goodput the armed degradation controller retains at the
+    # gym SIR level (bench_channel_stress, docs/robustness.md).
+    "channel_stress_goodput_retained",
 ]
 # Lower-is-better series: a >threshold *increase* is the regression. The
 # split-validation error is how far the partitioner's analytic per-venue
@@ -57,6 +61,10 @@ DEFAULT_WATCH = [
 DEFAULT_WATCH_LOWER = [
     "split_costmodel_max_rel_err",
     "fleet_stream_peak_rss_mb",
+    # Closed-loop recovery time: seconds from the end of the deterministic
+    # occlusion episode until every node is back on rung 0; if it creeps up,
+    # the ladder's step-up hysteresis or dwell gating regressed.
+    "degradation_recovery_s",
 ]
 LOWER_FLOOR = 0.05
 

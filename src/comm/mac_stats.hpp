@@ -25,15 +25,27 @@ struct MacNodeStats {
   std::uint64_t downlink_bytes = 0;
   sim::Accumulator downlink_latency_s;
   // Drop taxonomy: frames_dropped == dropped_arq + dropped_fault +
-  // dropped_overflow, always. `dropped_arq` is ARQ retry exhaustion (the
-  // only kind the clean path produces); `dropped_fault` is frames purged
+  // dropped_overflow + dropped_overflow_clean + dropped_shed, always.
+  // `dropped_arq` is ARQ retry exhaustion; `dropped_fault` is frames purged
   // when the node browns out or a downlink hits a powered-off node;
   // `dropped_overflow` is the store-and-retry buffer overflowing while the
-  // hub is down (normal-operation enqueue overflows keep counting only
-  // `queue_overflows`, as before).
+  // hub is down; `dropped_overflow_clean` is the queue overflowing under
+  // normal operation (a saturated schedule — every overflow now lands in
+  // exactly one bucket, hub up or down); `dropped_shed` is frames the
+  // degradation controller deliberately never offered to the schedule
+  // (net::DegradationController duty-cycle shedding — each one is airtime
+  // bought back for frames that do fly).
   std::uint64_t frames_dropped_arq = 0;
   std::uint64_t frames_dropped_fault = 0;
   std::uint64_t frames_dropped_overflow = 0;
+  std::uint64_t frames_dropped_overflow_clean = 0;
+  std::uint64_t frames_dropped_shed = 0;
+  // Channel-health observables for the degradation control loop
+  // (docs/robustness.md): per-superframe EWMAs of this node's delivery
+  // ratio (delivered / attempts) and retry rate (retries / attempts),
+  // updated only for superframes where the node attempted traffic.
+  double delivery_ratio_ewma = 1.0;
+  double retry_rate_ewma = 0.0;
 };
 
 struct MacStats {

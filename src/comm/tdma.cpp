@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "comm/channel_dynamics.hpp"
 #include "comm/gilbert_elliott.hpp"
 #include "common/expect.hpp"
 
@@ -9,8 +10,18 @@ namespace iob::comm {
 
 TdmaBus::TdmaBus(sim::Simulator& sim, const Link& link, TdmaConfig config, sim::TraceSink* trace)
     : sim_(sim), link_(link), config_(config), trace_(trace), rng_(sim.rng().fork(0x7d0a)) {
+  if (config_.slot_s <= 0.0) {
+    // Auto-size from this link's rate: the slot fits one MTU frame plus
+    // margin, so slower buses (BLE/NFMI/ULP-Wi-R) stop inheriting a slot
+    // constant tuned for Wi-R's 4 Mb/s PHY.
+    IOB_EXPECTS(config_.auto_slot_mtu_bytes >= 1, "auto-slot MTU must be at least 1 byte");
+    IOB_EXPECTS(config_.auto_slot_margin >= 1.0, "auto-slot margin must be >= 1");
+    config_.slot_s = link_.frame_time_s(config_.auto_slot_mtu_bytes) * config_.auto_slot_margin;
+  }
   IOB_EXPECTS(config_.slot_s > 0.0, "slot duration must be positive");
   IOB_EXPECTS(config_.guard_s >= 0.0, "guard time must be non-negative");
+  IOB_EXPECTS(config_.health_ewma_alpha > 0.0 && config_.health_ewma_alpha <= 1.0,
+              "health EWMA alpha must be in (0, 1]");
   const double min_frame = link_.frame_time_s(1);
   IOB_EXPECTS(config_.slot_s >= min_frame, "slot must fit at least a minimal frame");
 }
@@ -31,12 +42,17 @@ bool TdmaBus::enqueue(NodeId node, Frame frame) {
               "frame exceeds slot duration and could never transmit");
   auto& st = nodes_[node - 1];
   if (st.queue.size() >= config_.max_queue_frames) {
-    ++stats_.nodes[node - 1].queue_overflows;
+    auto& ns = stats_.nodes[node - 1];
+    ++ns.queue_overflows;
+    ++ns.frames_dropped;
     if (!hub_up_) {
       // The queue is acting as the store-and-retry buffer for a hub
       // outage; this overflow is lost *to the fault*, not to congestion.
-      ++stats_.nodes[node - 1].frames_dropped;
-      ++stats_.nodes[node - 1].frames_dropped_overflow;
+      ++ns.frames_dropped_overflow;
+    } else {
+      // Hub up: the schedule is simply saturated. This used to count only
+      // `queue_overflows`, leaving the drop outside the taxonomy.
+      ++ns.frames_dropped_overflow_clean;
     }
     return false;
   }
@@ -98,9 +114,36 @@ bool TdmaBus::node_powered(NodeId node) const {
   return nodes_[node - 1].powered;
 }
 
+void TdmaBus::count_shed(NodeId node) {
+  IOB_EXPECTS(node >= 1 && node <= nodes_.size(), "unknown node id");
+  auto& ns = stats_.nodes[node - 1];
+  ++ns.frames_dropped;
+  ++ns.frames_dropped_shed;
+}
+
 double TdmaBus::frame_loss_probability(sim::Time t, std::uint32_t payload_bytes) {
-  const double base = link_.frame_error_rate(payload_bytes);
-  return channel_fault_ ? channel_fault_->loss_probability(t, base) : base;
+  double p = link_.frame_error_rate(payload_bytes);
+  if (channel_dynamics_) p = channel_dynamics_->loss_probability(t, payload_bytes, p);
+  return channel_fault_ ? channel_fault_->loss_probability(t, p) : p;
+}
+
+void TdmaBus::update_health_ewmas() {
+  const double a = config_.health_ewma_alpha;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& st = nodes_[i];
+    auto& ns = stats_.nodes[i];
+    const std::uint64_t delivered = ns.frames_delivered - st.ewma_delivered;
+    const std::uint64_t retried = ns.frames_retried - st.ewma_retried;
+    st.ewma_delivered = ns.frames_delivered;
+    st.ewma_retried = ns.frames_retried;
+    const std::uint64_t attempts = delivered + retried;
+    if (attempts == 0) continue;  // idle superframe: no channel evidence
+    const double inv = 1.0 / static_cast<double>(attempts);
+    ns.delivery_ratio_ewma =
+        (1.0 - a) * ns.delivery_ratio_ewma + a * static_cast<double>(delivered) * inv;
+    ns.retry_rate_ewma =
+        (1.0 - a) * ns.retry_rate_ewma + a * static_cast<double>(retried) * inv;
+  }
 }
 
 void TdmaBus::run_superframe() {
@@ -147,6 +190,7 @@ void TdmaBus::run_superframe() {
   }
 
   stats_.elapsed_s = (cursor - started_at_);
+  update_health_ewmas();
   if (on_superframe_end_) on_superframe_end_(cursor);
   sim_.at(cursor, [this] { run_superframe(); });
 }

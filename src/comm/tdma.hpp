@@ -24,10 +24,17 @@
 
 namespace iob::comm {
 
+class ChannelDynamics;
 class GilbertElliott;
 
 struct TdmaConfig {
-  double slot_s = 1e-3;          ///< per-slot duration
+  /// Per-slot duration. Non-positive requests *auto-sizing*: the bus
+  /// derives the slot from its link's rate at construction —
+  /// `frame_time_s(auto_slot_mtu_bytes) * auto_slot_margin` — so BLE/NFMI/
+  /// ULP-Wi-R populations get slots that actually fit their frames instead
+  /// of inheriting Wi-R's hand-set 1 ms. The positive default keeps every
+  /// existing configuration bit-identical.
+  double slot_s = 1e-3;
   double guard_s = 20e-6;        ///< inter-slot guard
   std::uint32_t beacon_bytes = 8;
   unsigned max_retries = 8;      ///< per-frame retransmissions before drop
@@ -35,6 +42,15 @@ struct TdmaConfig {
   /// Reserved hub->leaf (actuation) window after the beacon; 0 disables the
   /// downlink phase entirely (pure-uplink sensing networks).
   double downlink_slot_s = 0.0;
+  /// Largest payload an auto-sized slot must fit (only read when
+  /// `slot_s <= 0`); matches `NodeConfig::frame_bytes`' default MTU.
+  std::uint32_t auto_slot_mtu_bytes = 240;
+  /// Headroom factor on the auto-sized slot (> 1 leaves room for the
+  /// occasional second small frame, mirroring the Wi-R default's slack).
+  double auto_slot_margin = 1.25;
+  /// Smoothing factor for the per-node delivery-ratio / retry-rate EWMAs
+  /// in `MacNodeStats` (updated once per superframe with attempts).
+  double health_ewma_alpha = 0.25;
 };
 
 class TdmaBus {
@@ -86,6 +102,16 @@ class TdmaBus {
   /// to restore the clean i.i.d. channel.
   void set_channel_fault(GilbertElliott* overlay) { channel_fault_ = overlay; }
 
+  /// Install continuous channel hostility (SIR interference + body-motion
+  /// fading). Same non-owning pattern as `set_channel_fault`; composition
+  /// is base FER -> dynamics -> fault overlay.
+  void set_channel_dynamics(ChannelDynamics* dynamics) { channel_dynamics_ = dynamics; }
+
+  /// Account a frame the node's degradation controller shed before ever
+  /// offering it to the schedule: counted as dropped (`dropped_shed`
+  /// bucket) so the taxonomy still partitions offered-plus-shed traffic.
+  void count_shed(NodeId node);
+
   /// Hub crash/restart. While down, superframes are elided (no beacon, no
   /// windows) but the cadence is kept so leaves re-sync on the next
   /// boundary; leaf queues become bounded store-and-retry buffers whose
@@ -111,11 +137,17 @@ class TdmaBus {
     std::deque<Frame> queue;
     unsigned head_retries = 0;
     bool powered = true;
+    // Cumulative-counter snapshots for the per-superframe EWMA deltas.
+    std::uint64_t ewma_delivered = 0;
+    std::uint64_t ewma_retried = 0;
   };
 
   void run_superframe();
-  /// Frame-loss probability at time `t`: the link's base FER, compounded
-  /// with the burst-loss overlay when one is installed.
+  /// Per-node channel-health EWMA refresh at a superframe boundary.
+  void update_health_ewmas();
+  /// Frame-loss probability at time `t`: the link's base FER, shifted by
+  /// the channel dynamics (motion/interference) and compounded with the
+  /// burst-loss overlay, when either is installed.
   [[nodiscard]] double frame_loss_probability(sim::Time t, std::uint32_t payload_bytes);
   /// Transmit from `node` inside its slot window; returns airtime used.
   double run_slot(std::size_t node_idx, sim::Time slot_start);
@@ -136,6 +168,7 @@ class TdmaBus {
   sim::Rng rng_;
   sim::Time started_at_ = 0.0;
   GilbertElliott* channel_fault_ = nullptr;
+  ChannelDynamics* channel_dynamics_ = nullptr;
   bool hub_up_ = true;
 };
 

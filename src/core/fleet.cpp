@@ -59,6 +59,8 @@ std::string to_string(FleetAxis axis) {
     case kAxisSeed: return "seed";
     case kAxisFault: return "faults";
     case kAxisSplit: return "split";
+    case kAxisSir: return "interference";
+    case kAxisMotion: return "motion";
     default: return "unknown";
   }
 }
@@ -123,7 +125,7 @@ std::unique_ptr<const comm::Link> make_bus_link(BusKind kind) {
 std::size_t FleetAxes::size() const {
   return node_counts.size() * macs.size() * mixes.size() * harvests.size() *
          buses.size() * batch_windows.size() * precisions.size() * faults.size() *
-         splits.size() * seeds.size();
+         splits.size() * sir_levels.size() * motion.size() * seeds.size();
 }
 
 namespace {
@@ -260,6 +262,13 @@ std::unique_ptr<net::NetworkSim> build_fleet_point(const FleetPoint& p) {
   nc.mac = p.mac.config;
   nc.hub.batch_window = p.batch_window;
   nc.faults = make_fault_plan(p.fault);
+  // Channel hostility axes: an engaged SIR level or motion chain installs a
+  // `comm::ChannelDynamics` overlay; the clean/off defaults leave the config
+  // disengaged so the bus path stays bit-identical to pre-dynamics grids.
+  if (p.sir.level.aggressors > 0 && p.sir.level.duty_cycle > 0.0) {
+    nc.dynamics.interference = p.sir.level;
+  }
+  if (p.motion.enabled) nc.dynamics.motion = p.motion.params;
   auto sim = std::make_unique<net::NetworkSim>(make_bus_link(p.bus), nc);
 
   for (int i = 0; i < p.node_count; ++i) {
@@ -318,14 +327,17 @@ std::string fleet_csv_header() {
 std::string fleet_result_row(const FleetPointResult& r) {
   std::string out = std::to_string(r.index) + ",";
   // Byte-compat contract: the coord prefix serializes exactly the eight
-  // pre-fault axes; the fault/split coordinates appear only as ":f<i>" /
-  // ":s<i>" suffixes on points actually swept off the clean regime, so
-  // default grids stay byte-identical to older output.
+  // pre-fault axes; the fault/split/SIR/motion coordinates appear only as
+  // ":f<i>" / ":s<i>" / ":i<i>" / ":m<i>" suffixes on points actually swept
+  // off the clean regime, so default grids stay byte-identical to older
+  // output.
   for (std::size_t a = 0; a <= kAxisSeed; ++a) {
     out += std::to_string(r.coord[a]) + (a < kAxisSeed ? ":" : "");
   }
   if (r.coord[kAxisFault] != 0) out += ":f" + std::to_string(r.coord[kAxisFault]);
   if (r.coord[kAxisSplit] != 0) out += ":s" + std::to_string(r.coord[kAxisSplit]);
+  if (r.coord[kAxisSir] != 0) out += ":i" + std::to_string(r.coord[kAxisSir]);
+  if (r.coord[kAxisMotion] != 0) out += ":m" + std::to_string(r.coord[kAxisMotion]);
   out += "," + exact(r.drop_rate) + "," + exact(r.mean_latency_s) + "," +
          exact(r.mean_leaf_power_w) + "," +
          exact(r.min_life_days) + "," + exact(r.perpetual_fraction) + "," +
@@ -338,10 +350,18 @@ std::string fleet_result_row(const FleetPointResult& r) {
            exact(n.mean_latency_s) + ":" + exact(n.p99ish_latency_s);
     // Fault telemetry serializes only for nodes that saw fault activity
     // (clean-path rows, including their ARQ drops, are untouched bytes).
-    if (n.reboots > 0 || n.downtime_s > 0.0 || n.dropped_fault > 0 || n.dropped_overflow > 0) {
+    // The clean-overflow and shedding buckets extend the group only when
+    // non-zero: fault rows emitted by older code had neither, so their six
+    // historical fields keep their exact bytes.
+    if (n.reboots > 0 || n.downtime_s > 0.0 || n.dropped_fault > 0 || n.dropped_overflow > 0 ||
+        n.dropped_overflow_clean > 0 || n.dropped_shed > 0) {
       out += ":flt:" + std::to_string(n.reboots) + ":" + exact(n.downtime_s) + ":" +
              exact(n.availability) + ":" + std::to_string(n.dropped_arq) + ":" +
              std::to_string(n.dropped_fault) + ":" + std::to_string(n.dropped_overflow);
+      if (n.dropped_overflow_clean > 0 || n.dropped_shed > 0) {
+        out += ":" + std::to_string(n.dropped_overflow_clean) + ":" +
+               std::to_string(n.dropped_shed);
+      }
     }
     // Split telemetry serializes only for nodes that actually ran a
     // split (clean-path rows are untouched bytes).
@@ -400,7 +420,13 @@ Fleet::Fleet(FleetAxes axes) : axes_(std::move(axes)) {
   IOB_EXPECTS(!axes_.precisions.empty(), "precisions axis is empty");
   IOB_EXPECTS(!axes_.faults.empty(), "faults axis is empty");
   IOB_EXPECTS(!axes_.splits.empty(), "splits axis is empty");
+  IOB_EXPECTS(!axes_.sir_levels.empty(), "sir_levels axis is empty");
+  IOB_EXPECTS(!axes_.motion.empty(), "motion axis is empty");
   IOB_EXPECTS(!axes_.seeds.empty(), "seeds axis is empty");
+  for (const SirLevelVariant& iv : axes_.sir_levels) {
+    IOB_EXPECTS(iv.level.duty_cycle >= 0.0 && iv.level.duty_cycle <= 1.0,
+                "aggressor duty cycle must be in [0, 1]");
+  }
   for (const SplitVariant& sv : axes_.splits) {
     if (!sv.enabled) continue;
     IOB_EXPECTS(sv.leaf_fraction >= 0.0 && sv.leaf_fraction <= 1.0,
@@ -431,6 +457,8 @@ FleetPoint Fleet::point_at(std::size_t index) const {
     return v;
   };
   const std::size_t si = next_digit(axes_.seeds.size());
+  const std::size_t oi = next_digit(axes_.motion.size());
+  const std::size_t ii = next_digit(axes_.sir_levels.size());
   const std::size_t li = next_digit(axes_.splits.size());
   const std::size_t fi = next_digit(axes_.faults.size());
   const std::size_t pi = next_digit(axes_.precisions.size());
@@ -443,7 +471,7 @@ FleetPoint Fleet::point_at(std::size_t index) const {
 
   FleetPoint p;
   p.index = index;
-  p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi, li};
+  p.coord = {ni, mi, xi, hi, bi, wi, pi, si, fi, li, ii, oi};
   p.node_count = axes_.node_counts[ni];
   p.mac = axes_.macs[mi];
   p.mix = axes_.mixes[xi];
@@ -453,6 +481,8 @@ FleetPoint Fleet::point_at(std::size_t index) const {
   p.precision = axes_.precisions[pi];
   p.fault = axes_.faults[fi];
   p.split = axes_.splits[li];
+  p.sir = axes_.sir_levels[ii];
+  p.motion = axes_.motion[oi];
   p.seed = SweepRunner::point_seed(axes_.seeds[si], p.index);
   p.duration_s = axes_.duration_s;
   return p;
@@ -478,7 +508,7 @@ std::array<std::size_t, kAxisCount> axis_sizes_of(const FleetAxes& axes) {
   return {axes.node_counts.size(), axes.macs.size(),          axes.mixes.size(),
           axes.harvests.size(),    axes.buses.size(),         axes.batch_windows.size(),
           axes.precisions.size(),  axes.seeds.size(),         axes.faults.size(),
-          axes.splits.size()};
+          axes.splits.size(),      axes.sir_levels.size(),    axes.motion.size()};
 }
 
 std::string axis_value_label(const FleetAxes& axes, std::size_t a, std::size_t v) {
@@ -495,6 +525,8 @@ std::string axis_value_label(const FleetAxes& axes, std::size_t a, std::size_t v
     case kAxisSeed: return "seed=" + std::to_string(axes.seeds[v]);
     case kAxisFault: return to_string(axes.faults[v]);
     case kAxisSplit: return axes.splits[v].label;
+    case kAxisSir: return axes.sir_levels[v].label;
+    case kAxisMotion: return axes.motion[v].label;
     default: return "?";
   }
 }

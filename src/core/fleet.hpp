@@ -19,11 +19,12 @@
 ///   for n in node_counts / for m in macs / for x in mixes /
 ///   for h in harvests / for b in buses / for w in batch_windows /
 ///   for p in precisions / for f in faults / for l in splits /
-///   for s in seeds
+///   for i in sir_levels / for o in motion / for s in seeds
 /// and `FleetPoint::seed = SweepRunner::point_seed(s, flat_index)`, so
 /// sibling points never share an RNG stream even when the seed axis holds a
-/// single value. (The fault and split axes nest outside seeds but serialize
-/// as `coord[kAxisFault]` / `coord[kAxisSplit]` — appended after the seed
+/// single value. (The fault, split, SIR and motion axes nest outside seeds
+/// but serialize as `coord[kAxisFault]` / `coord[kAxisSplit]` /
+/// `coord[kAxisSir]` / `coord[kAxisMotion]` — appended after the seed
 /// coordinate; see the FleetAxis comment for the byte-compat reasoning.)
 ///
 /// A `FleetPoint` is self-contained: `run_fleet_point(point)` is a pure
@@ -48,6 +49,8 @@
 #include "net/network_sim.hpp"
 #include "net/session.hpp"
 #include "nn/precision.hpp"
+#include "phy/body_motion.hpp"
+#include "phy/interference.hpp"
 #include "sim/fault.hpp"
 
 namespace iob::core {
@@ -132,6 +135,25 @@ struct SplitVariant {
   double leaf_energy_per_mac_j = 20e-12;   ///< leaf silicon (CostModel default)
 };
 
+/// One value on the fleet's interference axis: the co-channel aggressor
+/// regime (`phy::InterferenceField`) every node of a point shares. The
+/// default "clean" level (no aggressors) installs nothing and keeps every
+/// grid byte-identical to pre-interference output.
+struct SirLevelVariant {
+  std::string label = "clean";
+  phy::SirLevel level{};
+};
+
+/// One value on the fleet's body-motion axis: the wearer-motion Markov
+/// chain (`phy::BodyMotionProcess`) whose path-gain deltas modulate the
+/// bus FER over time. The disabled default installs nothing and keeps
+/// every grid byte-identical to motion-free output.
+struct MotionVariant {
+  std::string label = "off";
+  bool enabled = false;
+  phy::BodyMotionParams params{};
+};
+
 /// The declarative grid. Every axis must be non-empty; `mixes` has no
 /// default because a population recipe is the one axis with no sane
 /// universal value.
@@ -158,6 +180,14 @@ struct FleetAxes {
   /// `{off}` default keeps grids byte-identical to pre-split runs (the CSV
   /// only mentions splits for points/nodes that actually ran one).
   std::vector<SplitVariant> splits{{}};
+  /// Interference axis (`phy::SirLevel` per point): co-channel aggressor
+  /// population shared by every node. The `{clean}` default keeps grids
+  /// byte-identical (the CSV only mentions SIR for stressed points).
+  std::vector<SirLevelVariant> sir_levels{{}};
+  /// Body-motion axis (`phy::BodyMotionParams` per point): the wearer's
+  /// activity chain fading the bus. The `{off}` default keeps grids
+  /// byte-identical (the CSV only mentions motion for moving points).
+  std::vector<MotionVariant> motion{{}};
   std::vector<std::uint64_t> seeds{42};
   double duration_s = 5.0;  ///< simulated seconds per point
 
@@ -165,12 +195,13 @@ struct FleetAxes {
   [[nodiscard]] std::size_t size() const;
 };
 
-/// Index of each axis inside `FleetPoint::coord`. `kAxisFault` and
-/// `kAxisSplit` are appended *after* `kAxisSeed` even though the expansion
-/// loop nests them outside seeds: the canonical CSV serializes coords
-/// 0..kAxisSeed as the fixed prefix it always had, so default grids stay
-/// byte-identical to older output (the fault/split coordinates only appear
-/// as `:f<i>` / `:s<i>` suffixes when non-zero).
+/// Index of each axis inside `FleetPoint::coord`. `kAxisFault`,
+/// `kAxisSplit`, `kAxisSir` and `kAxisMotion` are appended *after*
+/// `kAxisSeed` even though the expansion loop nests them outside seeds: the
+/// canonical CSV serializes coords 0..kAxisSeed as the fixed prefix it
+/// always had, so default grids stay byte-identical to older output (the
+/// fault/split/SIR/motion coordinates only appear as `:f<i>` / `:s<i>` /
+/// `:i<i>` / `:m<i>` suffixes when non-zero).
 enum FleetAxis : std::size_t {
   kAxisNodeCount = 0,
   kAxisMac,
@@ -182,6 +213,8 @@ enum FleetAxis : std::size_t {
   kAxisSeed,
   kAxisFault,
   kAxisSplit,
+  kAxisSir,
+  kAxisMotion,
   kAxisCount,
 };
 
@@ -201,6 +234,8 @@ struct FleetPoint {
   nn::Precision precision = nn::Precision::kF32;  ///< session execution precision
   FaultVariant fault = FaultVariant::kNone;  ///< fault regime (make_fault_plan)
   SplitVariant split{};     ///< leaf/hub split-execution recipe
+  SirLevelVariant sir{};    ///< co-channel interference regime
+  MotionVariant motion{};   ///< wearer body-motion chain
   std::uint64_t seed = 0;   ///< SweepRunner::point_seed(seed_axis_value, index)
   double duration_s = 5.0;
 };

@@ -1,0 +1,78 @@
+#include "net/degradation.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace iob::net {
+
+std::vector<DegradationStep> default_degradation_ladder() {
+  return {
+      {"normal", 1.0, 1, false, false},
+      {"codec-half", 0.5, 1, false, false},
+      {"shed-2", 0.5, 2, false, false},
+      {"int8-quarter", 0.25, 2, true, false},
+      {"hub-retreat", 0.25, 4, true, true},
+  };
+}
+
+DegradationController::DegradationController(DegradationConfig config)
+    : config_(std::move(config)) {
+  if (config_.ladder.empty()) config_.ladder = default_degradation_ladder();
+  const DegradationStep& base = config_.ladder.front();
+  IOB_EXPECTS(base.bitrate_scale == 1.0 && base.shed_modulus == 1 && !base.int8_wire &&
+                  !base.hub_only_split,
+              "ladder rung 0 must be the identity (armed-but-idle == off)");
+  for (const auto& step : config_.ladder) {
+    IOB_EXPECTS(step.bitrate_scale > 0.0 && step.bitrate_scale <= 1.0,
+                "bitrate scale must be in (0, 1]");
+    IOB_EXPECTS(step.shed_modulus >= 1, "shed modulus must be at least 1");
+  }
+  IOB_EXPECTS(config_.max_loss > 0.0 && config_.max_loss < 1.0,
+              "loss threshold must be a fraction in (0, 1)");
+  IOB_EXPECTS(config_.max_retry_rate > 0.0, "retry-rate threshold must be positive");
+  IOB_EXPECTS(config_.hysteresis >= 1.0, "hysteresis must be >= 1");
+  IOB_EXPECTS(config_.min_dwell_s >= 0.0, "min dwell must be non-negative");
+}
+
+double DegradationController::time_degraded_s(double now) const {
+  return degraded_accum_s_ + (current_ > 0 ? std::max(0.0, now - last_update_t_) : 0.0);
+}
+
+std::size_t DegradationController::update(const ChannelHealth& health, double now) {
+  // Attribute the elapsed interval to the rung we stood on through it.
+  if (current_ > 0 && now > last_update_t_) degraded_accum_s_ += now - last_update_t_;
+  last_update_t_ = now;
+
+  const bool stressed = health.loss > config_.max_loss ||
+                        health.retry_rate > config_.max_retry_rate ||
+                        health.queue_depth > config_.max_queue_depth;
+  // Recovery needs every metric comfortably inside the limit — the
+  // limit/hysteresis band in between is sticky by construction, which is
+  // what makes a boundary-riding channel hold its rung instead of
+  // oscillating.
+  const bool healthy =
+      health.loss <= config_.max_loss / config_.hysteresis &&
+      health.retry_rate <= config_.max_retry_rate / config_.hysteresis &&
+      static_cast<double>(health.queue_depth) <=
+          static_cast<double>(config_.max_queue_depth) / config_.hysteresis;
+
+  if (ever_transitioned_ && now - last_transition_t_ < config_.min_dwell_s) return current_;
+
+  if (stressed && current_ + 1 < config_.ladder.size()) {
+    ++current_;
+    ++transitions_;
+    max_step_ = std::max(max_step_, current_);
+    last_transition_t_ = now;
+    ever_transitioned_ = true;
+  } else if (healthy && current_ > 0) {
+    --current_;
+    ++transitions_;
+    last_transition_t_ = now;
+    ever_transitioned_ = true;
+    if (current_ == 0) last_recovery_t_ = now;
+  }
+  return current_;
+}
+
+}  // namespace iob::net

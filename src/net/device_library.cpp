@@ -53,6 +53,45 @@ const DeviceSpec& find_device(const std::string& name) {
   throw std::invalid_argument("unknown device: " + name);
 }
 
+SuitePreset motion_heavy_suite() {
+  using namespace iob::units;
+  SuitePreset suite;
+  suite.name = "motion-heavy (running wearer)";
+  suite.motion = phy::running_profile();
+
+  auto leaf = [](const char* name, const char* stream, BodyLocation loc, double rate_bps,
+                 double sense_w, double isa_w, double mah, double v) {
+    NodeConfig n;
+    n.name = name;
+    n.location = loc;
+    n.stream = stream;
+    n.output_rate_bps = rate_bps;
+    n.sense_power_w = sense_w;
+    n.isa_power_w = isa_w;
+    n.battery_mah = mah;
+    n.battery_v = v;
+    // The controller samples channel health at every settle; a run/occlusion
+    // sojourn lasts fractions of a second, so settle well inside it.
+    n.settle_period_s = 0.1;
+    n.degradation = DegradationConfig{};
+    return n;
+  };
+
+  const DeviceSpec& watch = find_device("smartwatch");
+  const DeviceSpec& earbud = find_device("earbuds");
+  // Watch streams fused PPG+IMU features; earbud streams coded in-ear audio
+  // (the heavy flow the ladder has to protect); the chest patch is the
+  // Sec. II-A 2-lead biopotential node on the Fig. 3 coin cell.
+  suite.nodes = {
+      leaf("watch", "vitals", watch.location, 9.6 * kbps, 30.0 * uW, 1.5 * uW,
+           watch.battery_mah, watch.battery_v),
+      leaf("patch", "vitals", BodyLocation::kChest, 4.0 * kbps, 8.0 * uW, 1.5 * uW, 1000.0, 3.0),
+      leaf("earbud", "audio", earbud.location, 64.0 * kbps, 150.0 * uW, 2.0 * uW,
+           earbud.battery_mah, earbud.battery_v),
+  };
+  return suite;
+}
+
 std::string to_string(DeviceEra era) {
   switch (era) {
     case DeviceEra::kPre2024: return "pre-2024";

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "net/node.hpp"
 #include "net/topology.hpp"
+#include "phy/body_motion.hpp"
 
 namespace iob::net {
 
@@ -41,5 +43,23 @@ const std::vector<DeviceSpec>& device_survey();
 const DeviceSpec& find_device(const std::string& name);
 
 std::string to_string(DeviceEra era);
+
+/// A ready-to-wire hostile-channel suite: the node configs plus the
+/// body-motion profile they are meant to be run under (install via
+/// `NetworkConfig::dynamics.motion`).
+struct SuitePreset {
+  std::string name;
+  std::vector<NodeConfig> nodes;
+  phy::BodyMotionParams motion;
+};
+
+/// The motion-heavy suite (docs/robustness.md): smartwatch + ECG chest
+/// patch + earbud on a *running* wearer — short vigorous gait sojourns and
+/// frequent arm-swing occlusions. Batteries and locations come from the
+/// Fig. 2 survey entries (the patch is the paper's Sec. II-A biopotential
+/// node, not a Fig. 2 class); every leaf ships with the degradation ladder
+/// armed so the session rides the run/occlusion episodes instead of
+/// collapsing.
+SuitePreset motion_heavy_suite();
 
 }  // namespace iob::net

@@ -452,6 +452,16 @@ void Hub::credit_leaf_compute(const std::string& stream, double kernel_time_s,
   st.activation_bytes_shipped += activation_bytes;
 }
 
+void Hub::credit_degradation(const std::string& stream, std::uint64_t transitions,
+                             double time_degraded_s, std::uint64_t frames_shed) {
+  const auto it = session_stats_.find(stream);
+  if (it == session_stats_.end()) return;
+  SessionStats& st = it->second;
+  st.degradation_transitions += transitions;
+  st.degradation_time_s += time_degraded_s;
+  st.frames_saved_by_shedding += frames_shed;
+}
+
 const SessionStats& Hub::session(const std::string& stream) const {
   const auto it = session_stats_.find(stream);
   if (it == session_stats_.end()) throw std::invalid_argument("unknown session: " + stream);

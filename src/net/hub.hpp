@@ -132,6 +132,13 @@ class Hub {
                            double compute_energy_j, double analytic_energy_j,
                            std::uint64_t inferences, std::uint64_t activation_bytes);
 
+  /// Credit a node's degradation-controller telemetry into its session's
+  /// `SessionStats` (`degradation_*` / `frames_saved_by_shedding`). Same
+  /// post-run crediting pattern as `credit_leaf_compute`; unknown streams
+  /// are ignored.
+  void credit_degradation(const std::string& stream, std::uint64_t transitions,
+                          double time_degraded_s, std::uint64_t frames_shed);
+
   /// Accumulated crashed time up to `now`, including an open outage.
   [[nodiscard]] double downtime_s(sim::Time now) const;
 

@@ -22,7 +22,8 @@ NetworkSim::NetworkSim(const comm::Link& link, NetworkConfig config)
     : sim_(config.seed),
       link_(link),
       bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr),
-      faults_(config.faults) {
+      faults_(config.faults),
+      dynamics_cfg_(config.dynamics) {
   trace_.enable(config.trace);
   hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
 }
@@ -32,7 +33,8 @@ NetworkSim::NetworkSim(std::unique_ptr<const comm::Link> link, NetworkConfig con
       owned_link_(require_link(std::move(link))),
       link_(*owned_link_),
       bus_(sim_, link_, config.mac, config.trace ? &trace_ : nullptr),
-      faults_(config.faults) {
+      faults_(config.faults),
+      dynamics_cfg_(config.dynamics) {
   trace_.enable(config.trace);
   hub_ = std::make_unique<Hub>(sim_, bus_, config.hub);
 }
@@ -63,6 +65,17 @@ NetworkReport NetworkSim::run(double duration_s) {
   // reallocates the slab or heap.
   sim_.reserve_events(kEventsBase + kEventsPerNode * nodes_.size());
 
+  // Install channel dynamics (interference/motion) before the bus starts so
+  // the motion chain's sojourn clock begins at t = 0. A disengaged config
+  // installs nothing — the clean path is untouched. The RNG stream forks at
+  // `stream_id` off the root (Rng::fork is const), so arming dynamics never
+  // perturbs MAC, node, or fault draws.
+  if (dynamics_cfg_.any()) {
+    dynamics_ = std::make_unique<comm::ChannelDynamics>(
+        link_, dynamics_cfg_, sim_.rng().fork(dynamics_cfg_.stream_id));
+    bus_.set_channel_dynamics(dynamics_.get());
+  }
+
   // Arm the fault plan before the bus starts so the first hub-flap episode
   // and the channel overlay's sojourn clock both begin at t = 0. An empty
   // plan constructs nothing — the clean path is untouched.
@@ -84,6 +97,16 @@ NetworkReport NetworkSim::run(double duration_s) {
     hub_->credit_leaf_compute(n->config().stream, ls.kernel_time_s, ls.compute_energy_j,
                               ls.analytic_compute_energy_j, ls.inferences,
                               ls.activation_bytes);
+  }
+
+  // Credit each armed node's degradation telemetry into its session the
+  // same way (a session aggregates when several nodes share a stream).
+  for (auto& n : nodes_) {
+    const DegradationController* dc = n->degradation();
+    if (!dc) continue;
+    const auto& ms = bus_.stats().nodes[n->mac_id() - 1];
+    hub_->credit_degradation(n->config().stream, dc->transitions(),
+                             dc->time_degraded_s(sim_.now()), ms.frames_dropped_shed);
   }
 
   NetworkReport report;
@@ -109,6 +132,8 @@ NetworkReport NetworkSim::run(double duration_s) {
     r.dropped_arq = ms.frames_dropped_arq;
     r.dropped_fault = ms.frames_dropped_fault;
     r.dropped_overflow = ms.frames_dropped_overflow;
+    r.dropped_overflow_clean = ms.frames_dropped_overflow_clean;
+    r.dropped_shed = ms.frames_dropped_shed;
     r.availability = n.availability(report.elapsed_s);
     r.downtime_s = n.downtime_s(report.elapsed_s);
     r.mttr_s = n.mttr_s(report.elapsed_s);
@@ -120,6 +145,13 @@ NetworkReport NetworkSim::run(double duration_s) {
       r.split_compute_energy_j = ls.compute_energy_j;
       r.split_repartitions = ls.repartitions;
       r.split_at = static_cast<std::uint64_t>(ls.split_at);
+    }
+    if (const DegradationController* dc = n.degradation()) {
+      r.degradation_step = static_cast<std::uint64_t>(dc->current_index());
+      r.degradation_max_step = static_cast<std::uint64_t>(dc->max_step());
+      r.degradation_transitions = dc->transitions();
+      r.time_degraded_s = dc->time_degraded_s(report.elapsed_s);
+      r.degradation_recovery_s = dc->last_recovery_s();
     }
     report.nodes.push_back(std::move(r));
   }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel_dynamics.hpp"
 #include "comm/link.hpp"
 #include "comm/tdma.hpp"
 #include "net/fault_injector.hpp"
@@ -29,6 +30,10 @@ struct NetworkConfig {
   /// Fault schedule (docs/robustness.md). The default empty plan injects
   /// nothing and keeps every report bit-identical to the pre-fault code.
   sim::FaultPlan faults{};
+  /// Continuous channel hostility — SIR interference and body-motion
+  /// fading (docs/robustness.md). The default disengaged config installs
+  /// nothing and keeps every report bit-identical to the clean channel.
+  comm::ChannelDynamicsConfig dynamics{};
 };
 
 /// Post-run summary for one node.
@@ -44,11 +49,16 @@ struct NodeReport {
   std::uint64_t frames_dropped = 0;
   double mean_latency_s = 0.0;
   double p99ish_latency_s = 0.0;  ///< max observed (small samples)
-  // Drop taxonomy: the three buckets always sum to `frames_dropped`
-  // (`dropped_arq` is the only non-zero one on the clean path).
+  // Drop taxonomy: the five buckets always sum to `frames_dropped`
+  // (`dropped_arq` is the only non-zero one on an unsaturated clean path;
+  // `dropped_overflow` is hub-down store-and-retry overflow,
+  // `dropped_overflow_clean` is normal-operation saturation, and
+  // `dropped_shed` is the degradation ladder's deliberate duty-cycling).
   std::uint64_t dropped_arq = 0;
   std::uint64_t dropped_fault = 0;
   std::uint64_t dropped_overflow = 0;
+  std::uint64_t dropped_overflow_clean = 0;
+  std::uint64_t dropped_shed = 0;
   // Brownout lifecycle (all trivial without a fault plan).
   double availability = 1.0;  ///< powered fraction of the run
   double downtime_s = 0.0;
@@ -60,6 +70,12 @@ struct NodeReport {
   double split_compute_energy_j = 0.0;      ///< leaf prefix energy charged
   std::uint64_t split_repartitions = 0;     ///< adaptive split-point moves
   std::uint64_t split_at = 0;               ///< final split point k
+  // Graceful degradation (all zero without NodeConfig::degradation).
+  std::uint64_t degradation_step = 0;        ///< final ladder rung
+  std::uint64_t degradation_max_step = 0;    ///< deepest rung reached
+  std::uint64_t degradation_transitions = 0; ///< ladder moves (both ways)
+  double time_degraded_s = 0.0;              ///< seconds on any rung > 0
+  double degradation_recovery_s = 0.0;       ///< time of last return to rung 0
 };
 
 struct NetworkReport {
@@ -121,6 +137,8 @@ class NetworkSim {
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::FaultPlan faults_;
   std::unique_ptr<FaultInjector> fault_;  ///< created by run() when faults_.any()
+  comm::ChannelDynamicsConfig dynamics_cfg_;
+  std::unique_ptr<comm::ChannelDynamics> dynamics_;  ///< created by run() when any()
   bool ran_ = false;
 };
 

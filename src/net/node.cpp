@@ -35,6 +35,8 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
 
   mac_id_ = bus_.add_node(config_.name, config_.slot_weight);
 
+  if (config_.degradation) deg_ctrl_.emplace(*config_.degradation);
+
   if (config_.split) {
     const LeafSplit& sp = *config_.split;
     IOB_EXPECTS(sp.net != nullptr, "leaf split needs a model");
@@ -44,6 +46,7 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
     if (sp.execute_and_meter && sp.precision == nn::Precision::kInt8) {
       IOB_EXPECTS(sp.qnet != nullptr, "int8 metered split needs the quantized model");
     }
+    split_precision_ = sp.precision;
     if (sp.adaptive) split_ctrl_.emplace(*sp.adaptive);
     apply_split(split_ctrl_ ? split_ctrl_->current().split_at : sp.split_at);
     // Split traffic source: one prefix execution + boundary-activation
@@ -54,6 +57,7 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
         [this](sim::Time t, std::uint32_t) {
           if (!powered_) return;            // browned-out node is silent
           if (battery_.depleted()) return;  // dead node stops inferring
+          if (shed_this_event()) return;    // degradation ladder duty-cycling
           run_split_inference(t);
         },
         config_.phase_s);
@@ -64,10 +68,13 @@ Node::Node(sim::Simulator& sim, comm::TdmaBus& bus, NodeConfig config)
         [this](sim::Time t, std::uint32_t bytes) {
           if (!powered_) return;            // browned-out node is silent
           if (battery_.depleted()) return;  // dead node stops transmitting
+          if (shed_this_event()) return;    // degradation ladder duty-cycling
           comm::Frame f;
           f.kind = comm::FrameKind::kData;
           f.seq = seq_++;
-          f.payload_bytes = bytes;
+          // A downgraded codec emits smaller payloads at the same cadence
+          // (rung 0 keeps the source's own size bit-identical).
+          f.payload_bytes = eff_frame_bytes_ != 0 ? eff_frame_bytes_ : bytes;
           f.created_s = t;
           f.stream = config_.stream;
           bus_.enqueue(mac_id_, std::move(f));
@@ -98,9 +105,49 @@ void Node::apply_split(std::size_t k) {
   // The shipped payload is the *serialized* boundary activation — the same
   // bytes `nn::serialize_activation` would produce, header included. k == 0
   // ships the raw model input; k == n ships the final logits.
+  // `split_precision_` is the configured precision unless the degradation
+  // ladder forced the int8 wire format.
   const std::int64_t elems = k == 0 ? nn::shape_elems(sp.net->input_shape())
                                     : nn::shape_elems(profiles[k - 1].output_shape);
-  wire_bytes_ = static_cast<std::uint64_t>(nn::activation_wire_bytes(elems, sp.precision));
+  wire_bytes_ = static_cast<std::uint64_t>(nn::activation_wire_bytes(elems, split_precision_));
+}
+
+bool Node::shed_this_event() {
+  if (shed_modulus_ <= 1) return false;
+  if ((shed_counter_++ % shed_modulus_) == 0) return false;  // this one flies
+  bus_.count_shed(mac_id_);
+  return true;
+}
+
+void Node::apply_degradation(const DegradationStep& step) {
+  eff_frame_bytes_ =
+      step.bitrate_scale >= 1.0
+          ? 0
+          : std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(static_cast<double>(config_.frame_bytes) *
+                                                  step.bitrate_scale +
+                                              0.5));
+  shed_modulus_ = std::max(1u, step.shed_modulus);
+  if (!config_.split) return;
+  const LeafSplit& sp = *config_.split;
+  const nn::Precision want_p = step.int8_wire ? nn::Precision::kInt8 : sp.precision;
+  std::size_t want_k = cur_split_;
+  if (step.hub_only_split) {
+    if (!deg_hub_only_) {
+      deg_saved_split_ = cur_split_;  // restore target for recovery
+      deg_hub_only_ = true;
+    }
+    want_k = 0;
+  } else if (deg_hub_only_) {
+    deg_hub_only_ = false;
+    want_k = deg_saved_split_;
+  }
+  const bool k_changed = want_k != cur_split_;
+  if (want_p != split_precision_ || k_changed) {
+    split_precision_ = want_p;
+    apply_split(want_k);
+    if (k_changed && split_resync_) split_resync_(config_.stream, want_k);
+  }
 }
 
 void Node::run_split_inference(double t) {
@@ -205,8 +252,10 @@ void Node::settle() {
 
   // Adaptive re-partitioning: re-evaluate the split point against the
   // battery glide path, and re-sync the hub session when it moves. Depends
-  // only on battery state and elapsed time — deterministic.
-  if (split_ctrl_ && powered_ && !battery_.depleted()) {
+  // only on battery state and elapsed time — deterministic. Suspended while
+  // the degradation ladder holds the node in hub-only retreat (the retreat
+  // outranks the glide path until the channel heals).
+  if (split_ctrl_ && powered_ && !battery_.depleted() && !deg_hub_only_) {
     const std::size_t idx = split_ctrl_->update(battery_, now);
     const std::size_t k = split_ctrl_->candidate(idx).split_at;
     if (k != cur_split_) {
@@ -214,6 +263,19 @@ void Node::settle() {
       ++split_stats_.repartitions;
       if (split_resync_) split_resync_(config_.stream, k);
     }
+  }
+
+  // Graceful degradation: sample the MAC's channel-health EWMAs and walk
+  // the ladder. Deterministic — inputs are the node's own MAC counters and
+  // queue depth (no extra RNG draws), so armed grids stay byte-identical
+  // across thread counts.
+  if (deg_ctrl_ && powered_ && !battery_.depleted()) {
+    ChannelHealth h;
+    h.loss = 1.0 - mac.delivery_ratio_ewma;
+    h.retry_rate = mac.retry_rate_ewma;
+    h.queue_depth = bus_.queue_depth(mac_id_);
+    const std::size_t prev = deg_ctrl_->current_index();
+    if (deg_ctrl_->update(h, now) != prev) apply_degradation(deg_ctrl_->current());
   }
 
   if (brownout_) update_power_state(now);

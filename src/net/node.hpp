@@ -18,6 +18,7 @@
 #include "comm/tdma.hpp"
 #include "energy/battery.hpp"
 #include "energy/harvester.hpp"
+#include "net/degradation.hpp"
 #include "net/topology.hpp"
 #include "nn/precision.hpp"
 #include "nn/workspace.hpp"
@@ -99,6 +100,11 @@ struct NodeConfig {
   /// of rate-based sensor frames (`output_rate_bps` is ignored for traffic;
   /// `frame_bytes` still caps each bus frame — activations fragment).
   std::optional<LeafSplit> split;
+  /// Closed-loop graceful degradation (docs/robustness.md): when set the
+  /// node evaluates its channel health at every settle and walks the
+  /// degradation ladder. Armed-but-idle (rung 0 throughout) is
+  /// bit-identical to unarmed.
+  std::optional<DegradationConfig> degradation;
 };
 
 class Node {
@@ -172,12 +178,23 @@ class Node {
     split_resync_ = std::move(cb);
   }
 
+  // --- Graceful degradation (docs/robustness.md) ---
+
+  /// The node's degradation controller, or nullptr when unarmed.
+  [[nodiscard]] const DegradationController* degradation() const {
+    return deg_ctrl_ ? &*deg_ctrl_ : nullptr;
+  }
+
  private:
   void settle();
   void update_power_state(double now);
   void apply_split(std::size_t k);
   void run_split_inference(double t);
   [[nodiscard]] double run_prefix_metered();
+  void apply_degradation(const DegradationStep& step);
+  /// True when the degradation ladder sheds this send event (also counts
+  /// it at the MAC). Called once per traffic-source firing.
+  [[nodiscard]] bool shed_this_event();
 
   sim::Simulator& sim_;
   comm::TdmaBus& bus_;
@@ -204,6 +221,15 @@ class Node {
   std::function<void(const std::string&, std::size_t)> split_resync_;
   nn::Workspace split_ws_;          ///< metered-prefix workspace (grow-only)
   std::vector<float> split_synth_;  ///< patterned input for metered prefixes
+
+  // Degradation-ladder state (untouched without NodeConfig::degradation).
+  std::optional<DegradationController> deg_ctrl_;
+  std::uint32_t eff_frame_bytes_ = 0;  ///< 0 = configured size (rung-0 identity)
+  unsigned shed_modulus_ = 1;
+  std::uint64_t shed_counter_ = 0;
+  nn::Precision split_precision_ = nn::Precision::kInt8;  ///< current wire format
+  bool deg_hub_only_ = false;      ///< ladder forced split retreat to k = 0
+  std::size_t deg_saved_split_ = 0;  ///< split point to restore on recovery
 
   std::optional<sim::BrownoutPlan> brownout_;
   bool powered_ = true;

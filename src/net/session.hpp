@@ -135,6 +135,15 @@ struct SessionStats {
   /// Partial staged windows purged on re-partition (the old boundary size
   /// can no longer complete; counted here, not silently re-interpreted).
   std::uint64_t repartition_dropped_bytes = 0;
+  // --- Graceful degradation (docs/robustness.md; zero without a
+  // --- net::DegradationController on the session's node) ---
+  /// Ladder transitions the node's controller took (both directions).
+  std::uint64_t degradation_transitions = 0;
+  /// Seconds the node spent on any rung > 0.
+  double degradation_time_s = 0.0;
+  /// Frames the ladder's duty-cycle shedding deliberately withheld —
+  /// airtime bought back for the frames that did fly.
+  std::uint64_t frames_saved_by_shedding = 0;
 };
 
 }  // namespace iob::net

@@ -1,0 +1,53 @@
+#include "phy/interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "common/units.hpp"
+
+namespace iob::phy {
+
+InterferenceField::InterferenceField(SirLevel level) : level_(level) {
+  IOB_EXPECTS(level_.duty_cycle >= 0.0 && level_.duty_cycle <= 1.0,
+              "aggressor duty cycle must be in [0, 1]");
+  IOB_EXPECTS(level_.rejection_db >= 0.0, "interference rejection cannot be negative");
+  if (!active()) return;
+  const double n = static_cast<double>(level_.aggressors);
+  const double d = level_.duty_cycle;
+  // Independent on/off aggressors: collision whenever any is on.
+  p_active_ = 1.0 - std::pow(1.0 - d, n);
+  // Mean simultaneously-active count, conditioned on >= 1 active. Power
+  // adds across simultaneous aggressors, so the conditional SIR degrades by
+  // 10*log10 of that mean.
+  const double mean_on_given_any = n * d / p_active_;
+  sir_agg_db_ = level_.aggressor_sir_db - units::to_db(mean_on_given_any);
+}
+
+double InterferenceField::effective_snir_db(double snr_db) const {
+  if (!active()) return snr_db;
+  return phy::effective_snir_db(snr_db, sir_agg_db_, level_.rejection_db);
+}
+
+double InterferenceField::frame_error_rate(Modulation mod, double snr_db,
+                                           unsigned n_bits) const {
+  const double snr_lin = units::from_db(snr_db);
+  const double fer_quiet =
+      1.0 - packet_success_probability(bit_error_rate(mod, snr_lin), n_bits);
+  if (!active()) return fer_quiet;
+  const double snir_lin = units::from_db(effective_snir_db(snr_db));
+  const double fer_hit =
+      1.0 - packet_success_probability(bit_error_rate(mod, snir_lin), n_bits);
+  return (1.0 - p_active_) * fer_quiet + p_active_ * fer_hit;
+}
+
+double InterferenceField::fer_multiplier(Modulation mod, double snr_db, unsigned n_bits,
+                                         double floor) const {
+  IOB_EXPECTS(floor > 0.0, "FER floor must be positive");
+  const double snr_lin = units::from_db(snr_db);
+  const double fer_quiet =
+      1.0 - packet_success_probability(bit_error_rate(mod, snr_lin), n_bits);
+  return frame_error_rate(mod, snr_db, n_bits) / std::max(fer_quiet, floor);
+}
+
+}  // namespace iob::phy
