@@ -1,0 +1,392 @@
+// Hub traffic-replay saturation bench (ROADMAP "server-tier hub" item): ONE
+// hub terminates thousands of staged concurrent sessions — a deterministic
+// replay of de-phased, jittered arrival traces over mixed models (KWS DS-CNN
+// + ECG CNN1D), mixed precisions (f32 + int8), superframe-batched with
+// execute-and-meter on — and the grid locates the saturation knee: delivered
+// inference items/s and p99 queued latency vs session count vs
+// `HubConfig::engine_threads`. The parallel engine fans each flush's
+// sub-batches across the hub's persistent TaskPool; items/s is measured
+// against host wall time, so the knee shows where the replay becomes
+// kernel-bound and threads start paying.
+//
+// Also reports the fused im2col+pack-A GEMM speedup (f32 and int8) with a
+// bitwise output-equality check against the strided path.
+//
+// Set IOB_REPLAY_SMOKE=1 (CI) to shrink the grid and duration.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <thread>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "comm/wir_link.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "net/network_sim.hpp"
+#include "nn/gemm.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/qmodel.hpp"
+#include "nn/tensor.hpp"
+
+namespace {
+
+using namespace iob;
+
+// Replay shape: short 60 B feature frames keep the auto-sized TDMA slot
+// small enough that even a 2000-node superframe stays well under the frame
+// cadence (one frame per 0.5 s per session), so staging windows fill
+// steadily instead of queues backing up.
+constexpr std::uint32_t kFrameBytes = 60;
+constexpr std::uint64_t kBytesPerInference = 20;  // 3 inferences per frame
+constexpr double kFramePeriodS = 0.5;
+
+std::uint64_t model_macs(const nn::Model& m) {
+  std::uint64_t total = 0;
+  for (const auto& p : m.profiles()) total += p.macs;
+  return total;
+}
+
+std::uint64_t model_params(const nn::Model& m) {
+  std::uint64_t total = 0;
+  for (const auto& p : m.profiles()) total += p.params;
+  return total;
+}
+
+struct ReplayResult {
+  double items_per_s = 0.0;       ///< executed inferences / host wall s
+  double p99_queued_s = 0.0;      ///< p99 of per-session mean queued latency
+  double wall_s = 0.0;
+  std::uint64_t executed = 0;
+  std::uint64_t inferences = 0;
+  std::uint64_t batched_passes = 0;
+};
+
+/// One replay point: `sessions` staged concurrent sessions on one hub with
+/// `threads` engine threads. Deterministic trace: node i's model/precision
+/// derive from i, its phase from a fixed LCG jitter — every (sessions,
+/// threads) point replays the identical arrival schedule.
+ReplayResult run_replay(int sessions, unsigned threads, unsigned batch_window, double duration_s,
+                        const nn::Model& kws, const nn::Model& ecg) {
+  net::NetworkConfig nc;
+  nc.seed = 42;
+  nc.mac.slot_s = 0;  // auto-size the slot from the link rate and frame MTU
+  nc.mac.auto_slot_mtu_bytes = kFrameBytes;
+  nc.hub.batch_window = batch_window;
+  nc.hub.execute_and_meter = true;
+  nc.hub.engine_threads = threads;
+  net::NetworkSim net(std::make_unique<comm::WiRLink>(), nc);
+
+  std::uint64_t lcg = 0x2545F4914F6CDD1DULL;
+  for (int i = 0; i < sessions; ++i) {
+    const bool is_kws = (i % 2) == 0;
+    const nn::Model& m = is_kws ? kws : ecg;
+    net::NodeConfig n;
+    n.name = (is_kws ? "kws-" : "ecg-") + std::to_string(i);
+    n.stream = n.name;
+    n.sense_power_w = 50e-6;
+    n.output_rate_bps = static_cast<double>(kFrameBytes) * 8.0 / kFramePeriodS;
+    n.frame_bytes = kFrameBytes;
+    // Replayed arrivals: deterministic per-node jitter spreads frame
+    // creation across the whole period (no population-wide phase snap).
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    n.phase_s = kFramePeriodS * static_cast<double>(lcg >> 11) /
+                static_cast<double>(1ULL << 53);
+    net.add_node(n);
+
+    net::SessionConfig s;
+    s.stream = n.stream;
+    s.model = m.name();
+    s.net = &m;
+    s.macs_per_inference = model_macs(m);
+    s.weight_bytes = model_params(m);
+    s.bytes_per_inference = kBytesPerInference;
+    s.precision = (i % 4) < 2 ? nn::Precision::kF32 : nn::Precision::kInt8;
+    net.add_session(s);
+  }
+
+  const double t0 = bench::wall_time_s();
+  net.run(duration_s);
+  const double wall = bench::wall_time_s() - t0;
+
+  ReplayResult r;
+  r.wall_s = wall;
+  r.batched_passes = net.hub().batched_passes();
+  std::vector<double> queued_means;
+  queued_means.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    const std::string stream =
+        ((i % 2) == 0 ? "kws-" : "ecg-") + std::to_string(i);
+    const net::SessionStats& st = net.hub().session(stream);
+    r.executed += st.executed_inferences;
+    r.inferences += st.inferences;
+    if (st.queued_latency_s.count() > 0) queued_means.push_back(st.queued_latency_s.mean());
+  }
+  r.items_per_s = wall > 0 ? static_cast<double>(r.executed) / wall : 0.0;
+  if (!queued_means.empty()) {
+    std::sort(queued_means.begin(), queued_means.end());
+    // ceil(0.99 * n) >= 1 for n >= 1, so the -1 never underflows.
+    const std::size_t rank =
+        static_cast<std::size_t>(std::ceil(0.99 * static_cast<double>(queued_means.size())));
+    r.p99_queued_s = queued_means[std::min(queued_means.size() - 1, rank - 1)];
+  }
+  return r;
+}
+
+void print_replay_grid() {
+  const bool smoke = std::getenv("IOB_REPLAY_SMOKE") != nullptr;
+  const std::vector<int> session_counts =
+      smoke ? std::vector<int>{64, 128} : std::vector<int>{250, 500, 1000, 2000};
+  const std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  const unsigned window = 2;
+  const double duration_s = smoke ? 1.0 : 3.0;
+
+  const nn::Model kws = nn::make_kws_dscnn();
+  const nn::Model ecg = nn::make_ecg_cnn1d();
+
+  common::print_banner(
+      "Hub traffic replay — items/s and p99 queued latency vs sessions x engine threads" +
+      std::string(smoke ? " [smoke]" : ""));
+
+  std::vector<std::string> header{"sessions"};
+  for (const unsigned t : thread_counts) header.push_back("t=" + std::to_string(t));
+  header.emplace_back("p99 queued (t max)");
+  header.emplace_back("passes");
+  common::Table table(header);
+
+  bench::JsonReporter json("hub_traffic_replay");
+  bool deterministic = true;
+  double headline_items = 0.0, headline_p99 = 0.0;
+  double knee_serial = 0.0, knee_4t = 0.0;
+  for (const int n : session_counts) {
+    std::vector<std::string> row{std::to_string(n)};
+    std::uint64_t ref_inferences = 0, ref_executed = 0;
+    ReplayResult last;
+    for (const unsigned t : thread_counts) {
+      const ReplayResult r = run_replay(n, t, window, duration_s, kws, ecg);
+      row.push_back(common::si_format(r.items_per_s, "it/s"));
+      json.add("items_per_s_n" + std::to_string(n) + "_t" + std::to_string(t), r.items_per_s);
+      // Determinism cross-check: the replay schedule and batched engine are
+      // bit-identical across thread counts, so every counted stat must be.
+      if (t == thread_counts.front()) {
+        ref_inferences = r.inferences;
+        ref_executed = r.executed;
+      } else if (r.inferences != ref_inferences || r.executed != ref_executed) {
+        deterministic = false;
+      }
+      if (n == session_counts.back()) {
+        if (t == 1) knee_serial = r.items_per_s;
+        if (t == 4) knee_4t = r.items_per_s;
+        if (t == thread_counts.back()) {
+          headline_items = r.items_per_s;
+          headline_p99 = r.p99_queued_s;
+        }
+      }
+      last = r;
+    }
+    row.push_back(common::si_format(last.p99_queued_s, "s"));
+    row.push_back(std::to_string(last.batched_passes));
+    json.add("p99_queued_latency_s_n" + std::to_string(n), last.p99_queued_s);
+    table.add_row(row);
+  }
+  std::cout << table.to_string();
+  common::print_note("items/s = executed inferences / host wall time of the replay;");
+  common::print_note("the knee is where staged batches get deep enough that the replay turns");
+  common::print_note("kernel-bound and engine threads start paying");
+
+  json.add("hub_replay_items_per_s", headline_items);
+  json.add("hub_replay_p99_queued_latency_s", headline_p99);
+  json.add("hub_replay_deterministic", deterministic ? 1.0 : 0.0);
+  // Thread scaling is only meaningful relative to the host's core budget —
+  // a single-core CI runner shows a flat (or slightly inverted) knee.
+  json.add("hub_replay_host_cpus", static_cast<double>(std::thread::hardware_concurrency()));
+  if (!smoke && knee_serial > 0.0) {
+    json.add("hub_replay_speedup_4t", knee_4t / knee_serial);
+    std::printf("\n  engine_threads=4 vs 1 at %d sessions: %.2fx items/s\n",
+                session_counts.back(), knee_4t / knee_serial);
+  }
+  std::printf("  counted stats bit-identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO");
+
+  // Batch-window sensitivity at the knee (full mode): wider windows deepen
+  // the staged batch (higher items/s) at the cost of queued latency.
+  if (!smoke) {
+    common::Table wt({"window", "items/s (1000 sessions, t=4)", "p99 queued"});
+    for (const unsigned w : {1u, 2u, 4u}) {
+      const ReplayResult r = run_replay(1000, 4, w, duration_s, kws, ecg);
+      wt.add_row({std::to_string(w), common::si_format(r.items_per_s, "it/s"),
+                  common::si_format(r.p99_queued_s, "s")});
+      json.add("items_per_s_n1000_w" + std::to_string(w) + "_t4", r.items_per_s);
+    }
+    std::cout << wt.to_string();
+  }
+
+  // Packed-A im2col: fused im2col+pack vs the strided-K path, same weights,
+  // same inputs, bitwise-equal outputs required (the pack only reorders the
+  // panel reads; every multiply/add stays in the original order). Timing is
+  // paired — each round measures pack-on and pack-off back-to-back and the
+  // reported speedup is the median of the per-round ratios, so slow drift
+  // on a shared host cancels instead of biasing one side.
+  common::print_banner("Fused im2col+pack-A GEMM — speedup over strided-K panels (bit-exact)");
+  const int rounds = smoke ? 5 : 15;
+  const double round_budget_s = smoke ? 0.02 : 0.05;
+  const int batch = 8;
+  nn::Shape in_shape{batch};
+  in_shape.insert(in_shape.end(), kws.input_shape().begin(), kws.input_shape().end());
+  nn::Tensor input(in_shape, 0.0f);
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    input.data()[i] = static_cast<float>((i * 37) % 256) / 128.0f - 1.0f;
+  }
+  const nn::QuantizedModel qkws(kws);
+
+  // Fixed-rep timer: calibrate reps once against the round budget, then
+  // every round times the same amount of work on both sides.
+  const auto time_reps = [](int reps, const std::function<void()>& fn) {
+    const double t0 = bench::wall_time_s();
+    for (int i = 0; i < reps; ++i) fn();
+    return bench::wall_time_s() - t0;
+  };
+  const auto calibrate = [&](const std::function<void()>& fn) {
+    fn();  // warm up
+    const double t0 = bench::wall_time_s();
+    fn();
+    const double once = std::max(1e-6, bench::wall_time_s() - t0);
+    return std::max(1, static_cast<int>(round_budget_s / once));
+  };
+  const auto paired_speedup = [&](const std::function<void()>& packed_fn,
+                                  const std::function<void()>& strided_fn, int reps) {
+    std::vector<double> ratios;
+    ratios.reserve(static_cast<std::size_t>(rounds));
+    for (int i = 0; i < rounds; ++i) {
+      const double t_on = time_reps(reps, packed_fn);
+      const double t_off = time_reps(reps, strided_fn);
+      ratios.push_back(t_off / t_on);
+    }
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2, ratios.end());
+    return ratios[ratios.size() / 2];
+  };
+
+  nn::set_pack_a_enabled(true);
+  const nn::Tensor f32_packed = kws.run_batched(input);
+  const nn::Tensor s8_packed = qkws.run_batched(input);
+  nn::set_pack_a_enabled(false);
+  const nn::Tensor f32_strided = kws.run_batched(input);
+  const nn::Tensor s8_strided = qkws.run_batched(input);
+  nn::set_pack_a_enabled(true);
+
+  const std::function<void()> f32_on = [&] {
+    nn::set_pack_a_enabled(true);
+    benchmark::DoNotOptimize(kws.run_batched(input));
+  };
+  const std::function<void()> f32_off = [&] {
+    nn::set_pack_a_enabled(false);
+    benchmark::DoNotOptimize(kws.run_batched(input));
+  };
+  const std::function<void()> s8_on = [&] {
+    nn::set_pack_a_enabled(true);
+    benchmark::DoNotOptimize(qkws.run_batched(input));
+  };
+  const std::function<void()> s8_off = [&] {
+    nn::set_pack_a_enabled(false);
+    benchmark::DoNotOptimize(qkws.run_batched(input));
+  };
+  const double f32_speedup = paired_speedup(f32_on, f32_off, calibrate(f32_on));
+  const double s8_speedup = paired_speedup(s8_on, s8_off, calibrate(s8_on));
+  nn::set_pack_a_enabled(true);
+
+  // Primitive-level pairs on the kws front conv shape (10x4 stride 2 on
+  // 49x10x1, oc=64): the packed path's home turf, free of the depthwise and
+  // pointwise layers that bypass packing entirely. `conv` times the fused
+  // im2col+pack+GEMM chain end-to-end; `gemm` isolates the panel-read win
+  // (streaming loads vs four stride-K streams) with both inputs prebuilt.
+  double gemm_speedup = 0.0;
+  const double conv_speedup = [&] {
+    const int cb = 8, cih = 49, ciw = 10, cic = 1, ckh = 10, ckw = 4;
+    const int coh = 25, cow = 5, cpt = 4, cpl = 1, coc = 64;
+    const std::int64_t cK = static_cast<std::int64_t>(ckh) * ckw * cic;
+    const std::int64_t cM = static_cast<std::int64_t>(cb) * coh * cow;
+    std::vector<float> cin(static_cast<std::size_t>(cb) * cih * ciw * cic);
+    for (std::size_t i = 0; i < cin.size(); ++i) {
+      cin[i] = static_cast<float>((i * 37) % 256) / 128.0f - 1.0f;
+    }
+    std::vector<float> wts(static_cast<std::size_t>(cK) * coc);
+    for (std::size_t i = 0; i < wts.size(); ++i) {
+      wts[i] = static_cast<float>((i * 53) % 256) / 128.0f - 1.0f;
+    }
+    std::vector<float> cbias(coc, 0.05f), col(static_cast<std::size_t>(cM) * cK);
+    std::vector<float> ap(static_cast<std::size_t>((cM + 3) / 4 * 4) * cK);
+    std::vector<float> out(static_cast<std::size_t>(cM) * coc);
+    const std::function<void()> fused = [&] {
+      nn::im2col_pack_a_nhwc(cb, cih, ciw, cic, ckh, ckw, 2, 2, cpt, cpl, coh, cow, cin.data(),
+                             ap.data());
+      nn::gemm_blocked_pa(cM, coc, cK, ap.data(), wts.data(), cbias.data(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    };
+    const std::function<void()> classic = [&] {
+      nn::im2col_nhwc(cb, cih, ciw, cic, ckh, ckw, 2, 2, cpt, cpl, coh, cow, cin.data(),
+                      col.data());
+      nn::gemm_blocked(cM, coc, cK, col.data(), wts.data(), cbias.data(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    };
+    nn::im2col_pack_a_nhwc(cb, cih, ciw, cic, ckh, ckw, 2, 2, cpt, cpl, coh, cow, cin.data(),
+                           ap.data());
+    nn::im2col_nhwc(cb, cih, ciw, cic, ckh, ckw, 2, 2, cpt, cpl, coh, cow, cin.data(), col.data());
+    const std::function<void()> gemm_pa_only = [&] {
+      nn::gemm_blocked_pa(cM, coc, cK, ap.data(), wts.data(), cbias.data(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    };
+    const std::function<void()> gemm_only = [&] {
+      nn::gemm_blocked(cM, coc, cK, col.data(), wts.data(), cbias.data(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    };
+    gemm_speedup = paired_speedup(gemm_pa_only, gemm_only, calibrate(gemm_pa_only));
+    return paired_speedup(fused, classic, calibrate(fused));
+  }();
+
+  const bool bitexact =
+      f32_packed.size() == f32_strided.size() && s8_packed.size() == s8_strided.size() &&
+      std::memcmp(f32_packed.data(), f32_strided.data(),
+                  static_cast<std::size_t>(f32_packed.size()) * sizeof(float)) == 0 &&
+      std::memcmp(s8_packed.data(), s8_strided.data(),
+                  static_cast<std::size_t>(s8_packed.size()) * sizeof(float)) == 0;
+  std::printf(
+      "  f32 model: %.2fx  int8 model: %.2fx  conv primitive: %.2fx  gemm phase: %.2fx  "
+      "bitwise equal: %s\n",
+      f32_speedup, s8_speedup, conv_speedup, gemm_speedup, bitexact ? "yes" : "NO");
+  json.add("pack_a_speedup_f32", f32_speedup);
+  json.add("pack_a_speedup_int8", s8_speedup);
+  json.add("pack_a_speedup_conv_f32", conv_speedup);
+  json.add("pack_a_speedup_gemm_f32", gemm_speedup);
+  json.add("pack_a_bitexact", bitexact ? 1.0 : 0.0);
+  json.write();
+}
+
+// ---- microbenchmarks --------------------------------------------------------
+
+void BM_ReplayPoint(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  static const nn::Model kws = nn::make_kws_dscnn();
+  static const nn::Model ecg = nn::make_ecg_cnn1d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_replay(64, threads, 2, 0.5, kws, ecg));
+  }
+}
+BENCHMARK(BM_ReplayPoint)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_replay_grid();
+  return iob::bench::run_microbenchmarks(argc, argv);
+}

@@ -49,6 +49,10 @@ DEFAULT_WATCH = [
     # clean-channel goodput the armed degradation controller retains at the
     # gym SIR level (bench_channel_stress, docs/robustness.md).
     "channel_stress_goodput_retained",
+    # Server-tier saturation: staged items per second through the hub's
+    # batched engine at the traffic-replay knee (bench_hub_traffic_replay,
+    # docs/scaling.md).
+    "hub_replay_items_per_s",
 ]
 # Lower-is-better series: a >threshold *increase* is the regression. The
 # split-validation error is how far the partitioner's analytic per-venue
@@ -65,6 +69,10 @@ DEFAULT_WATCH_LOWER = [
     # occlusion episode until every node is back on rung 0; if it creeps up,
     # the ladder's step-up hysteresis or dwell gating regressed.
     "degradation_recovery_s",
+    # Staging delay at the replay knee: p99 delivery -> flush latency of the
+    # saturation grid's reference point; if it creeps up, the batched
+    # engine's flush cadence (or the adaptive trigger) regressed.
+    "hub_replay_p99_queued_latency_s",
 ]
 LOWER_FLOOR = 0.05
 

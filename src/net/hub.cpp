@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "common/expect.hpp"
 #include "nn/model.hpp"
@@ -46,6 +47,39 @@ std::int64_t pass_input_elems(const nn::Model& net, std::size_t first_layer) {
                           : nn::shape_elems(net.profiles()[first_layer - 1].output_shape);
 }
 
+/// The single definition of the metered-pass input pattern: fill the
+/// not-yet-patterned suffix of `buf` up to `elems`. The value is a pure
+/// function of element position, so the prefix any sub-batch feeds in is
+/// bit-identical no matter which buffer (hub-owned or thread-local) staged
+/// it, or in what growth order. Kernel time is data-independent; the
+/// pattern only needs to be deterministic and non-degenerate.
+float* staged_pattern(std::vector<float>& buf, std::int64_t& filled, std::int64_t elems) {
+  if (static_cast<std::int64_t>(buf.size()) < elems) {
+    buf.resize(static_cast<std::size_t>(elems));
+  }
+  if (filled < elems) {
+    for (std::int64_t i = filled; i < elems; ++i) {
+      buf[static_cast<std::size_t>(i)] =
+          static_cast<float>((static_cast<std::uint64_t>(i) * 2654435761ULL) % 1024ULL) / 512.0f -
+          1.0f;
+    }
+    filled = elems;
+  }
+  return buf.data();
+}
+
+/// Per-worker synth staging for the parallel metered path. Grow-only and
+/// thread-local, mirroring `nn::detail::thread_workspace()`: once every
+/// worker hit its high-water batch shape, parallel passes allocate nothing.
+float* thread_synth_input(std::int64_t sample_elems, int batch) {
+  struct SynthBuf {
+    std::vector<float> data;
+    std::int64_t filled = 0;
+  };
+  static thread_local SynthBuf buf;
+  return staged_pattern(buf.data, buf.filled, sample_elems * batch);
+}
+
 }  // namespace
 
 Hub::Hub(sim::Simulator& sim, comm::TdmaBus& bus, HubConfig config)
@@ -85,16 +119,30 @@ void Hub::add_session(SessionConfig config) {
                   "int8 metered session split must be a feasible boundary");
     }
   }
-  const std::string key = config.stream;
   const std::string group = group_key(config);
-  session_configs_[key] = std::move(config);
-  session_stats_[key];   // default-construct
-  staged_[key];
+  // Resolve (or create) the session slot. Stats and staging survive
+  // re-registration — only the config is replaced, exactly the old
+  // "default-construct absent map entries" contract.
+  std::size_t slot;
+  const auto idx_it = session_index_.find(config.stream);
+  if (idx_it != session_index_.end()) {
+    slot = idx_it->second;
+    sessions_[slot].cfg = std::move(config);
+  } else {
+    // Reserve ahead of the insert: the delivery hot path only probes this
+    // map, so growing it here keeps steady-state delivery rehash-free.
+    session_index_.reserve(sessions_.size() + 1);
+    slot = sessions_.size();
+    Session s;
+    s.cfg = std::move(config);
+    session_index_.emplace(s.cfg.stream, slot);
+    sessions_.push_back(std::move(s));
+  }
   // Re-registering a stream (possibly under a new model tag) must leave it
   // in exactly one group, or flush/energy accounting would double-count.
-  for (auto& [g, streams] : groups_) {
+  for (auto& [g, members] : groups_) {
     if (g == group) continue;
-    streams.erase(std::remove(streams.begin(), streams.end(), key), streams.end());
+    members.erase(std::remove(members.begin(), members.end(), slot), members.end());
   }
   groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
                                [](const auto& g) { return g.second.empty(); }),
@@ -102,15 +150,15 @@ void Hub::add_session(SessionConfig config) {
   auto it = std::find_if(groups_.begin(), groups_.end(),
                          [&](const auto& g) { return g.first == group; });
   if (it == groups_.end()) {
-    groups_.emplace_back(group, std::vector<std::string>{key});
-  } else if (std::find(it->second.begin(), it->second.end(), key) == it->second.end()) {
-    it->second.push_back(key);
+    groups_.emplace_back(group, std::vector<std::size_t>{slot});
+  } else if (std::find(it->second.begin(), it->second.end(), slot) == it->second.end()) {
+    it->second.push_back(slot);
   }
   // Group vector indices may have shifted (empty-group compaction above):
-  // rebuild the stream -> group map. add_session is setup, not hot path.
-  group_index_.clear();
+  // rebuild the slot -> group map. add_session is setup, not hot path.
+  group_of_.assign(sessions_.size(), 0);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    for (const std::string& member : groups_[g].second) group_index_[member] = g;
+    for (const std::size_t member : groups_[g].second) group_of_[member] = g;
   }
 }
 
@@ -119,13 +167,17 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
   bytes_received_ += frame.payload_bytes;
   latency_s_.add(delivered_at - frame.created_s);
 
-  const auto cfg_it = session_configs_.find(frame.stream);
-  if (cfg_it == session_configs_.end()) return;
-  const SessionConfig& cfg = cfg_it->second;
-  SessionStats& st = session_stats_[frame.stream];
+  // The one hash probe of the delivery hot path: stream tag -> slot. All
+  // per-session state (config, stats, staging) is co-located in the slot.
+  const auto idx_it = session_index_.find(frame.stream);
+  if (idx_it == session_index_.end()) return;
+  const std::size_t slot = idx_it->second;
+  Session& sess = sessions_[slot];
+  const SessionConfig& cfg = sess.cfg;
+  SessionStats& st = sess.stats;
   st.bytes_in += frame.payload_bytes;
 
-  Staged& staged = staged_[frame.stream];
+  Staged& staged = sess.staged;
   staged.pending_bytes += frame.payload_bytes;
   if (config_.batch_window > 0) {
     // Batched path: stage until the superframe flush — or, with an
@@ -133,7 +185,7 @@ void Hub::on_frame(const comm::Frame& frame, sim::Time delivered_at) {
     // staged batch reaches it (bounding queued latency under bursts).
     staged.frame_times.push_back(delivered_at);
     if (config_.max_staged_batch > 0 &&
-        group_staged_inferences(frame.stream) >= config_.max_staged_batch) {
+        group_staged_inferences(slot) >= config_.max_staged_batch) {
       superframes_since_flush_ = 0;
       flush_batches(delivered_at);
     }
@@ -186,16 +238,16 @@ void Hub::on_superframe_end(sim::Time boundary) {
 }
 
 void Hub::flush_batches(sim::Time boundary) {
-  for (const auto& [group, streams] : groups_) {
+  for (const auto& [group, members] : groups_) {
     (void)group;
     // Pass 1: staged inference count per member and the group's weight
     // footprint (members share a model; max() tolerates config drift).
     std::uint64_t total = 0;
     std::uint64_t weight_bytes = 0;
-    for (const std::string& stream : streams) {
-      const SessionConfig& cfg = session_configs_[stream];
-      total += staged_[stream].pending_bytes / cfg.bytes_per_inference;
-      weight_bytes = std::max(weight_bytes, cfg.weight_bytes);
+    for (const std::size_t slot : members) {
+      const Session& sess = sessions_[slot];
+      total += sess.staged.pending_bytes / sess.cfg.bytes_per_inference;
+      weight_bytes = std::max(weight_bytes, sess.cfg.weight_bytes);
     }
 
     // Staging delay is charged at every flush: each staged frame waited
@@ -203,14 +255,13 @@ void Hub::flush_batches(sim::Time boundary) {
     // clamp covers the end-of-run flush, where the final superframe's
     // deliveries carry timestamps past the run horizon (zero wait, never
     // negative).
-    for (const std::string& stream : streams) {
-      Staged& staged = staged_[stream];
-      if (staged.frame_times.empty()) continue;
-      SessionStats& st = session_stats_[stream];
-      for (const sim::Time t : staged.frame_times) {
-        st.queued_latency_s.add(std::max(0.0, boundary - t));
+    for (const std::size_t slot : members) {
+      Session& sess = sessions_[slot];
+      if (sess.staged.frame_times.empty()) continue;
+      for (const sim::Time t : sess.staged.frame_times) {
+        sess.stats.queued_latency_s.add(std::max(0.0, boundary - t));
       }
-      staged.frame_times.clear();
+      sess.staged.frame_times.clear();
     }
 
     if (total == 0) continue;
@@ -226,15 +277,15 @@ void Hub::flush_batches(sim::Time boundary) {
     std::uint64_t metered_total[2] = {0, 0};  // [f32, int8]
     double pass_time_s[2] = {0.0, 0.0};
     if (config_.execute_and_meter) {
-      for (const std::string& stream : streams) {
-        const SessionConfig& cfg = session_configs_[stream];
+      for (const std::size_t slot : members) {
+        const SessionConfig& cfg = sessions_[slot].cfg;
         if (cfg.net == nullptr) continue;
         IOB_EXPECTS(net == nullptr || net == cfg.net,
                     "sessions sharing a model tag must share one nn::Model instance");
         net = cfg.net;
         split_first = cfg.split_layers;
         metered_total[prec_idx(cfg.precision)] +=
-            staged_[stream].pending_bytes / cfg.bytes_per_inference;
+            sessions_[slot].staged.pending_bytes / cfg.bytes_per_inference;
       }
       if (metered_total[0] > 0) {
         pass_time_s[0] = execute_pass(*net, nn::Precision::kF32, metered_total[0], split_first);
@@ -248,13 +299,14 @@ void Hub::flush_batches(sim::Time boundary) {
     // each session pays its sample MACs plus its share of the weight cost.
     const double weight_energy_j =
         static_cast<double>(weight_bytes) * config_.energy_per_weight_byte_j;
-    for (const std::string& stream : streams) {
-      const SessionConfig& cfg = session_configs_[stream];
-      Staged& staged = staged_[stream];
+    for (const std::size_t slot : members) {
+      Session& sess = sessions_[slot];
+      const SessionConfig& cfg = sess.cfg;
+      Staged& staged = sess.staged;
       const std::uint64_t n = staged.pending_bytes / cfg.bytes_per_inference;
       if (n == 0) continue;
       staged.pending_bytes -= n * cfg.bytes_per_inference;
-      SessionStats& st = session_stats_[stream];
+      SessionStats& st = sess.stats;
       st.inferences += n;
       st.batched_inferences += n;
       ++st.batched_passes;
@@ -293,15 +345,14 @@ void Hub::on_hub_crash(sim::Time now) {
   bus_.set_hub_up(false);
   // Staged work dies with the crash. Iterate groups_ (insertion order, like
   // flush_batches) so the attribution order is deterministic.
-  for (const auto& [group, streams] : groups_) {
+  for (const auto& [group, members] : groups_) {
     (void)group;
-    for (const std::string& stream : streams) {
-      Staged& staged = staged_[stream];
-      SessionStats& st = session_stats_[stream];
-      st.staged_frames_lost += staged.frame_times.size();
-      st.staged_bytes_lost += staged.pending_bytes;
-      staged.pending_bytes = 0;
-      staged.frame_times.clear();
+    for (const std::size_t slot : members) {
+      Session& sess = sessions_[slot];
+      sess.stats.staged_frames_lost += sess.staged.frame_times.size();
+      sess.stats.staged_bytes_lost += sess.staged.pending_bytes;
+      sess.staged.pending_bytes = 0;
+      sess.staged.frame_times.clear();
     }
   }
   superframes_since_flush_ = 0;
@@ -314,9 +365,9 @@ void Hub::on_hub_restart(sim::Time now) {
   bus_.set_hub_up(true);
   // Sessions restore from their surviving configs; each one re-syncs with
   // an empty staging buffer.
-  for (const auto& [group, streams] : groups_) {
+  for (const auto& [group, members] : groups_) {
     (void)group;
-    for (const std::string& stream : streams) ++session_stats_[stream].fault_resyncs;
+    for (const std::size_t slot : members) ++sessions_[slot].stats.fault_resyncs;
   }
 }
 
@@ -329,15 +380,11 @@ double Hub::availability(sim::Time now) const {
   return 1.0 - downtime_s(now) / now;
 }
 
-std::uint64_t Hub::group_staged_inferences(const std::string& stream) const {
-  const auto idx_it = group_index_.find(stream);
-  if (idx_it == group_index_.end()) return 0;
+std::uint64_t Hub::group_staged_inferences(std::size_t slot) const {
   std::uint64_t total = 0;
-  for (const std::string& member : groups_[idx_it->second].second) {
-    const auto member_cfg = session_configs_.find(member);
-    const auto member_staged = staged_.find(member);
-    if (member_cfg == session_configs_.end() || member_staged == staged_.end()) continue;
-    total += member_staged->second.pending_bytes / member_cfg->second.bytes_per_inference;
+  for (const std::size_t member : groups_[group_of_[slot]].second) {
+    const Session& sess = sessions_[member];
+    total += sess.staged.pending_bytes / sess.cfg.bytes_per_inference;
   }
   return total;
 }
@@ -356,6 +403,18 @@ double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uin
   // no suffix to run — zero kernel time, by definition.
   if (first_layer == last) return 0.0;
   const std::int64_t sample_elems = pass_input_elems(net, first_layer);
+  const std::size_t nsub =
+      static_cast<std::size_t>((count + kMeterBatchCap - 1) / kMeterBatchCap);
+  const std::size_t threads =
+      config_.engine_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config_.engine_threads;
+  // Fan out only when it can pay off AND we are not already inside another
+  // pool's parallel region (a fleet sweep runs many hubs concurrently; the
+  // engine degrades to serial there so thread counts never multiply).
+  if (threads > 1 && nsub > 1 && !sim::TaskPool::in_parallel_region()) {
+    return execute_pass_parallel(net, qm, count, first_layer, last, sample_elems, nsub, threads);
+  }
   double elapsed = 0.0;
   while (count > 0) {
     const int b = static_cast<int>(std::min(count, kMeterBatchCap));
@@ -381,28 +440,67 @@ double Hub::execute_pass(const nn::Model& net, nn::Precision precision, std::uin
   return elapsed;
 }
 
-float* Hub::synth_input(std::int64_t sample_elems, int batch) {
-  const std::int64_t elems = sample_elems * batch;
-  if (static_cast<std::int64_t>(synth_.size()) < elems) {
-    synth_.resize(static_cast<std::size_t>(elems));
-  }
-  if (synth_filled_ < elems) {
-    // Kernel time is data-independent; a fixed pattern keeps the staging
-    // deterministic and fills each element exactly once across growths.
-    for (std::int64_t i = synth_filled_; i < elems; ++i) {
-      synth_[static_cast<std::size_t>(i)] =
-          static_cast<float>((static_cast<std::uint64_t>(i) * 2654435761ULL) % 1024ULL) / 512.0f -
-          1.0f;
+double Hub::execute_pass_parallel(const nn::Model& net, const nn::QuantizedModel* qm,
+                                  std::uint64_t count, std::size_t first_layer, std::size_t last,
+                                  std::int64_t sample_elems, std::size_t nsub,
+                                  std::size_t threads) {
+  if (engine_pool_ == nullptr) engine_pool_ = std::make_unique<sim::TaskPool>(threads);
+  if (subbatch_time_s_.size() < nsub) subbatch_time_s_.resize(nsub);
+  // Everything the workers need, reachable through ONE pointer: the lambda
+  // capture stays within std::function's small-buffer size, so building the
+  // RangeBody never allocates (the pass keeps the zero-steady-state-heap
+  // contract even while fanning out).
+  struct Ctx {
+    const nn::Model* net;
+    const nn::QuantizedModel* qm;
+    std::uint64_t count;
+    std::size_t first_layer;
+    std::size_t last;
+    std::int64_t sample_elems;
+    double* times;
+  } ctx{&net, qm, count, first_layer, last, sample_elems, subbatch_time_s_.data()};
+  Ctx* const pc = &ctx;
+  engine_pool_->parallel_for(nsub, [pc](std::size_t sub0, std::size_t sub1) {
+    // Index-ordered static chunks: sub-batch s always covers items
+    // [s*cap, min((s+1)*cap, count)), no matter how many workers run.
+    // Inputs are the position-based pattern, staged per worker; the model
+    // and quantized lowering are shared read-only; all scratch is the
+    // worker's thread-local workspace. Logits are therefore bit-identical
+    // to the serial loop's for every sub-batch.
+    nn::Workspace& ws = nn::detail::thread_workspace();
+    for (std::size_t s = sub0; s < sub1; ++s) {
+      const std::uint64_t done = static_cast<std::uint64_t>(s) * kMeterBatchCap;
+      const int b = static_cast<int>(std::min(pc->count - done, kMeterBatchCap));
+      float* in = thread_synth_input(pc->sample_elems, b);
+      if (pc->qm != nullptr) {
+        ws.configure(*pc->qm, b);
+      } else {
+        ws.configure(*pc->net, b);
+      }
+      const double t0 = wall_clock_s();
+      const nn::ConstSpan out =
+          pc->qm != nullptr ? pc->qm->run_range_into(ws, in, b, pc->first_layer, pc->last)
+                            : pc->net->run_range_into(ws, in, b, pc->first_layer, pc->last);
+      pc->times[s] = wall_clock_s() - t0;
+      IOB_ENSURES(out.size > 0, "metered pass produced no output");
     }
-    synth_filled_ = elems;
-  }
-  return synth_.data();
+  });
+  // Merge in sub-batch index order — the same left-to-right reduction the
+  // serial loop performs, independent of which worker finished when.
+  double elapsed = 0.0;
+  for (std::size_t s = 0; s < nsub; ++s) elapsed += subbatch_time_s_[s];
+  return elapsed;
+}
+
+float* Hub::synth_input(std::int64_t sample_elems, int batch) {
+  return staged_pattern(synth_, synth_filled_, sample_elems * batch);
 }
 
 void Hub::on_repartition(const std::string& stream, std::size_t split_at) {
-  const auto it = session_configs_.find(stream);
-  if (it == session_configs_.end()) return;
-  SessionConfig cfg = it->second;
+  const auto it = session_index_.find(stream);
+  if (it == session_index_.end()) return;
+  Session& sess = sessions_[it->second];
+  SessionConfig cfg = sess.cfg;
   if (cfg.net == nullptr) return;  // nothing to recompute the suffix from
   const nn::Model& net = *cfg.net;
   IOB_EXPECTS(split_at <= net.layer_count(), "repartition split point out of range");
@@ -427,24 +525,22 @@ void Hub::on_repartition(const std::string& stream, std::size_t split_at) {
   // A partial window staged at the old boundary size can never complete at
   // the new one — purge it and attribute the loss instead of silently
   // re-interpreting stale bytes as part of a differently-shaped activation.
-  Staged& staged = staged_[stream];
-  SessionStats& st = session_stats_[stream];
-  st.repartition_dropped_bytes += staged.pending_bytes;
-  staged.pending_bytes = 0;
-  staged.frame_times.clear();
-  ++st.repartitions;
+  sess.stats.repartition_dropped_bytes += sess.staged.pending_bytes;
+  sess.staged.pending_bytes = 0;
+  sess.staged.frame_times.clear();
+  ++sess.stats.repartitions;
 
   // Re-register: re-groups the session under the new split key (stats and
-  // staging survive — add_session only default-constructs absent entries).
+  // staging survive — add_session only replaces the config of a live slot).
   add_session(std::move(cfg));
 }
 
 void Hub::credit_leaf_compute(const std::string& stream, double kernel_time_s,
                               double compute_energy_j, double analytic_energy_j,
                               std::uint64_t inferences, std::uint64_t activation_bytes) {
-  const auto it = session_stats_.find(stream);
-  if (it == session_stats_.end()) return;
-  SessionStats& st = it->second;
+  const auto it = session_index_.find(stream);
+  if (it == session_index_.end()) return;
+  SessionStats& st = sessions_[it->second].stats;
   st.leaf_kernel_time_s += kernel_time_s;
   st.leaf_compute_energy_j += compute_energy_j;
   st.leaf_analytic_compute_energy_j += analytic_energy_j;
@@ -454,18 +550,18 @@ void Hub::credit_leaf_compute(const std::string& stream, double kernel_time_s,
 
 void Hub::credit_degradation(const std::string& stream, std::uint64_t transitions,
                              double time_degraded_s, std::uint64_t frames_shed) {
-  const auto it = session_stats_.find(stream);
-  if (it == session_stats_.end()) return;
-  SessionStats& st = it->second;
+  const auto it = session_index_.find(stream);
+  if (it == session_index_.end()) return;
+  SessionStats& st = sessions_[it->second].stats;
   st.degradation_transitions += transitions;
   st.degradation_time_s += time_degraded_s;
   st.frames_saved_by_shedding += frames_shed;
 }
 
 const SessionStats& Hub::session(const std::string& stream) const {
-  const auto it = session_stats_.find(stream);
-  if (it == session_stats_.end()) throw std::invalid_argument("unknown session: " + stream);
-  return it->second;
+  const auto it = session_index_.find(stream);
+  if (it == session_index_.end()) throw std::invalid_argument("unknown session: " + stream);
+  return sessions_[it->second].stats;
 }
 
 double Hub::energy_j() const {
@@ -473,11 +569,10 @@ double Hub::energy_j() const {
   // subtraction is exact, keeping the clean-path ledger bit-identical.
   double e = bus_.stats().hub_rx_energy_j + bus_.stats().hub_tx_energy_j +
              config_.base_power_w * (sim_.now() - downtime_s(sim_.now()));
-  for (const auto& [group, streams] : groups_) {
+  for (const auto& [group, members] : groups_) {
     (void)group;
-    for (const std::string& stream : streams) {
-      const auto it = session_stats_.find(stream);
-      e += it->second.compute_energy_j + it->second.uplink_energy_j;
+    for (const std::size_t slot : members) {
+      e += sessions_[slot].stats.compute_energy_j + sessions_[slot].stats.uplink_energy_j;
     }
   }
   return e;

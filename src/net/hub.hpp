@@ -19,6 +19,7 @@
 ///    delay in `SessionStats::queued_latency_s`.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 #include "nn/workspace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/task_pool.hpp"
 
 namespace iob::net {
 
@@ -69,6 +71,18 @@ struct HubConfig {
   /// untouched — `energy_per_weight_byte_j` already prices int8 bytes.
   /// f32 sessions never consult this, keeping their ledger bit-identical.
   double int8_mac_energy_scale = 0.25;
+  /// Engine threads for execute-and-meter passes: a flush's metered
+  /// sub-batches (`kMeterBatchCap` items each) fan out across a persistent
+  /// `sim::TaskPool` owned by the hub, lazily spawned on the first parallel
+  /// pass. Each worker runs on its own `nn::Workspace` + synth staging
+  /// (both grow-only, so the zero-steady-state-allocation contract holds
+  /// per thread), and per-sub-batch kernel times merge in sub-batch index
+  /// order — logits and every non-wall-time stat are bit-identical to the
+  /// serial path at any thread count. 1 (default) keeps the serial legacy
+  /// path byte-for-byte; 0 means hardware concurrency. Inside another
+  /// pool's parallel region (a `SweepRunner` sweep) the hub degrades to
+  /// serial — fleet parallelism wins, thread counts never multiply.
+  unsigned engine_threads = 1;
 };
 
 class Hub {
@@ -161,28 +175,52 @@ class Hub {
     std::vector<sim::Time> frame_times;
   };
 
+  /// One registered session, all hot-path state co-located in a single
+  /// slot: the frame-delivery path does ONE hash lookup (stream -> slot)
+  /// instead of the historical three map probes (config, stats, staging),
+  /// and flush/group walks index a deque instead of re-hashing tags.
+  struct Session {
+    SessionConfig cfg;
+    SessionStats stats;
+    Staged staged;
+  };
+
   void on_frame(const comm::Frame& frame, sim::Time delivered_at);
   void on_superframe_end(sim::Time boundary);
   void flush_batches(sim::Time boundary);
 
-  /// Staged inference count of the model group containing `stream` (the
-  /// adaptive-flush trigger quantity).
-  [[nodiscard]] std::uint64_t group_staged_inferences(const std::string& stream) const;
+  /// Staged inference count of the model group containing session `slot`
+  /// (the adaptive-flush trigger quantity).
+  [[nodiscard]] std::uint64_t group_staged_inferences(std::size_t slot) const;
 
   /// Execute `count` inferences on `net` at `precision` through the hub
   /// workspace (in sub-batches of at most kMeterBatchCap), resuming at
   /// `first_layer` (0 = whole model; a split session resumes at its
   /// boundary via `run_range_into`), and return the measured kernel wall
   /// time in seconds. Int8 sessions run the hub's `nn::QuantizedModel`
-  /// lowering (built once at `add_session`).
+  /// lowering (built once at `add_session`). With `engine_threads > 1`
+  /// (and outside any enclosing TaskPool region) the sub-batches fan out
+  /// via `execute_pass_parallel`; otherwise this is the serial legacy loop.
   double execute_pass(const nn::Model& net, nn::Precision precision, std::uint64_t count,
                       std::size_t first_layer);
+
+  /// Parallel fan-out of one metered pass: sub-batch `s` covers items
+  /// [s*kMeterBatchCap, ...) and runs on whichever pool worker owns its
+  /// index chunk, on that worker's thread-local workspace and synth
+  /// staging. Per-sub-batch wall times land in `subbatch_time_s_[s]` and
+  /// are summed in index order after the join — the returned total is the
+  /// same reduction tree the serial loop computes.
+  double execute_pass_parallel(const nn::Model& net, const nn::QuantizedModel* qm,
+                               std::uint64_t count, std::size_t first_layer, std::size_t last,
+                               std::int64_t sample_elems, std::size_t nsub, std::size_t threads);
 
   /// Deterministic synthetic input staging for metered passes: the frames'
   /// payload bytes are window counters, not tensor payloads, so the hub
   /// synthesizes patterned activations (kernel time is data-independent).
   /// `sample_elems` is the per-sample element count of the tensor fed in —
-  /// the model input, or the boundary activation of a split session.
+  /// the model input, or the boundary activation of a split session. The
+  /// pattern is a pure function of element position, so any thread's
+  /// staging of the same batch shape is bit-identical.
   float* synth_input(std::int64_t sample_elems, int batch);
 
   /// Upper bound on one metered sub-batch, bounding workspace growth.
@@ -191,18 +229,21 @@ class Hub {
   sim::Simulator& sim_;
   comm::TdmaBus& bus_;
   HubConfig config_;
-  std::unordered_map<std::string, SessionConfig> session_configs_;
-  std::unordered_map<std::string, SessionStats> session_stats_;
-  std::unordered_map<std::string, Staged> staged_;
-  /// Model groups in insertion order: (group key, member stream tags).
+  /// Registered sessions by slot. A deque so `session()` references stay
+  /// valid across later `add_session` calls (no reallocation moves).
+  std::deque<Session> sessions_;
+  /// Stream tag -> slot. Reserved at add_session; the delivery hot path
+  /// only probes (never inserts), so steady state does zero rehashing.
+  std::unordered_map<std::string, std::size_t> session_index_;
+  /// Model groups in insertion order: (group key, member session slots).
   /// Iterated at flush so energy accumulation order is deterministic and
   /// compiler-independent (never hash-map order).
-  std::vector<std::pair<std::string, std::vector<std::string>>> groups_;
-  /// Stream tag -> index into groups_, maintained by add_session so the
-  /// adaptive-flush check on the frame-delivery hot path is a hash lookup
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups_;
+  /// Session slot -> index into groups_, maintained by add_session so the
+  /// adaptive-flush check on the frame-delivery hot path is a vector index
   /// plus a member walk — no string building, no group scan, no
   /// allocations.
-  std::unordered_map<std::string, std::size_t> group_index_;
+  std::vector<std::size_t> group_of_;
   unsigned superframes_since_flush_ = 0;
   std::uint64_t batched_passes_ = 0;
   bool up_ = true;
@@ -215,6 +256,13 @@ class Hub {
   nn::Workspace ws_;             ///< reused across metered passes (grow-only)
   std::vector<float> synth_;     ///< patterned input staging for metered passes
   std::int64_t synth_filled_ = 0;  ///< prefix of synth_ already patterned
+  /// Persistent engine pool for parallel metered passes, spawned lazily on
+  /// the first pass that actually fans out (engine_threads > 1, more than
+  /// one sub-batch, not nested in another pool's region).
+  std::unique_ptr<sim::TaskPool> engine_pool_;
+  /// Per-sub-batch kernel times of the in-flight parallel pass, merged in
+  /// index order after the join. Grow-only, reused across passes.
+  std::vector<double> subbatch_time_s_;
   /// Quantize-at-load cache: one `nn::QuantizedModel` per distinct source
   /// model, built when an int8 session registers under execute-and-meter
   /// (never in the metered hot path).

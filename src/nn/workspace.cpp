@@ -43,10 +43,19 @@ void Workspace::reserve_acc(std::int64_t elems) {
   }
 }
 
+void Workspace::reserve_pack_a_s8(std::int64_t elems) {
+  IOB_EXPECTS(elems >= 0, "pack size must be non-negative");
+  if (static_cast<std::int64_t>(pack8_.size()) < elems) {
+    pack8_.resize(static_cast<std::size_t>(elems));
+  }
+}
+
 void Workspace::configure(const Model& model, int max_batch) {
   IOB_EXPECTS(max_batch >= 1, "max_batch must be >= 1");
   reserve_activations(model.max_activation_elems() * max_batch);
-  reserve_im2col(model.max_scratch_elems() * max_batch);
+  // +3 covers the packed-A panel round-up (ceil(M / kMr) * kMr rows): the
+  // worst case adds 3 rows x K <= 3 x scratch_elems over the exact size.
+  reserve_im2col(model.max_scratch_elems() * (static_cast<std::int64_t>(max_batch) + 3));
 }
 
 void Workspace::configure(const QuantizedModel& model, int max_batch) {
@@ -54,6 +63,8 @@ void Workspace::configure(const QuantizedModel& model, int max_batch) {
   reserve_activations_s8(model.max_activation_elems() * max_batch);
   reserve_im2col_s8(model.max_scratch_elems() * max_batch);
   reserve_acc(model.max_acc_elems() * max_batch);
+  // Same +3 panel round-up bound as the f32 im2col arena above.
+  reserve_pack_a_s8(model.max_pack_a_elems() * (static_cast<std::int64_t>(max_batch) + 3));
   // The float tail (and the dequantized logits) live in the f32 arena.
   reserve_activations(model.max_activation_elems() * max_batch);
 }

@@ -22,21 +22,23 @@ struct VenueSpec {
   double macs_per_s;        ///< sustained inference throughput
 };
 
-/// A communication leg between adjacent venues.
+/// A communication leg between adjacent venues. Zero-initialized: an unset
+/// leg fails the Partitioner's rate precondition deterministically instead
+/// of reading indeterminate values.
 struct TransferSpec {
   std::string name;
-  double app_rate_bps;            ///< achievable application throughput
-  double sender_energy_per_bit_j; ///< charged to the sending side
-  double receiver_energy_per_bit_j;
-  double fixed_latency_s;         ///< per-transfer setup/turnaround
+  double app_rate_bps = 0.0;            ///< achievable application throughput
+  double sender_energy_per_bit_j = 0.0; ///< charged to the sending side
+  double receiver_energy_per_bit_j = 0.0;
+  double fixed_latency_s = 0.0;         ///< per-transfer setup/turnaround
 };
 
 struct CostModel {
   VenueSpec leaf{"leaf (ULP MCU)", 20e-12, 50e6};      ///< 20 pJ/MAC, 50 MMAC/s
   VenueSpec hub{"hub (wearable brain)", 5e-12, 2e9};   ///< 5 pJ/MAC, 2 GMAC/s
   VenueSpec cloud{"cloud", 1e-12, 100e9};              ///< effectively unconstrained
-  TransferSpec leaf_hub;   ///< body-bus leg (Wi-R or BLE)
-  TransferSpec hub_cloud;  ///< uplink leg (Wi-Fi/LTE class)
+  TransferSpec leaf_hub;   ///< body-bus leg (Wi-R or BLE); callers must set it
+  TransferSpec hub_cloud = default_uplink();  ///< uplink leg (Wi-Fi/LTE class)
   /// Activation precision on the wire (`nn::Precision::kInt8` ships 1
   /// B/element quantized activations — the same precision the int8
   /// execution path (`nn::QuantizedModel`) actually computes in).

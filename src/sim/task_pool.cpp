@@ -6,6 +6,24 @@
 
 namespace iob::sim {
 
+namespace {
+
+/// Per-thread nesting depth across ALL pools: incremented around every body
+/// execution, including the inline serial path, so `in_parallel_region()`
+/// answers "is this thread inside some parallel_for body right now?".
+thread_local int t_region_depth = 0;
+
+struct RegionScope {
+  RegionScope() { ++t_region_depth; }
+  ~RegionScope() { --t_region_depth; }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+};
+
+}  // namespace
+
+bool TaskPool::in_parallel_region() { return t_region_depth > 0; }
+
 TaskPool::TaskPool(std::size_t thread_count) {
   if (thread_count == 0) {
     thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -35,6 +53,7 @@ void TaskPool::run_chunk(std::size_t worker_id) {
   const auto [begin, end] = chunk(job_n_, worker_id, size());
   if (begin == end) return;
   try {
+    RegionScope region;
     (*job_body_)(begin, end);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -63,7 +82,18 @@ void TaskPool::worker_loop(std::size_t worker_id) {
 void TaskPool::parallel_for(std::size_t n, const RangeBody& body) {
   IOB_EXPECTS(static_cast<bool>(body), "parallel_for body must be callable");
   if (n == 0) return;
+  // Reentrancy guard: exchange so a rejected inner call never clears the
+  // flag the outer (still-running) call owns — only the FlightGuard of the
+  // call that won the exchange stores false, so the pool survives the throw.
+  IOB_EXPECTS(!in_flight_.exchange(true, std::memory_order_acq_rel),
+              "TaskPool::parallel_for is not reentrant: a job is already in flight on this pool "
+              "(nested component pools must degrade to serial — see in_parallel_region())");
+  struct FlightGuard {
+    std::atomic<bool>& flag;
+    ~FlightGuard() { flag.store(false, std::memory_order_release); }
+  } flight{in_flight_};
   if (workers_.empty() || n == 1) {
+    RegionScope region;
     body(0, n);  // serial pool (or degenerate range): run inline, no handoff
     return;
   }

@@ -13,6 +13,7 @@
 /// jobs; a `parallel_for` costs two lock handoffs per worker, which is
 /// noise against sweep points that each run a full simulation.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -43,8 +44,25 @@ class TaskPool {
   /// Run `body` over [0, n), statically chunked across size() threads.
   /// Blocks until every chunk is done. The first exception thrown by any
   /// chunk is rethrown on the caller (remaining chunks still complete).
-  /// Not reentrant: do not call parallel_for from inside a body.
+  ///
+  /// Not reentrant: calling parallel_for on a pool that already has a job
+  /// in flight (from inside a body, or from a second thread) throws
+  /// std::invalid_argument instead of deadlocking; the outer job is
+  /// unaffected and the pool stays usable. Nesting rule for *distinct*
+  /// pools: fleet parallelism wins — a component that owns its own pool
+  /// (e.g. the hub engine) must check `in_parallel_region()` and degrade to
+  /// its serial path when it is already running inside another pool's body
+  /// (e.g. a `SweepRunner` sweep), so thread counts never multiply.
   void parallel_for(std::size_t n, const RangeBody& body);
+
+  /// True while a parallel_for on *this pool* has not yet returned. Mainly
+  /// for tests; the reentrancy check itself is internal.
+  [[nodiscard]] bool in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
+  /// True when the calling thread is currently executing inside the body of
+  /// ANY TaskPool::parallel_for (including the inline serial path). This is
+  /// the "am I nested?" probe behind the fleet-parallelism-wins rule.
+  [[nodiscard]] static bool in_parallel_region();
 
   /// The static chunk for `worker` of `workers` over [0, n): contiguous,
   /// balanced to within one element. Exposed so tests can assert coverage.
@@ -66,6 +84,7 @@ class TaskPool {
   std::size_t outstanding_ = 0;     ///< workers still running the current job
   std::exception_ptr first_error_;
   bool shutdown_ = false;
+  std::atomic<bool> in_flight_{false};  ///< reentrancy / concurrent-use guard
 };
 
 }  // namespace iob::sim

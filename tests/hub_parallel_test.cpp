@@ -1,0 +1,358 @@
+// Tests for the hub's parallel metered engine and the fused
+// im2col+pack-A conv path: packed-A bit-exactness vs the seed-loop oracle
+// and the strided path (f32 + int8, all zoo models), byte-identical
+// SessionStats across engine thread counts, fleet-grid byte-identity with
+// `FleetAxes::hub_engine_threads` swept, TaskPool reentrancy guarding,
+// zero steady-state allocations on per-thread workspaces, and a
+// hand-computed two-session energy attribution under the parallel engine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/wir_link.hpp"
+#include "common/alloc_interposer.hpp"  // defines global operator new/delete
+#include "core/fleet.hpp"
+#include "core/sweep_runner.hpp"
+#include "net/network_sim.hpp"
+#include "nn/gemm.hpp"
+#include "nn/model.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/qmodel.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
+#include "sim/task_pool.hpp"
+
+namespace iob {
+namespace {
+
+std::atomic<std::uint64_t>& g_alloc_count = iob::alloc_interposer::new_calls;
+
+using namespace iob::nn;
+
+Model zoo_model(int idx) {
+  return idx == 0 ? make_kws_dscnn() : idx == 1 ? make_ecg_cnn1d() : make_vww_micronet();
+}
+
+/// Restores the global packed-A toggle on scope exit so a failing assertion
+/// cannot leak a disabled fast path into later tests.
+struct PackToggleGuard {
+  bool saved = pack_a_enabled();
+  ~PackToggleGuard() { set_pack_a_enabled(saved); }
+};
+
+// ---- packed-A bit-exactness -------------------------------------------------
+
+TEST(PackedA, F32ZooModelsBitExactVsReferenceAndStridedPath) {
+  const PackToggleGuard guard;
+  for (int idx = 0; idx < 3; ++idx) {
+    const Model m = zoo_model(idx);
+    for (const int batch : {2, 5}) {
+      std::vector<Tensor> inputs;
+      for (int s = 0; s < batch; ++s) {
+        inputs.push_back(patterned_tensor(m.input_shape(), idx * 10 + s));
+      }
+      const Tensor stacked = stack_batch(inputs);
+      const Tensor ref = m.run_batched_reference(stacked);  // seed-loop oracle
+
+      Workspace ws;
+      set_pack_a_enabled(true);
+      const ConstSpan packed = m.run_into(ws, stacked.data(), batch);
+      ASSERT_EQ(packed.size, ref.size());
+      const std::vector<float> packed_copy(packed.data, packed.data + packed.size);
+
+      set_pack_a_enabled(false);
+      const ConstSpan strided = m.run_into(ws, stacked.data(), batch);
+      ASSERT_EQ(strided.size, ref.size());
+
+      // Bitwise, not approximately: the packed micro-kernel replays the
+      // strided kernel's mul/add order exactly.
+      EXPECT_EQ(std::memcmp(packed_copy.data(), ref.data(), ref.size() * sizeof(float)), 0)
+          << m.name() << " batch " << batch << " (packed vs reference)";
+      EXPECT_EQ(std::memcmp(packed_copy.data(), strided.data, ref.size() * sizeof(float)), 0)
+          << m.name() << " batch " << batch << " (packed vs strided)";
+    }
+  }
+}
+
+TEST(PackedA, Int8ZooModelsBitwiseIdenticalPackedVsStrided) {
+  const PackToggleGuard guard;
+  for (int idx = 0; idx < 3; ++idx) {
+    const Model m = zoo_model(idx);
+    const QuantizedModel qm(m);
+    constexpr int kBatch = 3;
+    std::vector<Tensor> inputs;
+    for (int s = 0; s < kBatch; ++s) {
+      inputs.push_back(patterned_tensor(m.input_shape(), 40 + idx * 10 + s));
+    }
+    const Tensor stacked = stack_batch(inputs);
+
+    set_pack_a_enabled(true);
+    const Tensor packed = qm.run_batched(stacked);
+    set_pack_a_enabled(false);
+    const Tensor strided = qm.run_batched(stacked);
+
+    // Integer accumulation is exact on both paths, so the panel layout
+    // cannot perturb a single bit of the dequantized logits.
+    ASSERT_EQ(packed.size(), strided.size()) << m.name();
+    EXPECT_EQ(std::memcmp(packed.data(), strided.data(), packed.size() * sizeof(float)), 0)
+        << m.name();
+
+    // And the packed batched pass stays batch-invariant vs per-sample runs.
+    set_pack_a_enabled(true);
+    for (int s = 0; s < kBatch; ++s) {
+      const Tensor single = qm.forward(inputs[static_cast<std::size_t>(s)]);
+      const float* row = packed.data() + static_cast<std::int64_t>(s) * single.size();
+      EXPECT_EQ(std::memcmp(row, single.data(), single.size() * sizeof(float)), 0)
+          << m.name() << " sample " << s;
+    }
+  }
+}
+
+// ---- engine-thread determinism ----------------------------------------------
+
+/// Three sessions sharing one metered ecg model, with `bytes_per_inference`
+/// small enough that each delivered frame stages a multi-sub-batch flush —
+/// the parallel engine path actually fans out at threads > 1.
+std::vector<net::SessionStats> run_parallel_metered(const Model& ecg, unsigned threads) {
+  net::NetworkConfig cfg;
+  cfg.seed = 11;
+  cfg.hub.batch_window = 4;
+  cfg.hub.execute_and_meter = true;
+  cfg.hub.engine_threads = threads;
+  net::NetworkSim net(std::make_unique<comm::WiRLink>(), cfg);
+  const char* streams[] = {"ecg-a", "ecg-b", "ecg-c"};
+  for (const char* stream : streams) {
+    net::NodeConfig n;
+    n.name = stream;
+    n.stream = stream;
+    n.output_rate_bps = 64e3;
+    n.frame_bytes = 240;
+    net.add_node(n);
+    net::SessionConfig s;
+    s.stream = stream;
+    s.macs_per_inference = 185'000;
+    s.bytes_per_inference = 4;  // 60 staged inferences per frame: nsub >= 2
+    s.model = "ecg-cnn1d";
+    s.weight_bytes = 9'000;
+    s.net = &ecg;
+    net.add_session(s);
+  }
+  net.run(0.3);
+  std::vector<net::SessionStats> out;
+  for (const char* stream : streams) out.push_back(net.hub().session(stream));
+  return out;
+}
+
+TEST(HubParallel, MeteredStatsBitIdenticalAcrossEngineThreads) {
+  const Model ecg = make_ecg_cnn1d();
+  const std::vector<net::SessionStats> serial = run_parallel_metered(ecg, 1);
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_GT(serial[0].executed_inferences, 100u);  // multi-sub-batch flushes ran
+
+  for (const unsigned threads : {2u, 8u}) {
+    const std::vector<net::SessionStats> parallel = run_parallel_metered(ecg, threads);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const net::SessionStats& a = serial[i];
+      const net::SessionStats& b = parallel[i];
+      // Everything except measured wall time is bit-identical: the
+      // parallel engine only changes which thread times a sub-batch.
+      EXPECT_EQ(a.bytes_in, b.bytes_in) << threads << " threads, session " << i;
+      EXPECT_EQ(a.inferences, b.inferences) << threads << " threads, session " << i;
+      EXPECT_EQ(a.executed_inferences, b.executed_inferences)
+          << threads << " threads, session " << i;
+      EXPECT_EQ(a.batched_inferences, b.batched_inferences)
+          << threads << " threads, session " << i;
+      EXPECT_EQ(a.batched_passes, b.batched_passes) << threads << " threads, session " << i;
+      EXPECT_EQ(a.uplink_energy_j, b.uplink_energy_j) << threads << " threads, session " << i;
+      EXPECT_EQ(a.analytic_compute_energy_j, b.analytic_compute_energy_j)
+          << threads << " threads, session " << i;
+      EXPECT_EQ(a.queued_latency_s.count(), b.queued_latency_s.count())
+          << threads << " threads, session " << i;
+      EXPECT_EQ(a.queued_latency_s.sum(), b.queued_latency_s.sum())
+          << threads << " threads, session " << i;
+      // Wall time is host-dependent, but the measured-energy contract
+      // (time x power) holds on every path.
+      EXPECT_GT(b.kernel_time_s, 0.0) << threads << " threads, session " << i;
+    }
+  }
+}
+
+TEST(HubParallel, FleetGridByteIdenticalAcrossEngineThreads) {
+  core::NodeClassSpec audio;
+  audio.base.name = "audio";
+  audio.base.sense_power_w = 150e-6;
+  audio.base.output_rate_bps = 64e3;
+  audio.base.slot_weight = 2;
+  audio.share = 1;
+  core::NodeClassSpec bio;
+  bio.base.name = "bio";
+  bio.base.sense_power_w = 8e-6;
+  bio.base.output_rate_bps = 5e3;
+  bio.share = 3;
+
+  core::FleetAxes axes;
+  axes.node_counts = {2, 3};
+  axes.mixes = {core::NodeMix{"tiny", {audio, bio}}};
+  axes.batch_windows = {0, 1};
+  axes.precisions = {nn::Precision::kF32, nn::Precision::kInt8};
+  axes.seeds = {7};
+  axes.duration_s = 0.5;
+
+  const core::SweepRunner serial(1);
+  axes.hub_engine_threads = 1;
+  const std::string reference = core::fleet_results_csv(core::Fleet(axes).run(serial));
+  EXPECT_NE(reference.find('\n'), std::string::npos);
+
+  for (const unsigned threads : {2u, 8u}) {
+    axes.hub_engine_threads = threads;
+    const core::Fleet fleet(axes);
+    // Serial sweep: the engine-thread passthrough must not perturb a byte.
+    EXPECT_EQ(reference, core::fleet_results_csv(fleet.run(serial)))
+        << "engine_threads " << threads;
+    // Parallel sweep: the hub degrades to serial inside the SweepRunner's
+    // region (fleet parallelism wins), so the grid is still byte-identical.
+    const core::SweepRunner fanned(4);
+    EXPECT_EQ(reference, core::fleet_results_csv(fleet.run(fanned)))
+        << "engine_threads " << threads << " under a 4-thread sweep";
+  }
+}
+
+// ---- TaskPool reentrancy guard ----------------------------------------------
+
+TEST(TaskPoolGuard, NestedParallelForThrowsAndPoolStaysUsable) {
+  sim::TaskPool pool(2);
+  EXPECT_FALSE(pool.in_flight());
+  EXPECT_FALSE(sim::TaskPool::in_parallel_region());
+
+  std::atomic<int> nested_throws{0};
+  std::atomic<int> region_hits{0};
+  pool.parallel_for(4, [&](std::size_t begin, std::size_t end) {
+    if (sim::TaskPool::in_parallel_region()) region_hits.fetch_add(1);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i == 0) {
+        // Re-entering the busy pool must throw instead of deadlocking,
+        // and must not poison the outer job.
+        try {
+          pool.parallel_for(2, [](std::size_t, std::size_t) {});
+        } catch (const std::invalid_argument&) {
+          nested_throws.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(nested_throws.load(), 1);
+  EXPECT_GT(region_hits.load(), 0);
+  EXPECT_FALSE(pool.in_flight());
+  EXPECT_FALSE(sim::TaskPool::in_parallel_region());
+
+  // The guard cleared: the pool still runs full jobs afterwards.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) covered.fetch_add(i);
+  });
+  EXPECT_EQ(covered.load(), 16u * 15u / 2u);
+}
+
+TEST(TaskPoolGuard, InlineSerialPathAlsoMarksTheParallelRegion) {
+  // thread_count 1 runs the body inline, but the nesting probe must still
+  // fire — the hub's degrade-to-serial rule keys off it.
+  sim::TaskPool pool(1);
+  bool inside = false;
+  pool.parallel_for(1, [&](std::size_t, std::size_t) {
+    inside = sim::TaskPool::in_parallel_region();
+  });
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(sim::TaskPool::in_parallel_region());
+}
+
+// ---- zero steady-state allocations ------------------------------------------
+
+TEST(HubParallel, PerThreadWorkspacesAllocateNothingInSteadyState) {
+  // The parallel engine's contract: each worker owns a grow-only workspace,
+  // so once warmed, repeated batched passes on every thread touch the heap
+  // zero times. Reproduce the fan-out shape directly on a TaskPool.
+  const Model ecg = make_ecg_cnn1d();
+  const Tensor input = stack_batch(
+      {patterned_tensor(ecg.input_shape(), 1), patterned_tensor(ecg.input_shape(), 2)});
+  sim::TaskPool pool(2);
+  Workspace ws[2];
+
+  // Built once so re-running the job costs no std::function heap traffic.
+  const sim::TaskPool::RangeBody body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const ConstSpan logits = ecg.run_into(ws[i], input.data(), 2);
+      ASSERT_GT(logits.size, 0);
+    }
+  };
+  pool.parallel_for(2, body);  // warm-up: arenas grow here
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int round = 0; round < 3; ++round) pool.parallel_for(2, body);
+  EXPECT_EQ(g_alloc_count.load() - before, 0u);
+}
+
+// ---- hand-computed energy attribution ---------------------------------------
+
+TEST(HubParallel, TwoSessionGroupSplitsMeteredTimeByInferenceShare) {
+  // batch_window 1000 never flushes mid-run at these rates, so the single
+  // end-of-run flush folds both sessions into ONE parallel metered pass —
+  // making the time-share attribution exactly checkable. Session "fine"
+  // windows 80 B, "coarse" 240 B: every 240 B frame stages 3 vs 1
+  // inferences, so fine's batched count and time share are exactly 3x.
+  const Model ecg = make_ecg_cnn1d();
+  net::NetworkConfig cfg;
+  cfg.seed = 11;
+  cfg.hub.batch_window = 1000;
+  cfg.hub.execute_and_meter = true;
+  cfg.hub.engine_threads = 2;
+  net::NetworkSim net(std::make_unique<comm::WiRLink>(), cfg);
+  const std::uint64_t windows[] = {80, 240};
+  const char* streams[] = {"fine", "coarse"};
+  for (int i = 0; i < 2; ++i) {
+    net::NodeConfig n;
+    n.name = streams[i];
+    n.stream = streams[i];
+    n.output_rate_bps = 64e3;
+    n.frame_bytes = 240;
+    net.add_node(n);
+    net::SessionConfig s;
+    s.stream = streams[i];
+    s.macs_per_inference = 185'000;
+    s.bytes_per_inference = windows[i];
+    s.model = "ecg-cnn1d";
+    s.weight_bytes = 9'000;
+    s.net = &ecg;
+    net.add_session(s);
+  }
+  net.run(0.35);
+
+  const net::SessionStats& fine = net.hub().session("fine");
+  const net::SessionStats& coarse = net.hub().session("coarse");
+  ASSERT_GT(coarse.batched_inferences, 8u);
+  // One fold each (the final flush), staging enough for >= 2 sub-batches.
+  EXPECT_EQ(fine.batched_passes, 1u);
+  EXPECT_EQ(coarse.batched_passes, 1u);
+  ASSERT_GT(fine.batched_inferences + coarse.batched_inferences, 32u);
+
+  // 3 fine windows per coarse window out of identical byte streams.
+  EXPECT_EQ(fine.batched_inferences, 3u * coarse.batched_inferences);
+  EXPECT_EQ(fine.executed_inferences, fine.batched_inferences);
+  EXPECT_EQ(coarse.executed_inferences, coarse.batched_inferences);
+
+  // Single pass: measured energy is exactly time x platform power, and the
+  // time split follows the inference share bit-for-bit.
+  const double power = net.hub().config().compute_power_w;
+  EXPECT_EQ(fine.compute_energy_j, fine.kernel_time_s * power);
+  EXPECT_EQ(coarse.compute_energy_j, coarse.kernel_time_s * power);
+  EXPECT_GT(fine.kernel_time_s, coarse.kernel_time_s);
+}
+
+}  // namespace
+}  // namespace iob
